@@ -1,0 +1,60 @@
+// Shared plumbing for the figure/table bench harnesses: flag parsing into an
+// ExperimentConfig, and consistent result formatting.
+//
+// Every harness accepts:
+//   --runs=N        seeded repetitions averaged per point (paper: 20)
+//   --requests=N    page requests per server per run (paper: 10000)
+//   --seed=N        base seed
+//   --threads=N     worker threads (0 = hardware)
+//   --quick         shrink to runs=5, requests=2000 for a fast look
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "sim/runner.h"
+#include "util/flags.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace mmr::bench {
+
+inline ExperimentConfig config_from_flags(const Flags& flags) {
+  ExperimentConfig cfg;
+  cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 20));
+  cfg.sim.requests_per_server =
+      static_cast<std::uint32_t>(flags.get_int("requests", 10000));
+  cfg.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  cfg.threads = static_cast<std::uint32_t>(flags.get_int("threads", 0));
+  if (flags.get_bool("quick", false)) {
+    cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 5));
+    cfg.sim.requests_per_server =
+        static_cast<std::uint32_t>(flags.get_int("requests", 2000));
+  }
+  // Non-convergence is reported in the result tables ("[N unrestored]");
+  // keep per-run warnings out of the bench output unless asked for.
+  set_log_level(flags.get_bool("verbose", false) ? LogLevel::kInfo
+                                                 : LogLevel::kError);
+  return cfg;
+}
+
+inline Flags standard_flags(int argc, const char* const* argv) {
+  Flags flags = Flags::parse(argc, argv);
+  flags.describe("runs", "seeded repetitions per point (default 20)")
+      .describe("requests", "page requests per server (default 10000)")
+      .describe("seed", "base seed (default 42)")
+      .describe("threads", "worker threads, 0 = hardware (default 0)")
+      .describe("quick", "fast mode: runs=5, requests=2000")
+      .describe("verbose", "enable info logging");
+  return flags;
+}
+
+/// "+33.5% ± 2.1%" — mean relative increase with the 95% CI half-width.
+inline std::string rel_cell(const RunningStats& s) {
+  if (s.empty()) return "-";
+  return format_percent(s.mean()) + " ± " +
+         format_double(s.ci95_halfwidth() * 100.0, 1) + "%";
+}
+
+}  // namespace mmr::bench

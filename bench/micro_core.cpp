@@ -1,0 +1,170 @@
+// google-benchmark microbenchmarks for the optimization core: PARTITION
+// throughput, exact-DP cost, delta evaluation, constraint restoration and
+// objective evaluation at paper scale.
+#include <benchmark/benchmark.h>
+
+#include "core/delta.h"
+#include "core/partition.h"
+#include "core/policy.h"
+#include "core/storage_restore.h"
+#include "model/cost.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+const SystemModel& paper_system() {
+  static const SystemModel sys = [] {
+    WorkloadParams wl;
+    wl.server_proc_capacity = kUnlimited;
+    wl.repo_proc_capacity = kUnlimited;
+    return generate_workload(wl, 42);
+  }();
+  return sys;
+}
+
+void BM_PartitionPage(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  PageId j = 0;
+  for (auto _ : state) {
+    partition_page(sys, asg, j);
+    j = (j + 1) % static_cast<PageId>(sys.num_pages());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionPage);
+
+void BM_PartitionAllPages(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  for (auto _ : state) {
+    Assignment asg(sys);
+    partition_all(sys, asg);
+    benchmark::DoNotOptimize(asg.repo_proc_load());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sys.num_pages()));
+}
+BENCHMARK(BM_PartitionAllPages);
+
+void BM_PartitionPageExact(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  PartitionOptions opt;
+  opt.exact = true;
+  opt.exact_resolution_bytes = static_cast<std::uint64_t>(state.range(0));
+  PageId j = 0;
+  for (auto _ : state) {
+    partition_page_exact(sys, asg, j, opt);
+    j = (j + 1) % static_cast<PageId>(sys.num_pages());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionPageExact)->Arg(4096)->Arg(1024);
+
+void BM_DeltaUnmarkComp(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const Weights w;
+  // Find a marked slot to evaluate repeatedly.
+  PageId page = 0;
+  std::uint32_t idx = 0;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    bool found = false;
+    for (std::uint32_t x = 0; x < sys.page(j).compulsory.size(); ++x) {
+      if (asg.comp_local(j, x)) {
+        page = j;
+        idx = x;
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unmark_comp_delta(asg, page, idx, w));
+  }
+}
+BENCHMARK(BM_DeltaUnmarkComp);
+
+void BM_DeallocDelta(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const Weights w;
+  const std::vector<ObjectId> stored = asg.stored_objects(0);
+  std::size_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dealloc_delta(sys, asg, 0, stored[x], w));
+    x = (x + 1) % stored.size();
+  }
+}
+BENCHMARK(BM_DeallocDelta);
+
+void BM_ObjectiveCached(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const Weights w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective_total_cached(asg, w));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sys.num_pages()));
+}
+BENCHMARK(BM_ObjectiveCached);
+
+void BM_ObjectiveFromScratch(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const Weights w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective_total(sys, asg, w));
+  }
+}
+BENCHMARK(BM_ObjectiveFromScratch);
+
+void BM_StorageRestore(benchmark::State& state) {
+  WorkloadParams wl;
+  wl.server_proc_capacity = kUnlimited;
+  wl.repo_proc_capacity = kUnlimited;
+  wl.storage_fraction = static_cast<double>(state.range(0)) / 100.0;
+  const SystemModel sys = generate_workload(wl, 42);
+  const Weights w;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Assignment asg(sys);
+    partition_all(sys, asg);
+    state.ResumeTiming();
+    restore_storage(sys, asg, w);
+  }
+}
+BENCHMARK(BM_StorageRestore)->Arg(70)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_FullPolicyPipeline(benchmark::State& state) {
+  WorkloadParams wl;
+  wl.storage_fraction = 0.5;
+  const SystemModel sys = generate_workload(wl, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_replication_policy(sys).feasible);
+  }
+}
+BENCHMARK(BM_FullPolicyPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_AuditConstraints(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(audit_constraints(sys, asg).ok());
+  }
+  state.SetLabel("from-scratch Eq.8/9/10 audit");
+}
+BENCHMARK(BM_AuditConstraints)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mmr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks for the supporting data structures:
+// RNG, alias table, LRU cache, event queue, workload generation and the
+// response-time simulator.
+#include <benchmark/benchmark.h>
+
+#include "baselines/lru_cache.h"
+#include "baselines/static_policies.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform(0.0, 10.0));
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (auto& w : weights) w = rng.uniform(0.1, 10.0);
+  const AliasTable table(weights);
+  for (auto _ : state) benchmark::DoNotOptimize(table.sample(rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasTableSample)->Arg(600)->Arg(15000);
+
+void BM_LruCacheAccessHit(benchmark::State& state) {
+  LruCache cache(1 << 20);
+  for (ObjectId k = 0; k < 256; ++k) cache.insert(k, 1024);
+  ObjectId k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(k));
+    k = (k + 1) % 256;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheAccessHit);
+
+void BM_LruCacheInsertEvictChurn(benchmark::State& state) {
+  LruCache cache(64 * 1024);
+  ObjectId k = 0;
+  for (auto _ : state) {
+    cache.insert(k++, 1024);  // constant churn once full
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheInsertEvictChurn);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue<int> q;
+  Rng rng(4);
+  double t = 0;
+  for (auto _ : state) {
+    t += rng.uniform(0.0, 1.0);
+    q.push(t, 1);
+    if (q.size() > 1024) benchmark::DoNotOptimize(q.pop().event);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_GenerateWorkload(benchmark::State& state) {
+  WorkloadParams wl;  // paper scale
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_workload(wl, seed++).num_pages());
+  }
+  state.SetLabel("paper-scale Table 1 instance");
+}
+BENCHMARK(BM_GenerateWorkload)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateStatic(benchmark::State& state) {
+  WorkloadParams wl;
+  const SystemModel sys = generate_workload(wl, 42);
+  SimParams sp;
+  sp.requests_per_server = static_cast<std::uint32_t>(state.range(0));
+  const Simulator sim(sys, sp);
+  const Assignment asg = make_local_assignment(sys);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.simulate(asg, seed++).page_response.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(sys.num_servers()));
+}
+BENCHMARK(BM_SimulateStatic)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateLru(benchmark::State& state) {
+  WorkloadParams wl;
+  const SystemModel sys = generate_workload(wl, 42);
+  SimParams sp;
+  sp.requests_per_server = static_cast<std::uint32_t>(state.range(0));
+  const Simulator sim(sys, sp);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate_lru(seed++).page_response.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(sys.num_servers()));
+}
+BENCHMARK(BM_SimulateLru)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mmr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// mmrepl_cli — file-based workflow around the library:
+//
+//   mmrepl_cli generate --out=sys.txt [--seed=1] [--storage=0.6]
+//       Generate a Table-1 workload and save it.
+//   mmrepl_cli describe --system=sys.txt
+//       Print the workload characterization.
+//   mmrepl_cli solve --system=sys.txt --out=placement.txt [--no-offload]
+//       Run the replication policy and save the placement.
+//   mmrepl_cli audit --system=sys.txt --placement=placement.txt
+//       Re-check Eq. 8/9/10 and print the objective.
+//   mmrepl_cli simulate --system=sys.txt --placement=placement.txt
+//       Measure response times under the Sec. 5.1 perturbation model.
+#include <iostream>
+
+#include "core/policy.h"
+#include "io/serialize.h"
+#include "sim/simulator.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/generator.h"
+#include "workload/stats.h"
+
+namespace {
+
+using namespace mmr;
+
+int cmd_generate(const Flags& flags) {
+  const std::string out = flags.get_string("out", "");
+  MMR_CHECK_MSG(!out.empty(), "generate requires --out=<path>");
+  WorkloadParams params;
+  params.storage_fraction = flags.get_double("storage", 1.0);
+  params.num_servers =
+      static_cast<std::uint32_t>(flags.get_int("servers", 10));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const SystemModel sys = generate_workload(params, seed);
+  save_system_file(sys, out);
+  std::cout << "wrote " << out << ": " << sys.num_pages() << " pages, "
+            << sys.num_objects() << " objects, " << sys.num_servers()
+            << " servers\n";
+  return 0;
+}
+
+int cmd_describe(const Flags& flags) {
+  const std::string path = flags.get_string("system", "");
+  MMR_CHECK_MSG(!path.empty(), "describe requires --system=<path>");
+  const SystemModel sys = load_system_file(path);
+  std::cout << characterize(sys).to_string();
+  return 0;
+}
+
+int cmd_solve(const Flags& flags) {
+  const std::string sys_path = flags.get_string("system", "");
+  const std::string out = flags.get_string("out", "");
+  MMR_CHECK_MSG(!sys_path.empty() && !out.empty(),
+                "solve requires --system=<path> --out=<path>");
+  const SystemModel sys = load_system_file(sys_path);
+  PolicyOptions options;
+  options.offload_enabled = !flags.get_bool("no-offload", false);
+  options.weights.alpha1 = flags.get_double("alpha1", 2.0);
+  options.weights.alpha2 = flags.get_double("alpha2", 1.0);
+  const PolicyResult result = run_replication_policy(sys, options);
+  std::cout << result.summary();
+  save_assignment_file(result.assignment, out);
+  std::cout << "wrote " << out << '\n';
+  return result.feasible ? 0 : 2;
+}
+
+int cmd_audit(const Flags& flags) {
+  const std::string sys_path = flags.get_string("system", "");
+  const std::string asg_path = flags.get_string("placement", "");
+  MMR_CHECK_MSG(!sys_path.empty() && !asg_path.empty(),
+                "audit requires --system=<path> --placement=<path>");
+  const SystemModel sys = load_system_file(sys_path);
+  const Assignment asg = load_assignment_file(sys, asg_path);
+  const ConstraintReport report = audit_constraints(sys, asg);
+  const Weights w{flags.get_double("alpha1", 2.0),
+                  flags.get_double("alpha2", 1.0)};
+  std::cout << "D1 = " << format_double(objective_d1(sys, asg), 2)
+            << "  D2 = " << format_double(objective_d2(sys, asg), 2)
+            << "  D = " << format_double(objective_total(sys, asg, w), 2)
+            << '\n';
+  if (report.ok()) {
+    std::cout << "all constraints satisfied\n";
+    return 0;
+  }
+  for (const auto& v : report.violations) {
+    std::cout << "VIOLATION: " << v.describe() << '\n';
+  }
+  return 2;
+}
+
+int cmd_simulate(const Flags& flags) {
+  const std::string sys_path = flags.get_string("system", "");
+  const std::string asg_path = flags.get_string("placement", "");
+  MMR_CHECK_MSG(!sys_path.empty() && !asg_path.empty(),
+                "simulate requires --system=<path> --placement=<path>");
+  const SystemModel sys = load_system_file(sys_path);
+  const Assignment asg = load_assignment_file(sys, asg_path);
+  SimParams params;
+  params.requests_per_server =
+      static_cast<std::uint32_t>(flags.get_int("requests", 10000));
+  params.capture_samples = true;
+  const Simulator sim(sys, params);
+  const SimMetrics m = sim.simulate(
+      asg, static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  TextTable t({"metric", "value [s]"});
+  t.add_row({"mean page response", format_double(m.page_response.mean(), 2)});
+  t.add_row({"p50", format_double(m.page_samples.quantile(0.5), 2)});
+  t.add_row({"p90", format_double(m.page_samples.quantile(0.9), 2)});
+  t.add_row({"p99", format_double(m.page_samples.quantile(0.99), 2)});
+  t.add_row({"mean optional download",
+             m.optional_time.empty()
+                 ? "-"
+                 : format_double(m.optional_time.mean(), 2)});
+  t.print(std::cout, "simulation (" +
+                         std::to_string(params.requests_per_server) +
+                         " requests/server)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmr;
+  const Flags flags = Flags::parse(argc, argv);
+  const std::string usage =
+      "usage: mmrepl_cli <generate|describe|solve|audit|simulate> "
+      "[--flags]\n(see the header of examples/mmrepl_cli.cpp)\n";
+  if (flags.positional().empty()) {
+    std::cerr << usage;
+    return 1;
+  }
+  const std::string& cmd = flags.positional()[0];
+  try {
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "describe") return cmd_describe(flags);
+    if (cmd == "solve") return cmd_solve(flags);
+    if (cmd == "audit") return cmd_audit(flags);
+    if (cmd == "simulate") return cmd_simulate(flags);
+    std::cerr << "unknown command '" << cmd << "'\n" << usage;
+    return 1;
+  } catch (const CheckError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

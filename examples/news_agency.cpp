@@ -1,0 +1,76 @@
+// The paper's motivating scenario: a news agency with worldwide local sites
+// sharing a central multimedia repository. Breaking-news pages are hot and
+// carry heavy video/audio; the local sites have limited disks.
+//
+// Generates a Table-1-style workload, runs our policy plus the three
+// baselines, and simulates 20 runs to compare mean response times.
+//
+//   ./examples/news_agency [--storage=0.5] [--runs=10] [--requests=3000]
+#include <iostream>
+
+#include "sim/runner.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mmr;
+  Flags flags = Flags::parse(argc, argv);
+  flags.describe("storage", "site disk as a fraction of the bytes needed to "
+                            "replicate everything (default 0.5)")
+      .describe("runs", "seeded repetitions (default 10)")
+      .describe("requests", "page requests per site per run (default 3000)");
+  if (flags.help_requested()) {
+    std::cout << flags.help();
+    return 0;
+  }
+
+  ExperimentConfig cfg;
+  cfg.workload.num_servers = 10;  // worldwide local sites
+  cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 10));
+  cfg.sim.requests_per_server =
+      static_cast<std::uint32_t>(flags.get_int("requests", 3000));
+  cfg.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 2026));
+
+  ScenarioSpec spec;
+  spec.storage_fraction = flags.get_double("storage", 0.5);
+
+  std::cout << "News agency: 10 sites, hot breaking-news pages (10% of pages"
+            << " carry 60% of traffic),\nsite disks at "
+            << format_percent(spec.storage_fraction, 0).substr(1)
+            << " of the full-replication footprint, " << cfg.runs
+            << " runs x " << cfg.sim.requests_per_server
+            << " requests/site.\n\n";
+
+  ThreadPool pool;
+  const ScenarioResult r = run_scenario(cfg, spec, &pool);
+
+  TextTable t({"policy", "mean page response [s]",
+               "vs ours-unconstrained"});
+  t.begin_row()
+      .add_cell("ours (partition + restoration)")
+      .add_cell(r.ours.mean_response.mean(), 1)
+      .add_cell(format_percent(r.ours.rel_increase.mean()));
+  t.begin_row()
+      .add_cell("ideal LRU caching")
+      .add_cell(r.lru.mean_response.mean(), 1)
+      .add_cell(format_percent(r.lru.rel_increase.mean()));
+  t.begin_row()
+      .add_cell("Local (replicate everything)")
+      .add_cell(r.local.mean_response.mean(), 1)
+      .add_cell(format_percent(r.local.rel_increase.mean()));
+  t.begin_row()
+      .add_cell("Remote (repository only)")
+      .add_cell(r.remote.mean_response.mean(), 1)
+      .add_cell(format_percent(r.remote.rel_increase.mean()));
+  t.begin_row()
+      .add_cell("ours, unconstrained (reference)")
+      .add_cell(r.unconstrained_response.mean(), 1)
+      .add_cell("+0.0%");
+  t.print(std::cout, "mean response time over " + std::to_string(cfg.runs) +
+                         " runs");
+
+  std::cout << "\nNote: the Local policy ignores the disk limit (as in the "
+               "paper's evaluation), so at\ntight storage it can beat the "
+               "constrained policies while being physically infeasible.\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Quickstart: build a tiny two-site system by hand, run the full replication
+// policy, and inspect the placement and the cost-model numbers (Eq. 3–10).
+//
+//   ./examples/quickstart
+#include <cstdint>
+#include <iostream>
+
+#include "core/policy.h"
+#include "model/cost.h"
+#include "model/system.h"
+#include "util/table.h"
+
+namespace {
+
+constexpr std::uint64_t KB = 1024;
+constexpr std::uint64_t MB = 1024 * KB;
+
+}  // namespace
+
+int main() {
+  using namespace mmr;
+
+  // --- describe the deployment ---------------------------------------------
+  SystemModel sys;
+
+  // Two local sites with different link quality to their clients and to the
+  // central repository (rates in bytes/sec, overheads in seconds).
+  Server fast;
+  fast.proc_capacity = 50.0;
+  fast.storage_capacity = 6 * MB;
+  fast.ovhd_local = 1.3;
+  fast.ovhd_repo = 2.1;
+  fast.local_rate = 8.0 * KB;
+  fast.repo_rate = 1.0 * KB;
+  const ServerId s_fast = sys.add_server(fast);
+
+  Server slow;
+  slow.proc_capacity = 30.0;
+  slow.storage_capacity = 3 * MB;
+  slow.ovhd_local = 1.6;
+  slow.ovhd_repo = 2.4;
+  slow.local_rate = 4.0 * KB;
+  slow.repo_rate = 0.5 * KB;
+  const ServerId s_slow = sys.add_server(slow);
+
+  sys.set_repository({/*proc_capacity=*/40.0});
+
+  // A small shared multimedia universe.
+  const ObjectId clip = sys.add_object({2 * MB});     // video clip
+  const ObjectId photo = sys.add_object({600 * KB});  // hero image
+  const ObjectId logo = sys.add_object({80 * KB});
+  const ObjectId song = sys.add_object({3 * MB});     // optional wav
+  const ObjectId chart = sys.add_object({250 * KB});
+
+  // Pages: the fast site hosts the breaking-news page (hot), the slow site a
+  // quieter archive page that shares objects with it.
+  Page news;
+  news.host = s_fast;
+  news.html_bytes = 12 * KB;
+  news.frequency = 3.0;  // requests/sec at peak
+  news.compulsory = {clip, photo, logo};
+  news.optional = {{song, 0.05}};
+  sys.add_page(std::move(news));
+
+  Page archive;
+  archive.host = s_slow;
+  archive.html_bytes = 8 * KB;
+  archive.frequency = 0.8;
+  archive.compulsory = {photo, chart, logo};
+  archive.optional = {{song, 0.02}};
+  sys.add_page(std::move(archive));
+
+  sys.finalize();
+
+  // --- run the policy -------------------------------------------------------
+  PolicyOptions options;  // paper defaults: weights (2, 1), all stages on
+  const PolicyResult result = run_replication_policy(sys, options);
+  const Assignment& asg = result.assignment;
+
+  std::cout << "=== policy pipeline ===\n" << result.summary() << '\n';
+
+  // --- inspect the placement ------------------------------------------------
+  const char* object_names[] = {"clip", "photo", "logo", "song", "chart"};
+  TextTable placement({"page", "object", "kind", "download from"});
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    const Page& p = sys.page(j);
+    const char* page_name = j == 0 ? "news" : "archive";
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      placement.begin_row()
+          .add_cell(page_name)
+          .add_cell(object_names[p.compulsory[idx]])
+          .add_cell("compulsory")
+          .add_cell(asg.comp_local(j, idx) ? "local server" : "repository");
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      placement.begin_row()
+          .add_cell(page_name)
+          .add_cell(object_names[p.optional[idx].object])
+          .add_cell("optional")
+          .add_cell(asg.opt_local(j, idx) ? "local server" : "repository");
+    }
+  }
+  placement.print(std::cout, "replica placement");
+
+  // --- the cost-model view --------------------------------------------------
+  TextTable times({"page", "Time(S_i,W_j) [s]", "Time(R,W_j) [s]",
+                   "Time(W_j) [s]", "Time(W_j,M) [s]"});
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    times.begin_row()
+        .add_cell(j == 0 ? "news" : "archive")
+        .add_cell(asg.page_local_time(j), 2)
+        .add_cell(asg.page_remote_time(j), 2)
+        .add_cell(asg.page_response_time(j), 2)
+        .add_cell(asg.page_optional_time(j), 3);
+  }
+  times.print(std::cout, "per-page pipeline times (Eq. 3-6)");
+
+  const Weights w = options.weights;
+  std::cout << "D1 = " << format_double(objective_d1(sys, asg), 3)
+            << "  D2 = " << format_double(objective_d2(sys, asg), 3)
+            << "  D = " << format_double(objective_total(sys, asg, w), 3)
+            << "  (alpha1=" << w.alpha1 << ", alpha2=" << w.alpha2 << ")\n\n";
+
+  const ConstraintReport audit = audit_constraints(sys, asg);
+  TextTable cons({"component", "processing load [req/s]", "capacity",
+                  "storage used", "storage capacity"});
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    cons.begin_row()
+        .add_cell(i == s_fast ? "fast site" : "slow site")
+        .add_cell(audit.server_proc_load[i], 2)
+        .add_cell(sys.server(i).proc_capacity, 1)
+        .add_cell(format_bytes(static_cast<double>(audit.storage_used[i])))
+        .add_cell(format_bytes(
+            static_cast<double>(sys.server(i).storage_capacity)));
+  }
+  cons.begin_row()
+      .add_cell("repository")
+      .add_cell(audit.repo_proc_load, 2)
+      .add_cell(sys.repository().proc_capacity, 1)
+      .add_cell("-")
+      .add_cell("-");
+  cons.print(std::cout, "constraint audit (Eq. 8-10)");
+  std::cout << (audit.ok() ? "all constraints satisfied\n"
+                           : "CONSTRAINT VIOLATIONS PRESENT\n");
+  return audit.ok() ? 0 : 1;
+}

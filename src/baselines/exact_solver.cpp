@@ -1,0 +1,70 @@
+#include "baselines/exact_solver.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace mmr {
+
+std::uint32_t count_decision_bits(const SystemModel& sys) {
+  std::uint32_t bits = 0;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    bits += static_cast<std::uint32_t>(sys.page(j).compulsory.size() +
+                                       sys.page(j).optional.size());
+  }
+  return bits;
+}
+
+std::optional<ExactSolution> solve_exact(const SystemModel& sys,
+                                         const Weights& w,
+                                         std::uint32_t max_bits) {
+  const std::uint32_t bits = count_decision_bits(sys);
+  MMR_CHECK_MSG(bits <= max_bits, "instance too large for exact enumeration: "
+                                      << bits << " bits > " << max_bits);
+
+  // Flatten the slots once so each enumeration step is a cheap bit probe.
+  std::vector<PageObjectRef> slots;
+  slots.reserve(bits);
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    const Page& p = sys.page(j);
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      slots.push_back({j, true, idx});
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      slots.push_back({j, false, idx});
+    }
+  }
+
+  Assignment asg(sys);
+  std::optional<ExactSolution> best;
+  const std::uint64_t combos = 1ull << bits;
+  std::uint64_t previous = 0;
+  for (std::uint64_t mask = 0; mask < combos; ++mask) {
+    // Gray-order style incremental update: flip only changed bits.
+    const std::uint64_t changed = mask ^ previous;
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      if ((changed >> b) & 1) {
+        asg.set_ref_local(slots[b], (mask >> b) & 1);
+      }
+    }
+    previous = mask;
+
+    // Feasibility from the incremental caches.
+    bool feasible = within_capacity(asg.repo_proc_load(),
+                                    sys.repository().proc_capacity);
+    for (ServerId i = 0; feasible && i < sys.num_servers(); ++i) {
+      feasible = within_capacity(asg.server_proc_load(i),
+                                 sys.server(i).proc_capacity) &&
+                 asg.storage_used(i) <= sys.server(i).storage_capacity;
+    }
+    if (!feasible) continue;
+
+    const double d = objective_total_cached(asg, w);
+    if (!best || d < best->objective) {
+      best = ExactSolution{asg, d};
+    }
+  }
+  return best;
+}
+
+}  // namespace mmr

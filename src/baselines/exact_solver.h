@@ -1,0 +1,32 @@
+// Exhaustive optimal solver for tiny instances — the test oracle.
+//
+// Enumerates every (X, X') bit vector, keeps the best feasible assignment
+// under D = alpha1*D1 + alpha2*D2 subject to Eq. 8–10. Exponential in the
+// total number of slots; refuses instances above `max_bits`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "model/assignment.h"
+#include "model/cost.h"
+#include "model/system.h"
+
+namespace mmr {
+
+struct ExactSolution {
+  Assignment assignment;
+  double objective = 0;
+};
+
+/// Returns the optimal feasible assignment, or nullopt if no assignment
+/// satisfies the constraints. Throws CheckError if the instance has more
+/// than `max_bits` decision slots.
+std::optional<ExactSolution> solve_exact(const SystemModel& sys,
+                                         const Weights& w,
+                                         std::uint32_t max_bits = 24);
+
+/// Number of decision slots (compulsory + optional refs) in the instance.
+std::uint32_t count_decision_bits(const SystemModel& sys);
+
+}  // namespace mmr

@@ -1,0 +1,114 @@
+#include "baselines/greedy_global.h"
+
+#include <queue>
+
+#include "core/delta.h"
+#include "util/check.h"
+
+namespace mmr {
+
+namespace {
+
+struct Candidate {
+  double priority;  // improvement per new byte (higher first)
+  PageId page;
+  std::uint32_t index;
+  bool compulsory;
+  std::uint64_t epoch;
+  bool operator<(const Candidate& o) const { return priority < o.priority; }
+};
+
+/// Improvement (positive is good) of marking the slot local.
+double mark_gain(const Assignment& asg, const PageObjectRef& ref,
+                 const Weights& w) {
+  return ref.compulsory ? -mark_comp_delta(asg, ref.page, ref.index, w)
+                        : -mark_opt_delta(asg, ref.page, ref.index, w);
+}
+
+}  // namespace
+
+Assignment greedy_global_allocate(const SystemModel& sys, const Weights& w,
+                                  GreedyGlobalStats* stats) {
+  Assignment asg(sys);
+  GreedyGlobalStats local_stats;
+
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    const Server& server = sys.server(i);
+    std::vector<std::uint64_t> page_epoch(sys.num_pages(), 0);
+    std::priority_queue<Candidate> heap;
+
+    auto priority_of = [&](const PageObjectRef& ref) {
+      const double gain = mark_gain(asg, ref, w);
+      const Page& p = sys.page(ref.page);
+      const ObjectId k = ref.compulsory ? p.compulsory[ref.index]
+                                        : p.optional[ref.index].object;
+      // Stored objects cost no new bytes: rank by raw gain with a tier
+      // bonus so they always beat byte-costly candidates of equal gain.
+      if (asg.object_stored(i, k)) return gain >= 0 ? 1e18 + gain : gain;
+      return gain / static_cast<double>(sys.object_bytes(k));
+    };
+
+    auto push_page = [&](PageId j) {
+      const Page& p = sys.page(j);
+      const std::uint64_t e = page_epoch[j];
+      for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+        if (asg.comp_local(j, idx)) continue;
+        const PageObjectRef ref{j, true, idx};
+        heap.push({priority_of(ref), j, idx, true, e});
+      }
+      for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+        if (asg.opt_local(j, idx)) continue;
+        const PageObjectRef ref{j, false, idx};
+        heap.push({priority_of(ref), j, idx, false, e});
+      }
+    };
+    for (PageId j : sys.pages_on_server(i)) push_page(j);
+
+    while (!heap.empty()) {
+      const Candidate top = heap.top();
+      heap.pop();
+      if (top.epoch != page_epoch[top.page]) continue;  // stale
+      const PageObjectRef ref{top.page, top.compulsory, top.index};
+      if (asg.ref_local(ref)) continue;
+
+      const double gain = mark_gain(asg, ref, w);
+      if (gain <= 0) continue;  // no longer an improvement
+
+      const Page& p = sys.page(top.page);
+      const ObjectId k = top.compulsory ? p.compulsory[top.index]
+                                        : p.optional[top.index].object;
+      // Feasibility under Eq. 8 and Eq. 10.
+      const double workload = slot_workload(sys, ref);
+      if (server.proc_capacity != kUnlimited &&
+          asg.server_proc_load(i) + workload >
+              server.proc_capacity + kCapacitySlack) {
+        continue;
+      }
+      const bool stored = asg.object_stored(i, k);
+      if (!stored && asg.storage_used(i) + sys.object_bytes(k) >
+                         server.storage_capacity) {
+        continue;
+      }
+
+      asg.set_ref_local(ref, true);
+      ++local_stats.marks_applied;
+      if (!stored) ++local_stats.objects_stored;
+      ++page_epoch[top.page];
+      push_page(top.page);
+      if (!stored) {
+        // The object is now free for every other page referencing it:
+        // refresh those pages' candidate priorities.
+        for (const PageObjectRef& other : sys.object_refs_on_server(i, k)) {
+          if (other.page == top.page) continue;
+          ++page_epoch[other.page];
+          push_page(other.page);
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return asg;
+}
+
+}  // namespace mmr

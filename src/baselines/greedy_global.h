@@ -1,0 +1,32 @@
+// Centralized greedy file-allocation baseline.
+//
+// Related work ([17]-[20] in the paper) frames replica placement as a file
+// allocation problem solved centrally. This baseline does exactly that:
+// starting from all-remote, it repeatedly applies the single (page, object)
+// local-download mark with the best objective improvement per byte of *new*
+// storage, subject to Eq. 8 and Eq. 10, until no improving feasible mark
+// remains. Marks whose object is already stored cost zero bytes and are
+// taken greedily by raw improvement.
+//
+// It serves as an ablation target for the paper's decentralized
+// partition-then-repair pipeline: same constraints, different construction.
+#pragma once
+
+#include "model/assignment.h"
+#include "model/cost.h"
+#include "model/system.h"
+
+namespace mmr {
+
+struct GreedyGlobalStats {
+  std::uint32_t marks_applied = 0;
+  std::uint32_t objects_stored = 0;
+};
+
+/// Builds the placement; respects per-server storage and processing
+/// capacities (the repository constraint, Eq. 9, is not considered — run
+/// offload_repository afterwards if needed).
+Assignment greedy_global_allocate(const SystemModel& sys, const Weights& w,
+                                  GreedyGlobalStats* stats = nullptr);
+
+}  // namespace mmr

@@ -1,0 +1,58 @@
+#include "baselines/lru_cache.h"
+
+#include "util/check.h"
+
+namespace mmr {
+
+LruCache::LruCache(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+bool LruCache::access(ObjectId key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+bool LruCache::contains(ObjectId key) const { return map_.count(key) > 0; }
+
+void LruCache::evict_for(std::uint64_t bytes) {
+  while (used_ + bytes > capacity_) {
+    MMR_DCHECK(!order_.empty());
+    const Entry& victim = order_.back();
+    used_ -= victim.bytes;
+    map_.erase(victim.key);
+    order_.pop_back();
+    ++evictions_;
+  }
+}
+
+bool LruCache::insert(ObjectId key, std::uint64_t bytes) {
+  if (bytes > capacity_) return false;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh; sizes are immutable per object so bytes must match.
+    MMR_DCHECK(it->second->bytes == bytes);
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  evict_for(bytes);
+  order_.push_front({key, bytes});
+  map_[key] = order_.begin();
+  used_ += bytes;
+  return true;
+}
+
+bool LruCache::erase(ObjectId key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  used_ -= it->second->bytes;
+  order_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+}  // namespace mmr

@@ -1,0 +1,55 @@
+// Size-aware LRU cache used by the ideal LRU caching/redirection baseline.
+//
+// Keys are object ids; each entry carries a byte size and the cache holds at
+// most `capacity_bytes` in total. Insertion of an oversized object is
+// rejected (it can never fit); otherwise least-recently-used entries are
+// evicted until the new entry fits.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "model/entities.h"
+
+namespace mmr {
+
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t capacity_bytes);
+
+  /// Looks up the object; a hit refreshes recency. Returns true on hit.
+  bool access(ObjectId key);
+  /// Peeks without touching recency (for tests/diagnostics).
+  bool contains(ObjectId key) const;
+  /// Inserts (or refreshes) the object, evicting LRU entries to make room.
+  /// Returns false iff bytes > capacity (object cannot be cached at all).
+  bool insert(ObjectId key, std::uint64_t bytes);
+  /// Removes the object if present; returns true if it was there.
+  bool erase(ObjectId key);
+
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    ObjectId key;
+    std::uint64_t bytes;
+  };
+
+  void evict_for(std::uint64_t bytes);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace mmr

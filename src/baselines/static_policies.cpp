@@ -1,0 +1,23 @@
+#include "baselines/static_policies.h"
+
+namespace mmr {
+
+Assignment make_remote_assignment(const SystemModel& sys) {
+  return Assignment(sys);  // all-remote is the default construction
+}
+
+Assignment make_local_assignment(const SystemModel& sys) {
+  Assignment asg(sys);
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    const Page& p = sys.page(j);
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      asg.set_comp_local(j, idx, true);
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      asg.set_opt_local(j, idx, true);
+    }
+  }
+  return asg;
+}
+
+}  // namespace mmr

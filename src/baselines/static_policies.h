@@ -1,0 +1,18 @@
+// Trivial static baselines from the paper's evaluation (Sec. 5.2):
+//   Remote — every object downloaded from the repository (X = X' = 0),
+//   Local  — every object replicated and downloaded locally.
+// Per the paper, neither is subjected to the constraints of Eq. 8–10.
+#pragma once
+
+#include "model/assignment.h"
+#include "model/system.h"
+
+namespace mmr {
+
+/// X = X' = 0: all multimedia content comes from R.
+Assignment make_remote_assignment(const SystemModel& sys);
+
+/// X = U, X' = 1 wherever defined: everything is stored and served locally.
+Assignment make_local_assignment(const SystemModel& sys);
+
+}  // namespace mmr

@@ -1,0 +1,78 @@
+#include "baselines/threshold_replication.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mmr {
+
+void ThresholdParams::validate() const {
+  MMR_CHECK_MSG(replicate_at > 0, "replicate_at must be positive");
+  MMR_CHECK_MSG(drop_below >= 0 && drop_below < replicate_at,
+                "drop_below must be in [0, replicate_at)");
+  MMR_CHECK_MSG(decay_per_second >= 0, "decay_per_second must be >= 0");
+}
+
+ThresholdReplicator::ThresholdReplicator(std::uint64_t capacity_bytes,
+                                         ThresholdParams params)
+    : capacity_(capacity_bytes), params_(params) {
+  params_.validate();
+}
+
+double ThresholdReplicator::decayed_count(ObjectId k, double now) const {
+  const auto it = counts_.find(k);
+  if (it == counts_.end()) return 0;
+  return it->second.value *
+         std::exp(-params_.decay_per_second * (now - it->second.last_update));
+}
+
+void ThresholdReplicator::bump(ObjectId k, double now) {
+  Counter& c = counts_[k];
+  c.value = c.value * std::exp(-params_.decay_per_second *
+                               (now - c.last_update)) +
+            1.0;
+  c.last_update = now;
+}
+
+bool ThresholdReplicator::make_room(std::uint64_t bytes,
+                                    double newcomer_count, double now) {
+  if (used_ + bytes <= capacity_) return true;
+  // Gather eviction victims: replicas colder than both drop_below and the
+  // newcomer, coldest first.
+  std::vector<std::pair<double, ObjectId>> victims;
+  for (const auto& [k, sz] : replicas_) {
+    (void)sz;
+    const double count = decayed_count(k, now);
+    if (count < params_.drop_below && count < newcomer_count) {
+      victims.emplace_back(count, k);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [count, k] : victims) {
+    if (used_ + bytes <= capacity_) break;
+    (void)count;
+    used_ -= replicas_[k];
+    replicas_.erase(k);
+    ++drops_;
+  }
+  return used_ + bytes <= capacity_;
+}
+
+bool ThresholdReplicator::access(ObjectId k, std::uint64_t bytes,
+                                 double now) {
+  const bool was_replicated = replicas_.count(k) > 0;
+  bump(k, now);
+  if (!was_replicated) {
+    const double count = decayed_count(k, now);
+    if (count >= params_.replicate_at && bytes <= capacity_ &&
+        make_room(bytes, count, now)) {
+      replicas_[k] = bytes;
+      used_ += bytes;
+      ++creations_;
+    }
+  }
+  return was_replicated;
+}
+
+}  // namespace mmr

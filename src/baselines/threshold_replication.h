@@ -1,0 +1,71 @@
+// Threshold-based dynamic replication baseline.
+//
+// The paper's related-work section critiques dynamic replication schemes
+// (e.g. Rabinovich et al. [15]) whose behaviour hinges on tuned thresholds:
+// "the use of threshold values makes the performance of the scheme dependent
+// upon their chosen values". This baseline makes that critique measurable:
+// each site keeps an exponentially-decayed access count per object and
+//   * replicates an object once its count reaches `replicate_at`,
+//   * drops replicas whose count has decayed below `drop_below` when space
+//     is needed (never evicting anything hotter than the newcomer).
+// Downloads are served locally iff the object is currently replicated.
+//
+// The Simulator drives it through the same request streams as the LRU
+// baseline (see Simulator::simulate_threshold).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/entities.h"
+
+namespace mmr {
+
+struct ThresholdParams {
+  double replicate_at = 3.0;   ///< decayed hits needed to create a replica
+  double drop_below = 0.5;     ///< replicas below this are eviction victims
+  double decay_per_second = 0.01;  ///< exponential decay rate of counts
+
+  void validate() const;
+};
+
+/// Per-site replica manager. Time flows monotonically through access().
+class ThresholdReplicator {
+ public:
+  ThresholdReplicator(std::uint64_t capacity_bytes, ThresholdParams params);
+
+  /// Records an access to object k (of `bytes` size) at time `now`.
+  /// Returns true iff the object is served locally (replica existed before
+  /// this access — a replica created *by* this access serves from R once,
+  /// like a cache miss).
+  bool access(ObjectId k, std::uint64_t bytes, double now);
+
+  bool replicated(ObjectId k) const { return replicas_.count(k) > 0; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t replica_count() const { return replicas_.size(); }
+  std::uint64_t creations() const { return creations_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  struct Counter {
+    double value = 0;
+    double last_update = 0;
+  };
+
+  double decayed_count(ObjectId k, double now) const;
+  void bump(ObjectId k, double now);
+  /// Tries to make room for `bytes` by dropping cold replicas; returns true
+  /// if the newcomer (with count `newcomer_count`) fits afterwards.
+  bool make_room(std::uint64_t bytes, double newcomer_count, double now);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  ThresholdParams params_;
+  std::unordered_map<ObjectId, Counter> counts_;
+  std::unordered_map<ObjectId, std::uint64_t> replicas_;  // -> bytes
+  std::uint64_t creations_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace mmr

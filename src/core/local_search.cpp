@@ -1,0 +1,91 @@
+#include "core/local_search.h"
+
+#include "core/delta.h"
+#include "util/check.h"
+
+namespace mmr {
+
+namespace {
+
+/// Would flipping `ref` keep the constraints satisfied?
+bool flip_feasible(const SystemModel& sys, const Assignment& asg,
+                   const PageObjectRef& ref, bool to_local) {
+  const Page& p = sys.page(ref.page);
+  const ServerId i = p.host;
+  const Server& server = sys.server(i);
+  const ObjectId k = ref.compulsory ? p.compulsory[ref.index]
+                                    : p.optional[ref.index].object;
+  if (to_local) {
+    // Eq. 8: the host takes the extra requests.
+    const double workload = slot_workload(sys, ref);
+    if (server.proc_capacity != kUnlimited &&
+        asg.server_proc_load(i) + workload >
+            server.proc_capacity + kCapacitySlack) {
+      return false;
+    }
+    // Eq. 10: storing a new object must fit.
+    if (!asg.object_stored(i, k) &&
+        asg.storage_used(i) + sys.object_bytes(k) > server.storage_capacity) {
+      return false;
+    }
+  } else {
+    // Eq. 9: the repository takes the requests back.
+    const double capacity = sys.repository().proc_capacity;
+    if (capacity != kUnlimited &&
+        asg.repo_proc_load() + slot_repo_workload(sys, ref) >
+            capacity + kCapacitySlack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LocalSearchReport refine_local_search(const SystemModel& sys, Assignment& asg,
+                                      const Weights& w,
+                                      const LocalSearchOptions& options) {
+  LocalSearchReport report;
+  report.d_before = objective_total_cached(asg, w);
+
+  for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    ++report.passes;
+    bool improved = false;
+    for (PageId j = 0; j < sys.num_pages(); ++j) {
+      const Page& p = sys.page(j);
+      for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+        const bool local = asg.comp_local(j, idx);
+        const double delta = local ? unmark_comp_delta(asg, j, idx, w)
+                                   : mark_comp_delta(asg, j, idx, w);
+        if (delta >= -options.min_gain) continue;
+        const PageObjectRef ref{j, true, idx};
+        if (options.respect_constraints &&
+            !flip_feasible(sys, asg, ref, !local)) {
+          continue;
+        }
+        asg.set_comp_local(j, idx, !local);
+        ++report.flips;
+        improved = true;
+      }
+      for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+        const bool local = asg.opt_local(j, idx);
+        const double delta = local ? unmark_opt_delta(asg, j, idx, w)
+                                   : mark_opt_delta(asg, j, idx, w);
+        if (delta >= -options.min_gain) continue;
+        const PageObjectRef ref{j, false, idx};
+        if (options.respect_constraints &&
+            !flip_feasible(sys, asg, ref, !local)) {
+          continue;
+        }
+        asg.set_opt_local(j, idx, !local);
+        ++report.flips;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  report.d_after = objective_total_cached(asg, w);
+  return report;
+}
+
+}  // namespace mmr

@@ -1,0 +1,386 @@
+#include "core/offload.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/delta.h"
+#include "util/check.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace mmr {
+
+namespace {
+
+struct SlotEntry {
+  double criterion;  // delta-D per unit of repository workload absorbed
+  PageId page;
+  std::uint32_t index;
+  bool compulsory;
+  std::uint64_t epoch;
+  bool operator>(const SlotEntry& o) const { return criterion > o.criterion; }
+};
+
+using MinHeap =
+    std::priority_queue<SlotEntry, std::vector<SlotEntry>, std::greater<>>;
+
+/// Per-server absorption machinery; lives for the whole negotiation so page
+/// epochs survive across rounds.
+class ServerAbsorber {
+ public:
+  ServerAbsorber(const SystemModel& sys, Assignment& asg, ServerId i,
+                 const Weights& w, const OffloadOptions& options)
+      : sys_(sys), asg_(asg), server_(i), w_(w), options_(options) {
+    page_epoch_.assign(sys.num_pages(), 0);
+  }
+
+  double free_proc() const {
+    const double cap = sys_.server(server_).proc_capacity;
+    if (cap == kUnlimited) return kUnlimited;
+    return std::max(0.0, cap - asg_.server_proc_load(server_));
+  }
+  double free_space() const {
+    const auto cap = sys_.server(server_).storage_capacity;
+    const auto used = asg_.storage_used(server_);
+    return used >= cap ? 0.0 : static_cast<double>(cap - used);
+  }
+  /// P(S_i, R): repository workload imposed by this server's pages.
+  double imposed_repo_load() const {
+    double load = 0;
+    for (PageId j : sys_.pages_on_server(server_)) {
+      const Page& p = sys_.page(j);
+      for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+        if (!asg_.comp_local(j, idx)) load += p.frequency;
+      }
+      for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+        if (!asg_.opt_local(j, idx)) {
+          load += p.frequency * p.optional[idx].probability;
+        }
+      }
+    }
+    return load;
+  }
+
+  /// Absorbs up to `target` req/s of repository workload; returns the amount
+  /// achieved. allow_new_storage applies on top of the global option (L2
+  /// servers pass false).
+  double absorb(double target, bool allow_new_storage,
+                std::uint32_t* slots_absorbed, std::uint32_t* objects_allocated,
+                std::uint32_t* swaps) {
+    double achieved = 0;
+    achieved += absorb_greedy(target, allow_new_storage, slots_absorbed,
+                              objects_allocated);
+    if (achieved + 1e-12 < target && options_.allow_swap) {
+      achieved += absorb_by_swapping(target - achieved, slots_absorbed, swaps);
+    }
+    return achieved;
+  }
+
+ private:
+  double slot_criterion(const PageObjectRef& ref) const {
+    const double delta =
+        ref.compulsory ? mark_comp_delta(asg_, ref.page, ref.index, w_)
+                       : mark_opt_delta(asg_, ref.page, ref.index, w_);
+    const double repo_workload = slot_repo_workload(sys_, ref);
+    MMR_DCHECK(repo_workload > 0);
+    return delta / repo_workload;
+  }
+
+  void push_page_slots(PageId j, MinHeap& heap) const {
+    const Page& p = sys_.page(j);
+    const std::uint64_t e = page_epoch_[j];
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      if (asg_.comp_local(j, idx)) continue;
+      const PageObjectRef ref{j, true, idx};
+      heap.push({slot_criterion(ref), j, idx, true, e});
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      if (asg_.opt_local(j, idx)) continue;
+      if (p.frequency * p.optional[idx].probability <= 0) continue;
+      const PageObjectRef ref{j, false, idx};
+      heap.push({slot_criterion(ref), j, idx, false, e});
+    }
+  }
+
+  double absorb_greedy(double target, bool allow_new_storage,
+                       std::uint32_t* slots_absorbed,
+                       std::uint32_t* objects_allocated) {
+    MinHeap heap;
+    for (PageId j : sys_.pages_on_server(server_)) push_page_slots(j, heap);
+
+    double achieved = 0;
+    while (achieved + 1e-12 < target && !heap.empty()) {
+      const SlotEntry top = heap.top();
+      heap.pop();
+      if (top.epoch != page_epoch_[top.page]) continue;
+      const PageObjectRef ref{top.page, top.compulsory, top.index};
+      if (asg_.ref_local(ref)) continue;
+
+      const Page& p = sys_.page(top.page);
+      const ObjectId k = top.compulsory ? p.compulsory[top.index]
+                                        : p.optional[top.index].object;
+      const double workload = slot_workload(sys_, ref);
+      if (workload > free_proc()) continue;  // would violate Eq. 8
+      const bool stored = asg_.object_stored(server_, k);
+      if (!stored) {
+        if (!allow_new_storage) continue;
+        if (static_cast<double>(sys_.object_bytes(k)) > free_space()) {
+          continue;  // may become feasible in the swap phase
+        }
+      }
+
+      asg_.set_ref_local(ref, true);
+      achieved += slot_repo_workload(sys_, ref);
+      ++*slots_absorbed;
+      if (!stored) ++*objects_allocated;
+      ++page_epoch_[top.page];
+      push_page_slots(top.page, heap);
+    }
+    return achieved;
+  }
+
+  /// Admits objects that did not fit by evicting stored objects with the
+  /// least locally served workload per byte — only when the trade strictly
+  /// increases the workload this server takes off the repository.
+  double absorb_by_swapping(double target, std::uint32_t* slots_absorbed,
+                            std::uint32_t* swaps) {
+    double achieved = 0;
+    for (std::uint32_t attempt = 0;
+         attempt < options_.max_swaps_per_server_round &&
+         achieved + 1e-12 < target;
+         ++attempt) {
+      // Best not-stored candidate by absorbable repo workload per byte.
+      ObjectId best_new = kInvalidId;
+      double best_gain = 0, best_gain_per_byte = 0;
+      for (ObjectId k : sys_.objects_referenced(server_)) {
+        if (asg_.object_stored(server_, k)) continue;
+        double gain = 0;
+        for (const PageObjectRef& ref : sys_.object_refs_on_server(server_, k)) {
+          if (!asg_.ref_local(ref)) gain += slot_repo_workload(sys_, ref);
+        }
+        if (gain <= 0) continue;
+        const double per_byte =
+            gain / static_cast<double>(sys_.object_bytes(k));
+        if (per_byte > best_gain_per_byte) {
+          best_gain_per_byte = per_byte;
+          best_gain = gain;
+          best_new = k;
+        }
+      }
+      if (best_new == kInvalidId) break;
+
+      // Evict cheapest stored objects (by locally served workload per byte)
+      // until the candidate fits; abort if the trade stops being a net win.
+      const double need =
+          static_cast<double>(sys_.object_bytes(best_new)) - free_space();
+      std::vector<ObjectId> evict;
+      double evicted_bytes = 0, lost_workload = 0;
+      if (need > 0) {
+        std::vector<std::pair<double, ObjectId>> ranked;
+        for (const auto& [k, count] : asg_.mark_counts(server_)) {
+          (void)count;
+          double local_workload = 0;
+          for (const PageObjectRef& ref :
+               sys_.object_refs_on_server(server_, k)) {
+            if (asg_.ref_local(ref)) {
+              local_workload += slot_repo_workload(sys_, ref);
+            }
+          }
+          ranked.emplace_back(
+              local_workload / static_cast<double>(sys_.object_bytes(k)), k);
+        }
+        std::sort(ranked.begin(), ranked.end());
+        for (const auto& [per_byte, k] : ranked) {
+          if (evicted_bytes >= need) break;
+          evict.push_back(k);
+          evicted_bytes += static_cast<double>(sys_.object_bytes(k));
+          lost_workload +=
+              per_byte * static_cast<double>(sys_.object_bytes(k));
+        }
+        if (evicted_bytes < need) break;           // cannot make room
+        if (lost_workload >= best_gain) break;      // not a net win
+      }
+
+      // Execute: deallocate the victims...
+      for (ObjectId k : evict) {
+        for (const PageObjectRef& ref :
+             sys_.object_refs_on_server(server_, k)) {
+          if (asg_.ref_local(ref)) {
+            asg_.set_ref_local(ref, false);
+            achieved -= slot_repo_workload(sys_, ref);
+            ++page_epoch_[ref.page];
+          }
+        }
+      }
+      // ...and take over the candidate's remote downloads, respecting Eq. 8.
+      bool any = false;
+      for (const PageObjectRef& ref :
+           sys_.object_refs_on_server(server_, best_new)) {
+        if (asg_.ref_local(ref)) continue;
+        if (slot_workload(sys_, ref) > free_proc()) continue;
+        if (!any &&
+            static_cast<double>(sys_.object_bytes(best_new)) > free_space()) {
+          break;  // eviction did not make enough room after all
+        }
+        asg_.set_ref_local(ref, true);
+        achieved += slot_repo_workload(sys_, ref);
+        ++*slots_absorbed;
+        ++page_epoch_[ref.page];
+        any = true;
+      }
+      if (!any) break;
+      ++*swaps;
+    }
+    return std::max(0.0, achieved);
+  }
+
+  const SystemModel& sys_;
+  Assignment& asg_;
+  ServerId server_;
+  Weights w_;
+  OffloadOptions options_;
+  std::vector<std::uint64_t> page_epoch_;
+};
+
+}  // namespace
+
+OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
+                                 const Weights& w,
+                                 const OffloadOptions& options) {
+  OffloadReport report;
+  const double capacity = sys.repository().proc_capacity;
+  report.final_repo_load = asg.repo_proc_load();
+  if (within_capacity(report.final_repo_load, capacity)) {
+    return report;  // not triggered
+  }
+  report.triggered = true;
+
+  std::vector<ServerAbsorber> absorbers;
+  absorbers.reserve(sys.num_servers());
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    absorbers.emplace_back(sys, asg, i, w, options);
+  }
+  std::vector<bool> in_l3(sys.num_servers(), false);
+
+  for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    const double repo_load = asg.repo_proc_load();
+    if (within_capacity(repo_load, capacity)) break;
+
+    OffloadRound rec;
+    rec.repo_load_before = repo_load;
+    rec.deficit = repo_load - capacity;
+
+    // Collect status messages and classify (paper's L1/L2/L3). A server
+    // with unlimited processing capacity could absorb the whole deficit, so
+    // its effective free capacity is clamped to the deficit — this keeps the
+    // proportional split finite.
+    std::vector<double> effective_proc(sys.num_servers(), 0.0);
+    double p_l1 = 0, p_l2 = 0;
+    for (ServerId i = 0; i < sys.num_servers(); ++i) {
+      if (in_l3[i]) {
+        rec.l3.push_back(i);
+        continue;
+      }
+      const double proc = std::min(absorbers[i].free_proc(), rec.deficit);
+      effective_proc[i] = proc;
+      const double space = absorbers[i].free_space();
+      if (space > 0 && proc > 0) {
+        rec.l1.push_back(i);
+        p_l1 += proc;
+      } else if (proc > 0) {
+        rec.l2.push_back(i);
+        p_l2 += proc;
+      } else {
+        rec.l3.push_back(i);
+      }
+    }
+    if (rec.l1.empty() && rec.l2.empty()) {
+      report.rounds.push_back(std::move(rec));
+      break;  // constraint cannot be restored
+    }
+
+    // Distribute NewReq proportionally to free processing capacity.
+    std::vector<std::pair<ServerId, double>> requests;
+    if (rec.deficit <= p_l1) {
+      for (ServerId i : rec.l1) {
+        requests.emplace_back(i, effective_proc[i] * rec.deficit / p_l1);
+      }
+    } else {
+      for (ServerId i : rec.l1) {
+        requests.emplace_back(i, effective_proc[i]);
+      }
+      if (p_l2 > 0) {
+        const double remaining = rec.deficit - p_l1;
+        for (ServerId i : rec.l2) {
+          requests.emplace_back(
+              i, effective_proc[i] * std::min(1.0, remaining / p_l2));
+        }
+      }
+    }
+
+    // Collect answers.
+    for (const auto& [i, req] : requests) {
+      if (req <= 0) continue;
+      OffloadAnswer answer;
+      answer.server = i;
+      answer.requested = req;
+      const bool is_l1 =
+          std::find(rec.l1.begin(), rec.l1.end(), i) != rec.l1.end();
+      answer.achieved = absorbers[i].absorb(
+          req, is_l1 && options.allow_new_storage, &report.slots_absorbed,
+          &report.objects_allocated, &report.swaps);
+      if (answer.achieved + 1e-9 < answer.requested) {
+        answer.moved_to_l3 = true;
+        in_l3[i] = true;
+      }
+      rec.answers.push_back(answer);
+    }
+    report.rounds.push_back(std::move(rec));
+  }
+
+  report.final_repo_load = asg.repo_proc_load();
+  report.converged = within_capacity(report.final_repo_load, capacity);
+  if (!report.converged) {
+    MMR_LOG_WARN << "off-loading did not converge: repo load "
+                 << report.final_repo_load << " > capacity " << capacity;
+  }
+  return report;
+}
+
+std::string OffloadReport::trace() const {
+  std::ostringstream os;
+  if (!triggered) {
+    os << "off-loading not triggered (P(R) within C(R))\n";
+    return os.str();
+  }
+  auto list = [](const std::vector<ServerId>& v) {
+    std::ostringstream s;
+    s << '{';
+    for (std::size_t x = 0; x < v.size(); ++x) {
+      if (x) s << ',';
+      s << 'S' << v[x];
+    }
+    s << '}';
+    return s.str();
+  };
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    const OffloadRound& round = rounds[r];
+    os << "round " << r + 1 << ": P(R)=" << format_double(round.repo_load_before, 2)
+       << " deficit=" << format_double(round.deficit, 2)
+       << " L1=" << list(round.l1) << " L2=" << list(round.l2)
+       << " L3=" << list(round.l3) << '\n';
+    for (const OffloadAnswer& a : round.answers) {
+      os << "  -> S" << a.server << " NewReq="
+         << format_double(a.requested, 2)
+         << "  <- achieved=" << format_double(a.achieved, 2)
+         << (a.moved_to_l3 ? "  (joins L3)" : "") << '\n';
+    }
+  }
+  os << (converged ? "converged" : "NOT converged")
+     << ": final P(R)=" << format_double(final_repo_load, 2) << '\n';
+  return os.str();
+}
+
+}  // namespace mmr

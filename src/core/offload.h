@@ -1,0 +1,70 @@
+// Repository off-loading negotiation (paper Sec. 4.2, OFF_LOADING_REPOSITORY).
+//
+// After the local restoration passes, each server conceptually sends a status
+// message (free storage Space(S_i), free processing P(S_i), imposed repository
+// workload P(S_i, R)). If the total imposed workload P(R) exceeds C(R), the
+// repository partitions the servers into
+//   L1 — free storage and free processing,
+//   L2 — no storage but free processing,
+//   L3 — neither (excluded),
+// and distributes the excess back proportionally to free processing capacity:
+// L1 first, overflowing into L2. Each server absorbs its NewReq by marking
+// remote (page, object) downloads local — cheapest objective damage per unit
+// of repository workload first — allocating new storage when it has room, and
+// optionally swapping out low-value stored objects to make room (the paper's
+// "deallocating stored objects and allocating others"). A server that cannot
+// meet its NewReq reports the shortfall and moves itself to L3; the repository
+// iterates until the constraint holds, no capacity remains, or max_rounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/cost.h"
+
+namespace mmr {
+
+struct OffloadOptions {
+  std::uint32_t max_rounds = 64;
+  /// L1 servers may store objects that are not yet replicated locally.
+  bool allow_new_storage = true;
+  /// Enable the swap phase (evict low-value stored objects to admit
+  /// higher-workload ones) when plain absorption falls short.
+  bool allow_swap = true;
+  std::uint32_t max_swaps_per_server_round = 32;
+};
+
+/// One server's answer within a round.
+struct OffloadAnswer {
+  ServerId server = kInvalidId;
+  double requested = 0;  ///< NewReq(S_i), repo req/s to take over
+  double achieved = 0;   ///< repo-load reduction actually realized
+  bool moved_to_l3 = false;
+};
+
+struct OffloadRound {
+  double repo_load_before = 0;
+  double deficit = 0;  ///< P(R) - C(R) at round start
+  std::vector<ServerId> l1, l2, l3;
+  std::vector<OffloadAnswer> answers;
+};
+
+struct OffloadReport {
+  bool triggered = false;   ///< P(R) exceeded C(R) at entry
+  bool converged = true;    ///< Eq. 9 holds on exit
+  double final_repo_load = 0;
+  std::uint32_t slots_absorbed = 0;   ///< remote downloads marked local
+  std::uint32_t objects_allocated = 0;  ///< newly stored objects
+  std::uint32_t swaps = 0;
+  std::vector<OffloadRound> rounds;
+  /// Human-readable negotiation trace (message-by-message).
+  std::string trace() const;
+};
+
+OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
+                                 const Weights& w,
+                                 const OffloadOptions& options = {});
+
+}  // namespace mmr

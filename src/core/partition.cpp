@@ -1,0 +1,259 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace mmr {
+
+namespace {
+
+/// Compulsory slot indices of page j sorted by decreasing object size
+/// (ties broken by slot index for determinism).
+std::vector<std::uint32_t> slots_by_decreasing_size(const SystemModel& sys,
+                                                    const Page& p) {
+  std::vector<std::uint32_t> order(p.compulsory.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const std::uint64_t sa = sys.object_bytes(p.compulsory[a]);
+              const std::uint64_t sb = sys.object_bytes(p.compulsory[b]);
+              return sa != sb ? sa > sb : a < b;
+            });
+  return order;
+}
+
+void mark_optional(const SystemModel& sys, Assignment& asg, PageId j,
+                   const PartitionOptions& options,
+                   const std::vector<std::uint8_t>* allowed) {
+  const Page& p = sys.page(j);
+  for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+    const ObjectId k = p.optional[idx].object;
+    const bool permitted = allowed == nullptr || (*allowed)[k] != 0;
+    const bool wanted =
+        options.store_all_optional || optional_local_beneficial(sys, j, idx);
+    asg.set_opt_local(j, idx, permitted && wanted);
+  }
+}
+
+}  // namespace
+
+bool optional_local_beneficial(const SystemModel& sys, PageId j,
+                               std::uint32_t opt_idx) {
+  const Page& p = sys.page(j);
+  MMR_DCHECK(opt_idx < p.optional.size());
+  const Server& s = sys.server(p.host);
+  const std::uint64_t bytes = sys.object_bytes(p.optional[opt_idx].object);
+  const double t_local = s.ovhd_local + transfer_seconds(bytes, s.local_rate);
+  const double t_remote = s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
+  return t_local <= t_remote;
+}
+
+void partition_page(const SystemModel& sys, Assignment& asg, PageId j,
+                    const PartitionOptions& options) {
+  if (options.exact) {
+    partition_page_exact(sys, asg, j, options);
+    return;
+  }
+  const Page& p = sys.page(j);
+  const Server& s = sys.server(p.host);
+
+  // The paper's greedy, verbatim: keep running totals of both pipelines,
+  // visit objects in decreasing size order, tentatively add each to both and
+  // keep it on the cheaper side.
+  double local = s.ovhd_local + transfer_seconds(p.html_bytes, s.local_rate);
+  double remote = s.ovhd_repo;
+  for (std::uint32_t idx : slots_by_decreasing_size(sys, p)) {
+    const std::uint64_t bytes = sys.object_bytes(p.compulsory[idx]);
+    const double a = transfer_seconds(bytes, s.local_rate);
+    const double b = transfer_seconds(bytes, s.repo_rate);
+    remote += b;
+    local += a;
+    if (remote < local) {
+      local -= a;  // download from the repository
+      asg.set_comp_local(j, idx, false);
+    } else {
+      remote -= b;  // keep a local copy
+      asg.set_comp_local(j, idx, true);
+    }
+  }
+  mark_optional(sys, asg, j, options, nullptr);
+}
+
+void partition_page_exact(const SystemModel& sys, Assignment& asg, PageId j,
+                          const PartitionOptions& options) {
+  const Page& p = sys.page(j);
+  const Server& s = sys.server(p.host);
+  const std::size_t n = p.compulsory.size();
+  MMR_CHECK_MSG(options.exact_resolution_bytes > 0,
+                "exact_resolution_bytes must be positive");
+
+  if (n == 0) {
+    mark_optional(sys, asg, j, options, nullptr);
+    return;
+  }
+
+  // Quantize sizes; both pipelines depend on the subset only through its
+  // total size, so subset-sum reachability over quantized totals is enough.
+  const double res = static_cast<double>(options.exact_resolution_bytes);
+  std::vector<std::uint32_t> units(n);
+  std::uint64_t total_units = 0;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const auto u = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(sys.object_bytes(p.compulsory[idx])) / res +
+               0.5)));
+    units[idx] = u;
+    total_units += u;
+  }
+
+  // dp[i] = reachable sums using the first i items; kept per item for
+  // backtracking. Word-packed bitsets.
+  const std::size_t words = (total_units + 64) / 64 + 1;
+  std::vector<std::vector<std::uint64_t>> dp(n + 1,
+                                             std::vector<std::uint64_t>(words));
+  dp[0][0] = 1;  // sum 0 reachable
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t shift = units[i];
+    const std::size_t word_shift = shift / 64;
+    const std::size_t bit_shift = shift % 64;
+    auto& cur = dp[i + 1];
+    const auto& prev = dp[i];
+    for (std::size_t wrd = 0; wrd < words; ++wrd) {
+      std::uint64_t shifted = 0;
+      if (wrd >= word_shift) {
+        shifted = prev[wrd - word_shift] << bit_shift;
+        if (bit_shift != 0 && wrd > word_shift) {
+          shifted |= prev[wrd - word_shift - 1] >> (64 - bit_shift);
+        }
+      }
+      cur[wrd] = prev[wrd] | shifted;
+    }
+  }
+
+  // Pick the reachable total minimizing the max of the two pipelines.
+  const double l0 = s.ovhd_local + transfer_seconds(p.html_bytes,
+                                                    s.local_rate);
+  const double r0 = s.ovhd_repo;
+  double total_bytes = 0;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    total_bytes += static_cast<double>(sys.object_bytes(p.compulsory[idx]));
+  }
+  double best_value = 0;
+  std::uint64_t best_sum = 0;
+  bool have_best = false;
+  for (std::uint64_t sum = 0; sum <= total_units; ++sum) {
+    if (!((dp[n][sum / 64] >> (sum % 64)) & 1)) continue;
+    const double local_bytes = static_cast<double>(sum) * res;
+    const double value =
+        std::max(l0 + local_bytes / s.local_rate,
+                 r0 + std::max(0.0, total_bytes - local_bytes) / s.repo_rate);
+    if (!have_best || value < best_value) {
+      have_best = true;
+      best_value = value;
+      best_sum = sum;
+    }
+  }
+  MMR_CHECK(have_best);
+
+  // Backtrack: item i was taken iff best_sum was not reachable without it.
+  std::uint64_t sum = best_sum;
+  for (std::size_t i = n; i-- > 0;) {
+    const bool reachable_without =
+        (dp[i][sum / 64] >> (sum % 64)) & 1;
+    if (reachable_without) {
+      asg.set_comp_local(j, static_cast<std::uint32_t>(i), false);
+    } else {
+      MMR_DCHECK(sum >= units[i]);
+      sum -= units[i];
+      asg.set_comp_local(j, static_cast<std::uint32_t>(i), true);
+    }
+  }
+  MMR_DCHECK(sum == 0);
+  mark_optional(sys, asg, j, options, nullptr);
+}
+
+void partition_all(const SystemModel& sys, Assignment& asg,
+                   const PartitionOptions& options) {
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    partition_page(sys, asg, j, options);
+  }
+}
+
+double page_contribution(const Assignment& asg, PageId j, const Weights& w) {
+  const double f = asg.system().page(j).frequency;
+  return f * (w.alpha1 * asg.page_response_time(j) +
+              w.alpha2 * asg.page_optional_time(j));
+}
+
+bool repartition_within_store(const SystemModel& sys, Assignment& asg,
+                              PageId j,
+                              const std::vector<std::uint8_t>& allowed,
+                              const Weights& w) {
+  MMR_DCHECK(allowed.size() == sys.num_objects());
+  const Page& p = sys.page(j);
+  const Server& s = sys.server(p.host);
+
+  // Compute the candidate marking arithmetically first; the assignment is
+  // only touched when the candidate is a strict improvement (this function
+  // runs tens of thousands of times inside storage restoration).
+  std::vector<std::uint8_t> new_comp(p.compulsory.size(), 0);
+  std::vector<std::uint8_t> new_opt(p.optional.size(), 0);
+
+  double local = s.ovhd_local + transfer_seconds(p.html_bytes, s.local_rate);
+  double remote = s.ovhd_repo;
+  for (std::uint32_t idx : slots_by_decreasing_size(sys, p)) {
+    const ObjectId k = p.compulsory[idx];
+    const std::uint64_t bytes = sys.object_bytes(k);
+    const double b = transfer_seconds(bytes, s.repo_rate);
+    if (!allowed[k]) {
+      remote += b;
+      continue;
+    }
+    const double a = transfer_seconds(bytes, s.local_rate);
+    remote += b;
+    local += a;
+    if (remote < local) {
+      local -= a;
+    } else {
+      remote -= b;
+      new_comp[idx] = 1;
+    }
+  }
+  double optional_time = 0;
+  for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+    const OptionalRef& ref = p.optional[idx];
+    const std::uint64_t bytes = sys.object_bytes(ref.object);
+    const double t_local =
+        s.ovhd_local + transfer_seconds(bytes, s.local_rate);
+    const double t_remote =
+        s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
+    if (allowed[ref.object] != 0 && t_local <= t_remote) {
+      new_opt[idx] = 1;
+      optional_time += ref.probability * t_local;
+    } else {
+      optional_time += ref.probability * t_remote;
+    }
+  }
+  optional_time *= p.optional_scale;
+
+  const double old_value = page_contribution(asg, j, w);
+  const double new_value =
+      p.frequency * (w.alpha1 * std::max(local, remote) +
+                     w.alpha2 * optional_time);
+  // Strict improvement beyond float drift between the incremental caches
+  // and this from-scratch evaluation; ties keep the current marking.
+  if (new_value >= old_value - 1e-9 * std::max(1.0, old_value)) return false;
+
+  // Apply only the bits that changed.
+  for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+    asg.set_comp_local(j, idx, new_comp[idx] != 0);
+  }
+  for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+    asg.set_opt_local(j, idx, new_opt[idx] != 0);
+  }
+  return true;
+}
+
+}  // namespace mmr

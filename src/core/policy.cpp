@@ -1,0 +1,67 @@
+#include "core/policy.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace mmr {
+
+PolicyResult run_replication_policy(const SystemModel& sys,
+                                    const PolicyOptions& options) {
+  PolicyResult result = {Assignment(sys), 0, 0, 0, 0, {}, {}, {}, {}, true};
+  const Weights& w = options.weights;
+
+  partition_all(sys, result.assignment, options.partition);
+  result.d_after_partition = objective_total_cached(result.assignment, w);
+
+  if (options.restore_storage_enabled) {
+    result.storage_report =
+        restore_storage(sys, result.assignment, w, options.storage);
+  }
+  result.d_after_storage = objective_total_cached(result.assignment, w);
+
+  if (options.restore_processing_enabled) {
+    result.processing_report =
+        restore_processing(sys, result.assignment, w, options.processing);
+  }
+  result.d_after_processing = objective_total_cached(result.assignment, w);
+
+  if (options.offload_enabled) {
+    result.offload_report =
+        offload_repository(sys, result.assignment, w, options.offload);
+  }
+  result.d_after_offload = objective_total_cached(result.assignment, w);
+
+  if (options.refine_enabled) {
+    result.refine_report =
+        refine_local_search(sys, result.assignment, w, options.refine);
+  }
+
+  result.feasible = result.storage_report.feasible() &&
+                    result.processing_report.feasible() &&
+                    (!options.offload_enabled ||
+                     !result.offload_report.triggered ||
+                     result.offload_report.converged);
+  return result;
+}
+
+std::string PolicyResult::summary() const {
+  std::ostringstream os;
+  os << "D after partition:  " << format_double(d_after_partition, 2) << '\n'
+     << "D after storage:    " << format_double(d_after_storage, 2) << " ("
+     << storage_report.deallocations << " deallocations, "
+     << storage_report.repartition_improvements
+     << " repartition improvements)\n"
+     << "D after processing: " << format_double(d_after_processing, 2) << " ("
+     << processing_report.unmarked_slots << " slots unmarked, "
+     << processing_report.objects_deallocated << " objects dropped)\n"
+     << "D after offload:    " << format_double(d_after_offload, 2) << " ("
+     << (offload_report.triggered
+             ? std::to_string(offload_report.rounds.size()) + " rounds"
+             : std::string("not triggered"))
+     << ")\n"
+     << (feasible ? "feasible" : "INFEASIBLE") << '\n';
+  return os.str();
+}
+
+}  // namespace mmr

@@ -1,0 +1,55 @@
+// End-to-end replication policy (the paper's full pipeline):
+//   1. PARTITION every page (unconstrained optimum of the greedy),
+//   2. restore per-server storage constraints (Eq. 10),
+//   3. restore per-server processing constraints (Eq. 8),
+//   4. repository off-loading negotiation (Eq. 9).
+// Every stage is individually switchable for ablations.
+#pragma once
+
+#include <string>
+
+#include "core/local_search.h"
+#include "core/offload.h"
+#include "core/partition.h"
+#include "core/processing_restore.h"
+#include "core/storage_restore.h"
+#include "model/assignment.h"
+#include "model/cost.h"
+
+namespace mmr {
+
+struct PolicyOptions {
+  Weights weights;                       ///< (alpha1, alpha2) of Eq. 7
+  PartitionOptions partition;
+  bool restore_storage_enabled = true;
+  bool restore_processing_enabled = true;
+  bool offload_enabled = true;
+  StorageRestoreOptions storage;
+  ProcessingRestoreOptions processing;
+  OffloadOptions offload;
+  /// Optional extra stage (not in the paper): constraint-respecting
+  /// bit-flip refinement after the pipeline (see core/local_search.h).
+  bool refine_enabled = false;
+  LocalSearchOptions refine;
+};
+
+struct PolicyResult {
+  Assignment assignment;
+  /// Composite objective D after each stage (cached evaluation).
+  double d_after_partition = 0;
+  double d_after_storage = 0;
+  double d_after_processing = 0;
+  double d_after_offload = 0;
+  StorageRestoreReport storage_report;
+  ProcessingRestoreReport processing_report;
+  OffloadReport offload_report;
+  LocalSearchReport refine_report;  ///< only when refine_enabled
+  /// True iff every enabled constraint holds on exit.
+  bool feasible = true;
+  std::string summary() const;
+};
+
+PolicyResult run_replication_policy(const SystemModel& sys,
+                                    const PolicyOptions& options = {});
+
+}  // namespace mmr

@@ -1,0 +1,101 @@
+#include "core/processing_restore.h"
+
+#include <queue>
+
+#include "core/delta.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace mmr {
+
+namespace {
+
+struct SlotEntry {
+  double criterion;
+  PageId page;
+  std::uint32_t index;
+  bool compulsory;
+  std::uint64_t epoch;
+  bool operator>(const SlotEntry& o) const { return criterion > o.criterion; }
+};
+
+using MinHeap =
+    std::priority_queue<SlotEntry, std::vector<SlotEntry>, std::greater<>>;
+
+double slot_criterion(const SystemModel& sys, const Assignment& asg,
+                      const PageObjectRef& ref, const Weights& w,
+                      const ProcessingRestoreOptions& options) {
+  const double delta =
+      ref.compulsory ? unmark_comp_delta(asg, ref.page, ref.index, w)
+                     : unmark_opt_delta(asg, ref.page, ref.index, w);
+  if (!options.amortize_by_workload) return delta;
+  const double workload = slot_workload(sys, ref);
+  MMR_DCHECK(workload > 0);
+  return delta / workload;
+}
+
+void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
+                    const Weights& w, const ProcessingRestoreOptions& options,
+                    ProcessingRestoreReport& report) {
+  const Server& server = sys.server(i);
+  if (within_capacity(asg.server_proc_load(i), server.proc_capacity)) return;
+
+  std::vector<std::uint64_t> page_epoch(sys.num_pages(), 0);
+  MinHeap heap;
+  auto push_page_slots = [&](PageId j) {
+    const Page& p = sys.page(j);
+    const std::uint64_t e = page_epoch[j];
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      if (!asg.comp_local(j, idx)) continue;
+      const PageObjectRef ref{j, true, idx};
+      heap.push({slot_criterion(sys, asg, ref, w, options), j, idx, true, e});
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      if (!asg.opt_local(j, idx)) continue;
+      const PageObjectRef ref{j, false, idx};
+      heap.push({slot_criterion(sys, asg, ref, w, options), j, idx, false, e});
+    }
+  };
+  for (PageId j : sys.pages_on_server(i)) push_page_slots(j);
+
+  while (!within_capacity(asg.server_proc_load(i), server.proc_capacity)) {
+    if (heap.empty()) {
+      report.infeasible_servers.push_back(i);
+      MMR_LOG_WARN << "server " << i << " processing unrestorable: mandatory "
+                   << "load " << asg.server_proc_load(i) << " > capacity "
+                   << server.proc_capacity;
+      return;
+    }
+    const SlotEntry top = heap.top();
+    heap.pop();
+    if (top.epoch != page_epoch[top.page]) continue;  // stale
+    const PageObjectRef ref{top.page, top.compulsory, top.index};
+    if (!asg.ref_local(ref)) continue;
+
+    const Page& p = sys.page(top.page);
+    const ObjectId k = top.compulsory ? p.compulsory[top.index]
+                                      : p.optional[top.index].object;
+    asg.set_ref_local(ref, false);
+    ++report.unmarked_slots;
+    if (!asg.object_stored(i, k)) ++report.objects_deallocated;
+
+    // The page's pipeline times changed, so its remaining slots' deltas are
+    // stale; re-push them under a new epoch.
+    ++page_epoch[top.page];
+    push_page_slots(top.page);
+  }
+}
+
+}  // namespace
+
+ProcessingRestoreReport restore_processing(
+    const SystemModel& sys, Assignment& asg, const Weights& w,
+    const ProcessingRestoreOptions& options) {
+  ProcessingRestoreReport report;
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    restore_server(sys, asg, i, w, options, report);
+  }
+  return report;
+}
+
+}  // namespace mmr

@@ -1,0 +1,37 @@
+// Local processing-capacity restoration (paper Sec. 4.2).
+//
+// While a server exceeds C(S_i) (Eq. 8), greedily flip the (page, object)
+// local download whose move to the repository costs the least objective
+// damage per unit of workload freed (the paper amortizes the delta over the
+// workload difference). An object whose last local mark disappears is
+// automatically dropped from the store, freeing storage as a side effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/cost.h"
+
+namespace mmr {
+
+struct ProcessingRestoreOptions {
+  /// Divide delta-D by the workload freed (paper's criterion); false = raw
+  /// delta-D (ablation).
+  bool amortize_by_workload = true;
+};
+
+struct ProcessingRestoreReport {
+  std::uint32_t unmarked_slots = 0;
+  std::uint32_t objects_deallocated = 0;  ///< lost their last local mark
+  /// Servers whose mandatory HTML traffic alone exceeds capacity.
+  std::vector<ServerId> infeasible_servers;
+  bool feasible() const { return infeasible_servers.empty(); }
+};
+
+/// Restores Eq. 8 for every server, modifying the assignment in place.
+ProcessingRestoreReport restore_processing(
+    const SystemModel& sys, Assignment& asg, const Weights& w,
+    const ProcessingRestoreOptions& options = {});
+
+}  // namespace mmr

@@ -1,0 +1,129 @@
+#include "core/storage_restore.h"
+
+#include <queue>
+#include <unordered_map>
+
+#include "core/delta.h"
+#include "core/partition.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace mmr {
+
+namespace {
+
+struct HeapEntry {
+  double criterion;
+  ObjectId object;
+  std::uint64_t epoch;
+  bool operator>(const HeapEntry& o) const { return criterion > o.criterion; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+double criterion_for(const SystemModel& sys, const Assignment& asg,
+                     ServerId i, ObjectId k, const Weights& w,
+                     const StorageRestoreOptions& options) {
+  const double delta = dealloc_delta(sys, asg, i, k, w);
+  if (!options.amortize_by_size) return delta;
+  return delta / static_cast<double>(sys.object_bytes(k));
+}
+
+void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
+                    const Weights& w, const StorageRestoreOptions& options,
+                    StorageRestoreReport& report,
+                    std::vector<std::uint8_t>& allowed_scratch) {
+  const Server& server = sys.server(i);
+  if (asg.storage_used(i) <= server.storage_capacity) return;
+
+  // Lazy min-heap: entries carry the epoch at push time; a dirtied object
+  // (epoch bumped) is re-scored only when it reaches the top, which avoids
+  // eager re-pushes for objects that never become the minimum.
+  std::unordered_map<ObjectId, std::uint64_t> epoch;
+  MinHeap heap;
+  auto push_fresh = [&](ObjectId k) {
+    heap.push({criterion_for(sys, asg, i, k, w, options), k, epoch[k]});
+  };
+  // Persistent stored-set bitmap (the repartition "allowed" set); updated
+  // incrementally as objects are deallocated or dropped by repartitioning.
+  for (const auto& [k, count] : asg.mark_counts(i)) {
+    (void)count;
+    epoch[k] = 0;
+    push_fresh(k);
+    allowed_scratch[k] = 1;
+  }
+
+  while (asg.storage_used(i) > server.storage_capacity) {
+    if (heap.empty()) {
+      // Nothing left to deallocate: the HTML footprint alone violates the
+      // constraint. Record and move on — the audit will flag it too.
+      report.infeasible_servers.push_back(i);
+      MMR_LOG_WARN << "server " << i << " storage unrestorable: html bytes "
+                   << sys.html_bytes_on_server(i) << " > capacity "
+                   << server.storage_capacity;
+      break;
+    }
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const ObjectId k = top.object;
+    if (!asg.object_stored(i, k)) continue;  // dropped as a side effect
+    if (top.epoch != epoch[k]) {
+      push_fresh(k);  // stale: re-score now that it surfaced
+      continue;
+    }
+
+    // Deallocate: clear every local mark of k on this server.
+    std::vector<PageId> affected;
+    for (const PageObjectRef& ref : sys.object_refs_on_server(i, k)) {
+      if (asg.ref_local(ref)) {
+        asg.set_ref_local(ref, false);
+        affected.push_back(ref.page);
+      }
+    }
+    ++report.deallocations;
+    MMR_DCHECK(!asg.object_stored(i, k));
+    allowed_scratch[k] = 0;
+
+    if (options.repartition_after_dealloc && !affected.empty()) {
+      for (PageId j : affected) {
+        ++report.repartitioned_pages;
+        if (repartition_within_store(sys, asg, j, allowed_scratch, w)) {
+          ++report.repartition_improvements;
+        }
+      }
+    }
+
+    // Repartitioning only touches the affected pages, so any object dropped
+    // from (or in principle returned to) the store is referenced by one of
+    // them: refresh exactly those bitmap entries and dirty their criteria
+    // (re-scored lazily when they surface in the heap).
+    for (PageId j : affected) {
+      const Page& p = sys.page(j);
+      auto refresh = [&](ObjectId obj) {
+        const bool stored = asg.object_stored(i, obj);
+        allowed_scratch[obj] = stored && obj != k ? 1 : 0;
+        if (stored) ++epoch[obj];
+      };
+      for (ObjectId obj : p.compulsory) refresh(obj);
+      for (const OptionalRef& r : p.optional) refresh(r.object);
+    }
+  }
+  // Reset the scratch bitmap for the next server.
+  std::fill(allowed_scratch.begin(), allowed_scratch.end(), 0);
+}
+
+}  // namespace
+
+StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
+                                     const Weights& w,
+                                     const StorageRestoreOptions& options) {
+  StorageRestoreReport report;
+  std::vector<std::uint8_t> allowed_scratch(sys.num_objects(), 0);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    restore_server(sys, asg, i, w, options, report, allowed_scratch);
+  }
+  return report;
+}
+
+}  // namespace mmr

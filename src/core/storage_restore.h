@@ -1,0 +1,46 @@
+// Storage-constraint restoration (paper Sec. 4.2, second half).
+//
+// While a server exceeds its storage capacity (Eq. 10), greedily deallocate
+// the stored object whose removal hurts the objective least — the criterion
+// amortizes the objective damage over the object's size ("more judicious
+// over large objects"). After each deallocation the affected pages are
+// re-partitioned within the remaining stored set, exploiting objects that
+// are stored but were not marked for local download.
+//
+// Implementation: one lazy min-heap per server keyed by delta-D/size, with
+// per-object epochs; a deallocation dirties exactly the objects referenced
+// by the re-partitioned pages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/cost.h"
+
+namespace mmr {
+
+struct StorageRestoreOptions {
+  /// Divide delta-D by the object size (paper's amortized criterion). When
+  /// false, use raw delta-D (ablation A2).
+  bool amortize_by_size = true;
+  /// Re-partition pages that lost a local object (the paper's cascade).
+  bool repartition_after_dealloc = true;
+};
+
+struct StorageRestoreReport {
+  std::uint32_t deallocations = 0;
+  std::uint32_t repartitioned_pages = 0;
+  std::uint32_t repartition_improvements = 0;
+  /// Servers whose HTML alone exceeds capacity (constraint unrestorable).
+  std::vector<ServerId> infeasible_servers;
+  bool feasible() const { return infeasible_servers.empty(); }
+};
+
+/// Restores Eq. 10 for every server. The assignment is modified in place;
+/// on return every feasible server satisfies its storage constraint.
+StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
+                                     const Weights& w,
+                                     const StorageRestoreOptions& options = {});
+
+}  // namespace mmr

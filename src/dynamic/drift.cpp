@@ -1,0 +1,98 @@
+#include "dynamic/drift.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mmr {
+
+std::uint32_t apply_popularity_drift(SystemModel& sys,
+                                     const DriftParams& params, Rng& rng) {
+  MMR_CHECK_MSG(params.hot_churn >= 0 && params.hot_churn <= 1,
+                "hot_churn must be in [0,1]");
+  MMR_CHECK_MSG(params.hot_quantile > 0 && params.hot_quantile < 1,
+                "hot_quantile must be in (0,1)");
+  std::uint32_t swaps = 0;
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    const auto& pages = sys.pages_on_server(i);
+    if (pages.size() < 2) continue;
+
+    // Rank the site's pages by frequency; the top (1 - hot_quantile) are
+    // the hot set.
+    std::vector<PageId> ranked(pages.begin(), pages.end());
+    std::sort(ranked.begin(), ranked.end(), [&](PageId a, PageId b) {
+      return sys.page(a).frequency > sys.page(b).frequency;
+    });
+    const auto hot_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>((1.0 - params.hot_quantile) *
+                                    static_cast<double>(ranked.size())));
+    const auto cold_count = ranked.size() - hot_count;
+    if (cold_count == 0) continue;
+    const auto churn = static_cast<std::size_t>(
+        params.hot_churn * static_cast<double>(hot_count) + 0.5);
+
+    // Pick distinct hot victims and cold risers, swap their frequencies —
+    // a breaking story displaces yesterday's headline.
+    const auto hot_picks = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(hot_count),
+        static_cast<std::uint32_t>(std::min(churn, hot_count)));
+    const auto cold_picks = rng.sample_without_replacement(
+        static_cast<std::uint32_t>(cold_count),
+        static_cast<std::uint32_t>(std::min(churn, cold_count)));
+    const std::size_t n = std::min(hot_picks.size(), cold_picks.size());
+    for (std::size_t x = 0; x < n; ++x) {
+      const PageId hot = ranked[hot_picks[x]];
+      const PageId cold = ranked[hot_count + cold_picks[x]];
+      const double f_hot = sys.page(hot).frequency;
+      const double f_cold = sys.page(cold).frequency;
+      sys.set_page_frequency(hot, f_cold);
+      sys.set_page_frequency(cold, f_hot);
+      ++swaps;
+    }
+  }
+  return swaps;
+}
+
+DynamicExperimentResult run_dynamic_experiment(
+    SystemModel& sys, const DynamicExperimentConfig& config) {
+  DynamicExperimentResult result;
+  Rng rng(config.seed);
+
+  // Epoch-0 placement, kept frozen for the "static" strategy.
+  const PolicyResult initial = run_replication_policy(sys, config.policy);
+  Assignment static_placement = initial.assignment;
+
+  for (std::uint32_t epoch = 0; epoch < config.drift.epochs; ++epoch) {
+    if (epoch > 0) {
+      Rng drift_rng = rng.split(0xD1F7 + epoch);
+      apply_popularity_drift(sys, config.drift, drift_rng);
+      // Frequencies changed under the placements' feet; refresh the cached
+      // loads so the periodic re-run and the simulator see current values.
+      static_placement.recompute_caches();
+    }
+
+    // Periodic strategy: re-run the full pipeline on current frequencies.
+    const PolicyResult periodic = run_replication_policy(sys, config.policy);
+
+    // Identical request streams per epoch across strategies.
+    const Simulator simulator(sys, config.sim);
+    const std::uint64_t sim_seed = mix_seed(config.seed, 0x300 + epoch);
+
+    EpochMetrics em;
+    em.static_response =
+        simulator.simulate(static_placement, sim_seed).page_response.mean();
+    em.periodic_response =
+        simulator.simulate(periodic.assignment, sim_seed)
+            .page_response.mean();
+    if (config.run_lru) {
+      em.lru_response = simulator.simulate_lru(sim_seed).page_response.mean();
+      result.lru_overall.add(em.lru_response);
+    }
+    result.static_overall.add(em.static_response);
+    result.periodic_overall.add(em.periodic_response);
+    result.epochs.push_back(em);
+  }
+  return result;
+}
+
+}  // namespace mmr

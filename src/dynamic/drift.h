@@ -1,0 +1,65 @@
+// Dynamic-popularity extension (the paper's future-work hook, Sec. 4.1/7:
+// "allocation decisions made off-line using the past access patterns may be
+// inaccurate due to the dynamic nature of the Web, e.g., breaking news").
+//
+// Models popularity churn as an epoch process: each epoch, a fraction of the
+// hot set is replaced by previously-cold pages (breaking stories) whose
+// frequencies are swapped in. Three strategies are compared:
+//   static   — the placement computed at epoch 0 is kept forever,
+//   periodic — the replication algorithm re-runs every epoch on the new
+//              frequencies (the paper's "executed during off-peak hours"),
+//   LRU      — the caching baseline, which adapts by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.h"
+#include "model/system.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mmr {
+
+struct DriftParams {
+  std::uint32_t epochs = 8;
+  /// Fraction of each site's hot set replaced by cold pages per epoch.
+  double hot_churn = 0.25;
+  /// Pages with frequency above this quantile of their site count as hot.
+  double hot_quantile = 0.90;
+};
+
+/// Swaps the frequencies of `hot_churn` of each site's hottest pages with
+/// randomly chosen cold pages, in place. Deterministic in `rng`.
+/// Returns the number of swaps performed.
+std::uint32_t apply_popularity_drift(SystemModel& sys,
+                                     const DriftParams& params, Rng& rng);
+
+struct EpochMetrics {
+  double static_response = 0;    ///< epoch-0 placement, never updated
+  double periodic_response = 0;  ///< placement recomputed this epoch
+  double lru_response = 0;       ///< adaptive caching baseline
+};
+
+struct DynamicExperimentResult {
+  std::vector<EpochMetrics> epochs;
+  RunningStats static_overall;
+  RunningStats periodic_overall;
+  RunningStats lru_overall;
+};
+
+struct DynamicExperimentConfig {
+  DriftParams drift;
+  SimParams sim;
+  PolicyOptions policy;
+  std::uint64_t seed = 1;
+  bool run_lru = true;
+};
+
+/// Runs the epoch loop on `sys` (mutating its frequencies as the epochs
+/// advance). The same per-epoch request streams are used for all strategies.
+DynamicExperimentResult run_dynamic_experiment(
+    SystemModel& sys, const DynamicExperimentConfig& config);
+
+}  // namespace mmr

@@ -1,0 +1,50 @@
+// Text serialization of problem instances and placements.
+//
+// Versioned, line-oriented formats so workloads and solutions can be saved,
+// diffed, shipped in bug reports, and reloaded bit-exactly. Floating-point
+// fields round-trip via max_digits10.
+//
+//   mmrepl-system v1
+//   repository <proc_capacity|inf>
+//   servers <s>
+//   server <proc|inf> <storage> <ovhd_local> <ovhd_repo> <rate_l> <rate_r>
+//   objects <m>
+//   object <bytes>
+//   pages <n>
+//   page <host> <html_bytes> <frequency> <optional_scale> <n_comp> <n_opt>
+//   c <object_id>            (n_comp lines)
+//   o <object_id> <prob>     (n_opt lines)
+//
+//   mmrepl-assignment v1
+//   pages <n>
+//   page <j> <comp bits as 0/1 string|-> <opt bits|->
+//
+// Parse errors throw CheckError with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/assignment.h"
+#include "model/system.h"
+
+namespace mmr {
+
+/// Writes the instance; the stream's state is checked.
+void save_system(const SystemModel& sys, std::ostream& os);
+/// Reads and finalizes an instance.
+SystemModel load_system(std::istream& is);
+
+/// Writes the decision bits of `asg`.
+void save_assignment(const Assignment& asg, std::ostream& os);
+/// Reads decision bits for `sys`; validates page count and slot widths.
+Assignment load_assignment(const SystemModel& sys, std::istream& is);
+
+// File convenience wrappers; throw CheckError on I/O failure.
+void save_system_file(const SystemModel& sys, const std::string& path);
+SystemModel load_system_file(const std::string& path);
+void save_assignment_file(const Assignment& asg, const std::string& path);
+Assignment load_assignment_file(const SystemModel& sys,
+                                const std::string& path);
+
+}  // namespace mmr

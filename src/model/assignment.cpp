@@ -1,0 +1,220 @@
+#include "model/assignment.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mmr {
+
+Assignment::Assignment(const SystemModel& sys) : sys_(&sys) {
+  MMR_CHECK_MSG(sys.finalized(), "Assignment requires a finalized model");
+  comp_local_.resize(sys.num_pages());
+  opt_local_.resize(sys.num_pages());
+  for (std::size_t j = 0; j < sys.num_pages(); ++j) {
+    comp_local_[j].assign(sys.page(static_cast<PageId>(j)).compulsory.size(),
+                          0);
+    opt_local_[j].assign(sys.page(static_cast<PageId>(j)).optional.size(), 0);
+  }
+  local_time_.resize(sys.num_pages());
+  remote_time_.resize(sys.num_pages());
+  optional_time_.resize(sys.num_pages());
+  proc_load_.resize(sys.num_servers());
+  storage_used_.resize(sys.num_servers());
+  marks_.resize(sys.num_servers());
+  num_comp_local_.assign(sys.num_pages(), 0);
+  num_opt_local_.assign(sys.num_pages(), 0);
+  recompute_caches();
+}
+
+bool Assignment::comp_local(PageId j, std::uint32_t idx) const {
+  MMR_DCHECK(j < comp_local_.size());
+  MMR_DCHECK(idx < comp_local_[j].size());
+  return comp_local_[j][idx] != 0;
+}
+
+bool Assignment::opt_local(PageId j, std::uint32_t idx) const {
+  MMR_DCHECK(j < opt_local_.size());
+  MMR_DCHECK(idx < opt_local_[j].size());
+  return opt_local_[j][idx] != 0;
+}
+
+bool Assignment::ref_local(const PageObjectRef& ref) const {
+  return ref.compulsory ? comp_local(ref.page, ref.index)
+                        : opt_local(ref.page, ref.index);
+}
+
+void Assignment::set_ref_local(const PageObjectRef& ref, bool local) {
+  if (ref.compulsory) {
+    set_comp_local(ref.page, ref.index, local);
+  } else {
+    set_opt_local(ref.page, ref.index, local);
+  }
+}
+
+std::uint32_t Assignment::num_comp_local(PageId j) const {
+  MMR_DCHECK(j < num_comp_local_.size());
+  return num_comp_local_[j];
+}
+
+std::uint32_t Assignment::num_opt_local(PageId j) const {
+  MMR_DCHECK(j < num_opt_local_.size());
+  return num_opt_local_[j];
+}
+
+double Assignment::page_response_time(PageId j) const {
+  return std::max(local_time_[j], remote_time_[j]);
+}
+
+std::uint32_t Assignment::mark_count(ServerId i, ObjectId k) const {
+  MMR_DCHECK(i < marks_.size());
+  const auto it = marks_[i].find(k);
+  return it == marks_[i].end() ? 0u : it->second;
+}
+
+std::vector<ObjectId> Assignment::stored_objects(ServerId i) const {
+  MMR_DCHECK(i < marks_.size());
+  std::vector<ObjectId> out;
+  out.reserve(marks_[i].size());
+  for (const auto& [k, count] : marks_[i]) {
+    MMR_DCHECK(count > 0);
+    out.push_back(k);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Assignment::bump_marks(ServerId host, ObjectId k, bool local) {
+  auto& map = marks_[host];
+  if (local) {
+    const std::uint32_t count = ++map[k];
+    if (count == 1) storage_used_[host] += sys_->object_bytes(k);
+  } else {
+    const auto it = map.find(k);
+    MMR_DCHECK(it != map.end() && it->second > 0);
+    if (--it->second == 0) {
+      storage_used_[host] -= sys_->object_bytes(k);
+      map.erase(it);
+    }
+  }
+}
+
+void Assignment::set_comp_local(PageId j, std::uint32_t idx, bool local) {
+  MMR_DCHECK(j < comp_local_.size());
+  MMR_DCHECK(idx < comp_local_[j].size());
+  if ((comp_local_[j][idx] != 0) == local) return;
+  comp_local_[j][idx] = local ? 1 : 0;
+
+  const Page& p = sys_->page(j);
+  const Server& s = sys_->server(p.host);
+  const ObjectId k = p.compulsory[idx];
+  const double local_xfer = transfer_seconds(sys_->object_bytes(k),
+                                             s.local_rate);
+  const double remote_xfer = transfer_seconds(sys_->object_bytes(k),
+                                              s.repo_rate);
+  const double sign = local ? 1.0 : -1.0;
+  // Eq. 3/4: the object moves between the two pipelines.
+  local_time_[j] += sign * local_xfer;
+  remote_time_[j] -= sign * remote_xfer;
+  // Eq. 8/9: one HTTP request per page view moves between S_i and R.
+  proc_load_[p.host] += sign * p.frequency;
+  repo_load_ -= sign * p.frequency;
+  num_comp_local_[j] += local ? 1u : -1u;
+  bump_marks(p.host, k, local);
+}
+
+void Assignment::set_opt_local(PageId j, std::uint32_t idx, bool local) {
+  MMR_DCHECK(j < opt_local_.size());
+  MMR_DCHECK(idx < opt_local_[j].size());
+  if ((opt_local_[j][idx] != 0) == local) return;
+  opt_local_[j][idx] = local ? 1 : 0;
+
+  const Page& p = sys_->page(j);
+  const Server& s = sys_->server(p.host);
+  const OptionalRef& ref = p.optional[idx];
+  const std::uint64_t bytes = sys_->object_bytes(ref.object);
+  // Eq. 6: each optional download opens a fresh connection, so the overhead
+  // is paid per object.
+  const double t_local = s.ovhd_local + transfer_seconds(bytes, s.local_rate);
+  const double t_remote = s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
+  const double sign = local ? 1.0 : -1.0;
+  optional_time_[j] +=
+      sign * p.optional_scale * ref.probability * (t_local - t_remote);
+  // Eq. 8: expected optional requests served locally.
+  proc_load_[p.host] +=
+      sign * p.frequency * p.optional_scale * ref.probability;
+  // Eq. 9 (as written in the paper, without the f(W_j, M) factor).
+  repo_load_ -= sign * p.frequency * ref.probability;
+  num_opt_local_[j] += local ? 1u : -1u;
+  bump_marks(p.host, ref.object, local);
+}
+
+void Assignment::recompute_caches() {
+  const SystemModel& sys = *sys_;
+  repo_load_ = 0;
+  std::fill(proc_load_.begin(), proc_load_.end(), 0.0);
+  std::fill(storage_used_.begin(), storage_used_.end(), 0ull);
+  for (auto& m : marks_) m.clear();
+
+  for (std::size_t i = 0; i < sys.num_servers(); ++i) {
+    storage_used_[i] = sys.html_bytes_on_server(static_cast<ServerId>(i));
+  }
+
+  for (std::size_t jj = 0; jj < sys.num_pages(); ++jj) {
+    const auto j = static_cast<PageId>(jj);
+    const Page& p = sys.page(j);
+    const Server& s = sys.server(p.host);
+
+    double lt = s.ovhd_local + transfer_seconds(p.html_bytes, s.local_rate);
+    double rt = s.ovhd_repo;
+    double ot = 0;
+    std::uint32_t n_comp_local = 0;
+    std::uint32_t n_opt_local = 0;
+
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      const ObjectId k = p.compulsory[idx];
+      if (comp_local_[j][idx]) {
+        lt += transfer_seconds(sys.object_bytes(k), s.local_rate);
+        ++n_comp_local;
+        bump_marks(p.host, k, true);
+      } else {
+        rt += transfer_seconds(sys.object_bytes(k), s.repo_rate);
+      }
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      const OptionalRef& ref = p.optional[idx];
+      const std::uint64_t bytes = sys.object_bytes(ref.object);
+      double t;
+      if (opt_local_[j][idx]) {
+        t = s.ovhd_local + transfer_seconds(bytes, s.local_rate);
+        ++n_opt_local;
+        bump_marks(p.host, ref.object, true);
+      } else {
+        t = s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
+        repo_load_ += p.frequency * ref.probability;
+      }
+      ot += p.optional_scale * ref.probability * t;
+    }
+
+    local_time_[j] = lt;
+    remote_time_[j] = rt;
+    optional_time_[j] = ot;
+    num_comp_local_[j] = n_comp_local;
+    num_opt_local_[j] = n_opt_local;
+
+    proc_load_[p.host] +=
+        p.frequency *
+        (1.0 + static_cast<double>(n_comp_local) +
+         p.optional_scale * [&] {
+           double sum = 0;
+           for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+             if (opt_local_[j][idx]) sum += p.optional[idx].probability;
+           }
+           return sum;
+         }());
+    repo_load_ +=
+        p.frequency *
+        static_cast<double>(p.compulsory.size() - n_comp_local);
+  }
+}
+
+}  // namespace mmr

@@ -1,0 +1,101 @@
+// Assignment: the decision variables of the optimization problem.
+//
+// X  — for each page, which compulsory objects are downloaded locally
+//      (X_jk in the paper; slot-aligned with Page::compulsory).
+// X' — additionally, which optional objects are downloaded locally when
+//      requested (slot-aligned with Page::optional). For compulsory slots
+//      X'_jk == X_jk by definition.
+//
+// An object is *stored* at a server iff at least one page hosted there marks
+// it local (compulsorily or optionally) — the paper's Eq. 10 set semantics.
+//
+// The class maintains incremental caches of everything the greedy algorithms
+// evaluate in their inner loops: per-page pipeline times (Eq. 3/4/6),
+// per-server storage use and processing load (Eq. 8/10 LHS), and repository
+// load (Eq. 9 LHS). `recompute_caches()` rebuilds them from scratch; tests
+// cross-validate the incremental path against the from-scratch evaluators in
+// cost.h.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/system.h"
+
+namespace mmr {
+
+class Assignment {
+ public:
+  /// All-remote assignment (X = X' = 0): every object comes from R.
+  explicit Assignment(const SystemModel& sys);
+
+  const SystemModel& system() const { return *sys_; }
+
+  // ---- decision variables --------------------------------------------------
+  bool comp_local(PageId j, std::uint32_t idx) const;
+  bool opt_local(PageId j, std::uint32_t idx) const;
+  void set_comp_local(PageId j, std::uint32_t idx, bool local);
+  void set_opt_local(PageId j, std::uint32_t idx, bool local);
+
+  bool ref_local(const PageObjectRef& ref) const;
+  void set_ref_local(const PageObjectRef& ref, bool local);
+
+  /// Number of compulsory objects of page j marked local (sum_k X_jk).
+  std::uint32_t num_comp_local(PageId j) const;
+  /// Number of optional objects of page j marked local.
+  std::uint32_t num_opt_local(PageId j) const;
+
+  // ---- cached evaluation (kept incrementally up to date) -------------------
+  /// Eq. 3: time for the local pipeline of page j (HTML + local compulsory).
+  double page_local_time(PageId j) const { return local_time_[j]; }
+  /// Eq. 4: time for the repository pipeline of page j.
+  double page_remote_time(PageId j) const { return remote_time_[j]; }
+  /// Eq. 5: max of the two pipelines.
+  double page_response_time(PageId j) const;
+  /// Eq. 6: expected optional-object retrieval time for page j.
+  double page_optional_time(PageId j) const { return optional_time_[j]; }
+
+  /// Eq. 8 left-hand side for server i.
+  double server_proc_load(ServerId i) const { return proc_load_[i]; }
+  /// Eq. 9 left-hand side.
+  double repo_proc_load() const { return repo_load_; }
+  /// Eq. 10 left-hand side for server i (HTML + stored objects).
+  std::uint64_t storage_used(ServerId i) const { return storage_used_[i]; }
+
+  /// How many local marks object k has across pages of server i.
+  std::uint32_t mark_count(ServerId i, ObjectId k) const;
+  bool object_stored(ServerId i, ObjectId k) const {
+    return mark_count(i, k) > 0;
+  }
+  /// Snapshot of the stored object set of server i, sorted by id.
+  std::vector<ObjectId> stored_objects(ServerId i) const;
+  /// Live view of (object -> mark count) for server i; entries are erased
+  /// when the count drops to zero, so every key is a stored object.
+  const std::unordered_map<ObjectId, std::uint32_t>& mark_counts(
+      ServerId i) const {
+    return marks_[i];
+  }
+
+  /// Rebuilds every cache from the decision bits (O(total refs)).
+  void recompute_caches();
+
+ private:
+  void bump_marks(ServerId host, ObjectId k, bool local);
+
+  const SystemModel* sys_;
+  std::vector<std::vector<std::uint8_t>> comp_local_;  // [page][slot]
+  std::vector<std::vector<std::uint8_t>> opt_local_;   // [page][slot]
+
+  std::vector<double> local_time_;     // Eq. 3 per page
+  std::vector<double> remote_time_;    // Eq. 4 per page
+  std::vector<double> optional_time_;  // Eq. 6 per page
+  std::vector<double> proc_load_;      // Eq. 8 LHS per server
+  double repo_load_ = 0;               // Eq. 9 LHS
+  std::vector<std::uint64_t> storage_used_;  // Eq. 10 LHS per server
+  std::vector<std::unordered_map<ObjectId, std::uint32_t>> marks_;
+  std::vector<std::uint32_t> num_comp_local_;  // per page
+  std::vector<std::uint32_t> num_opt_local_;   // per page
+};
+
+}  // namespace mmr

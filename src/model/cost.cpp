@@ -1,0 +1,212 @@
+#include "model/cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mmr {
+
+double page_local_time(const SystemModel& sys, const Assignment& asg,
+                       PageId j) {
+  const Page& p = sys.page(j);
+  const Server& s = sys.server(p.host);
+  double t = s.ovhd_local + transfer_seconds(p.html_bytes, s.local_rate);
+  for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+    if (asg.comp_local(j, idx)) {
+      t += transfer_seconds(sys.object_bytes(p.compulsory[idx]),
+                            s.local_rate);
+    }
+  }
+  return t;
+}
+
+double page_remote_time(const SystemModel& sys, const Assignment& asg,
+                        PageId j) {
+  const Page& p = sys.page(j);
+  const Server& s = sys.server(p.host);
+  double t = s.ovhd_repo;
+  for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+    if (!asg.comp_local(j, idx)) {
+      t += transfer_seconds(sys.object_bytes(p.compulsory[idx]), s.repo_rate);
+    }
+  }
+  return t;
+}
+
+double page_response_time(const SystemModel& sys, const Assignment& asg,
+                          PageId j) {
+  return std::max(page_local_time(sys, asg, j),
+                  page_remote_time(sys, asg, j));
+}
+
+double page_optional_time(const SystemModel& sys, const Assignment& asg,
+                          PageId j) {
+  const Page& p = sys.page(j);
+  const Server& s = sys.server(p.host);
+  double sum = 0;
+  for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+    const OptionalRef& ref = p.optional[idx];
+    const std::uint64_t bytes = sys.object_bytes(ref.object);
+    const double t =
+        asg.opt_local(j, idx)
+            ? s.ovhd_local + transfer_seconds(bytes, s.local_rate)
+            : s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
+    sum += ref.probability * t;
+  }
+  return p.optional_scale * sum;
+}
+
+double objective_d1(const SystemModel& sys, const Assignment& asg) {
+  double d1 = 0;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    d1 += sys.page(j).frequency * page_response_time(sys, asg, j);
+  }
+  return d1;
+}
+
+double objective_d2(const SystemModel& sys, const Assignment& asg) {
+  double d2 = 0;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    d2 += sys.page(j).frequency * page_optional_time(sys, asg, j);
+  }
+  return d2;
+}
+
+double objective_total(const SystemModel& sys, const Assignment& asg,
+                       const Weights& w) {
+  return w.alpha1 * objective_d1(sys, asg) + w.alpha2 * objective_d2(sys, asg);
+}
+
+double objective_d1_cached(const Assignment& asg) {
+  const SystemModel& sys = asg.system();
+  double d1 = 0;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    d1 += sys.page(j).frequency * asg.page_response_time(j);
+  }
+  return d1;
+}
+
+double objective_d2_cached(const Assignment& asg) {
+  const SystemModel& sys = asg.system();
+  double d2 = 0;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    d2 += sys.page(j).frequency * asg.page_optional_time(j);
+  }
+  return d2;
+}
+
+double objective_total_cached(const Assignment& asg, const Weights& w) {
+  return w.alpha1 * objective_d1_cached(asg) +
+         w.alpha2 * objective_d2_cached(asg);
+}
+
+double expected_mean_response_time(const Assignment& asg) {
+  const SystemModel& sys = asg.system();
+  double num = 0, den = 0;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    const double f = sys.page(j).frequency;
+    num += f * asg.page_response_time(j);
+    den += f;
+  }
+  MMR_CHECK_MSG(den > 0, "model has no page traffic");
+  return num / den;
+}
+
+bool within_capacity(double load, double capacity) {
+  if (capacity == kUnlimited) return true;
+  return load <= capacity + kCapacitySlack * std::max(1.0, capacity);
+}
+
+std::string ConstraintViolation::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kServerStorage:
+      os << "server " << server << " storage " << load << " > capacity "
+         << capacity << " bytes";
+      break;
+    case Kind::kServerProcessing:
+      os << "server " << server << " processing load " << load
+         << " > capacity " << capacity << " req/s";
+      break;
+    case Kind::kRepoProcessing:
+      os << "repository processing load " << load << " > capacity "
+         << capacity << " req/s";
+      break;
+  }
+  return os.str();
+}
+
+ConstraintReport audit_constraints(const SystemModel& sys,
+                                   const Assignment& asg) {
+  ConstraintReport report;
+  report.server_proc_load.assign(sys.num_servers(), 0.0);
+  report.storage_used.assign(sys.num_servers(), 0);
+
+  // Eq. 8 and Eq. 9 recomputed from the bits.
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    const Page& p = sys.page(j);
+    double local_requests = 1.0;  // the HTML document itself
+    double repo_requests = 0.0;
+    double opt_local_prob = 0.0;
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      if (asg.comp_local(j, idx)) {
+        local_requests += 1.0;
+      } else {
+        repo_requests += 1.0;
+      }
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      if (asg.opt_local(j, idx)) {
+        opt_local_prob += p.optional[idx].probability;
+      } else {
+        repo_requests += p.optional[idx].probability;
+      }
+    }
+    report.server_proc_load[p.host] +=
+        p.frequency * (local_requests + p.optional_scale * opt_local_prob);
+    report.repo_proc_load += p.frequency * repo_requests;
+  }
+
+  // Eq. 10 recomputed: HTML plus the union of locally marked objects.
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    std::uint64_t bytes = sys.html_bytes_on_server(i);
+    for (ObjectId k : sys.objects_referenced(i)) {
+      bool stored = false;
+      for (const PageObjectRef& ref : sys.object_refs_on_server(i, k)) {
+        if (asg.ref_local(ref)) {
+          stored = true;
+          break;
+        }
+      }
+      if (stored) bytes += sys.object_bytes(k);
+    }
+    report.storage_used[i] = bytes;
+  }
+
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    const Server& s = sys.server(i);
+    if (static_cast<double>(report.storage_used[i]) >
+        static_cast<double>(s.storage_capacity)) {
+      report.violations.push_back(
+          {ConstraintViolation::Kind::kServerStorage, i,
+           static_cast<double>(report.storage_used[i]),
+           static_cast<double>(s.storage_capacity)});
+    }
+    if (!within_capacity(report.server_proc_load[i], s.proc_capacity)) {
+      report.violations.push_back({ConstraintViolation::Kind::kServerProcessing,
+                                   i, report.server_proc_load[i],
+                                   s.proc_capacity});
+    }
+  }
+  if (!within_capacity(report.repo_proc_load,
+                       sys.repository().proc_capacity)) {
+    report.violations.push_back({ConstraintViolation::Kind::kRepoProcessing,
+                                 kInvalidId, report.repo_proc_load,
+                                 sys.repository().proc_capacity});
+  }
+  return report;
+}
+
+}  // namespace mmr

@@ -1,0 +1,83 @@
+// From-scratch evaluators for the paper's cost model (Eq. 3–10) and the
+// composite objective D = alpha1*D1 + alpha2*D2 (Eq. 7).
+//
+// These recompute everything from the decision bits and are the reference
+// implementation; Assignment keeps equivalent values incrementally and tests
+// cross-validate the two. Algorithms use the cached path, reports and audits
+// use this one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/assignment.h"
+#include "model/system.h"
+
+namespace mmr {
+
+/// Objective weights (alpha1, alpha2) of Eq. 7; the paper uses (2, 1).
+struct Weights {
+  double alpha1 = 2.0;
+  double alpha2 = 1.0;
+};
+
+/// Eq. 3: Time(S_i, W_j) — local pipeline (HTML + local compulsory objects).
+double page_local_time(const SystemModel& sys, const Assignment& asg,
+                       PageId j);
+/// Eq. 4: Time(R, W_j) — repository pipeline (remote compulsory objects).
+double page_remote_time(const SystemModel& sys, const Assignment& asg,
+                        PageId j);
+/// Eq. 5: Time(W_j) = max(Eq. 3, Eq. 4).
+double page_response_time(const SystemModel& sys, const Assignment& asg,
+                          PageId j);
+/// Eq. 6: Time(W_j, M) — expected optional-object retrieval time.
+double page_optional_time(const SystemModel& sys, const Assignment& asg,
+                          PageId j);
+
+/// Eq. 7 left: D1 = sum_j f(W_j) * Time(W_j).
+double objective_d1(const SystemModel& sys, const Assignment& asg);
+/// Eq. 7 right: D2 = sum_j f(W_j) * Time(W_j, M).
+double objective_d2(const SystemModel& sys, const Assignment& asg);
+/// D = alpha1*D1 + alpha2*D2.
+double objective_total(const SystemModel& sys, const Assignment& asg,
+                       const Weights& w);
+
+/// Fast path: D computed from the Assignment's incremental caches.
+double objective_total_cached(const Assignment& asg, const Weights& w);
+double objective_d1_cached(const Assignment& asg);
+double objective_d2_cached(const Assignment& asg);
+
+/// Mean response time implied by the cost model: sum_j f_j*Time(W_j) /
+/// sum_j f_j — the model-side analogue of the simulator's headline metric.
+double expected_mean_response_time(const Assignment& asg);
+
+/// Relative slack used when auditing capacity constraints (floating-point
+/// accumulation tolerance, not a modelling knob).
+inline constexpr double kCapacitySlack = 1e-7;
+
+/// True iff load <= capacity up to kCapacitySlack (capacity may be infinite).
+bool within_capacity(double load, double capacity);
+
+struct ConstraintViolation {
+  enum class Kind { kServerStorage, kServerProcessing, kRepoProcessing };
+  Kind kind;
+  ServerId server = kInvalidId;  ///< kInvalidId for the repository
+  double load = 0;               ///< bytes for storage, req/s for processing
+  double capacity = 0;
+  std::string describe() const;
+};
+
+/// Full audit of Eq. 8, 9, 10 computed from scratch.
+struct ConstraintReport {
+  std::vector<double> server_proc_load;        // Eq. 8 LHS per server
+  std::vector<std::uint64_t> storage_used;     // Eq. 10 LHS per server
+  double repo_proc_load = 0;                   // Eq. 9 LHS
+  std::vector<ConstraintViolation> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+ConstraintReport audit_constraints(const SystemModel& sys,
+                                   const Assignment& asg);
+
+}  // namespace mmr

@@ -1,0 +1,71 @@
+// Core entity types for the repository-replication model (paper Sec. 2–3).
+//
+// Naming follows the paper: servers S_1..S_s, repository R, pages W_1..W_n
+// with HTML documents H_1..H_n, and multimedia objects M_1..M_m. The paper's
+// B(.) coefficients multiply byte sizes, i.e. they are seconds-per-byte; the
+// API stores transfer *rates* in bytes/second and converts internally.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mmr {
+
+using ObjectId = std::uint32_t;
+using PageId = std::uint32_t;
+using ServerId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Marker for an unconstrained processing capacity (paper: C(R) = infinite).
+inline constexpr double kUnlimited = std::numeric_limits<double>::infinity();
+
+/// A multimedia object M_k stored at the central repository.
+struct MediaObject {
+  std::uint64_t bytes = 0;  ///< Size(M_k)
+};
+
+/// Reference from a page to an *optional* object: U'_jk.
+/// `probability` is the unconditional chance that a viewer of the page
+/// requests this object after the page download (paper Sec. 3; the workload
+/// generator sets it to P(interested) * fraction_requested).
+struct OptionalRef {
+  ObjectId object = kInvalidId;
+  double probability = 0.0;  ///< U'_jk in (0, 1]
+};
+
+/// A web page W_j with its composite HTML document H_j.
+struct Page {
+  ServerId host = kInvalidId;     ///< the S_i with A_ij = 1
+  std::uint64_t html_bytes = 0;   ///< Size(H_j)
+  double frequency = 0.0;         ///< f(W_j), peak-hour requests/sec
+  double optional_scale = 1.0;    ///< f(W_j, M) in Eq. 6 (default: per view)
+  std::vector<ObjectId> compulsory;   ///< { M_k : U_jk = 1 }
+  std::vector<OptionalRef> optional;  ///< { M_k : U'_jk > 0 }
+};
+
+/// A local site server S_i together with the network estimates its clients
+/// see (used for allocation decisions; the simulator perturbs them).
+struct Server {
+  double proc_capacity = kUnlimited;      ///< C(S_i), HTTP requests/sec
+  std::uint64_t storage_capacity = 0;     ///< Size(S_i), bytes
+  double ovhd_local = 0.0;                ///< Ovhd(S_i), seconds
+  double ovhd_repo = 0.0;                 ///< Ovhd(R, S_i), seconds
+  double local_rate = 1.0;                ///< 1/B(S_i), bytes/sec
+  double repo_rate = 1.0;                 ///< 1/B(R, S_i), bytes/sec
+};
+
+/// The central repository R. Its storage always holds every object, so only
+/// the processing capacity is modelled.
+struct Repository {
+  double proc_capacity = kUnlimited;  ///< C(R), HTTP requests/sec
+};
+
+/// Seconds to move `bytes` at `rate` bytes/sec (the paper's B * Size term).
+inline double transfer_seconds(std::uint64_t bytes, double rate) {
+  return static_cast<double>(bytes) / rate;
+}
+
+}  // namespace mmr

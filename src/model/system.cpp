@@ -1,0 +1,160 @@
+#include "model/system.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace mmr {
+
+const std::vector<PageObjectRef> SystemModel::kNoRefs = {};
+
+ServerId SystemModel::add_server(Server server) {
+  MMR_CHECK_MSG(!finalized_, "add_server after finalize");
+  servers_.push_back(server);
+  return static_cast<ServerId>(servers_.size() - 1);
+}
+
+ObjectId SystemModel::add_object(MediaObject object) {
+  MMR_CHECK_MSG(!finalized_, "add_object after finalize");
+  objects_.push_back(object);
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+PageId SystemModel::add_page(Page page) {
+  MMR_CHECK_MSG(!finalized_, "add_page after finalize");
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void SystemModel::finalize() {
+  MMR_CHECK_MSG(!finalized_, "finalize called twice");
+  MMR_CHECK_MSG(!servers_.empty(), "model needs at least one server");
+
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const Server& s = servers_[i];
+    MMR_CHECK_MSG(s.local_rate > 0, "server " << i << " local_rate <= 0");
+    MMR_CHECK_MSG(s.repo_rate > 0, "server " << i << " repo_rate <= 0");
+    MMR_CHECK_MSG(s.ovhd_local >= 0, "server " << i << " ovhd_local < 0");
+    MMR_CHECK_MSG(s.ovhd_repo >= 0, "server " << i << " ovhd_repo < 0");
+    MMR_CHECK_MSG(s.proc_capacity > 0, "server " << i << " proc_capacity <= 0");
+  }
+  MMR_CHECK_MSG(repository_.proc_capacity > 0, "repository capacity <= 0");
+
+  pages_on_server_.assign(servers_.size(), {});
+  refs_on_server_.assign(servers_.size(), {});
+  objects_referenced_.assign(servers_.size(), {});
+  html_bytes_on_server_.assign(servers_.size(), 0);
+  full_replication_bytes_.assign(servers_.size(), 0);
+  page_request_rate_.assign(servers_.size(), 0.0);
+
+  std::vector<std::unordered_set<ObjectId>> distinct(servers_.size());
+
+  for (std::size_t j = 0; j < pages_.size(); ++j) {
+    const Page& p = pages_[j];
+    const auto page_id = static_cast<PageId>(j);
+    MMR_CHECK_MSG(p.host < servers_.size(),
+                  "page " << j << " has invalid host " << p.host);
+    MMR_CHECK_MSG(p.frequency >= 0, "page " << j << " frequency < 0");
+    MMR_CHECK_MSG(p.optional_scale >= 0, "page " << j << " optional_scale < 0");
+    MMR_CHECK_MSG(p.html_bytes > 0, "page " << j << " html_bytes == 0");
+
+    pages_on_server_[p.host].push_back(page_id);
+    html_bytes_on_server_[p.host] += p.html_bytes;
+    page_request_rate_[p.host] += p.frequency;
+
+    std::unordered_set<ObjectId> seen_in_page;
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      const ObjectId k = p.compulsory[idx];
+      MMR_CHECK_MSG(k < objects_.size(),
+                    "page " << j << " references invalid object " << k);
+      MMR_CHECK_MSG(seen_in_page.insert(k).second,
+                    "page " << j << " references object " << k << " twice");
+      refs_on_server_[p.host][k].push_back({page_id, true, idx});
+      distinct[p.host].insert(k);
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      const OptionalRef& ref = p.optional[idx];
+      MMR_CHECK_MSG(ref.object < objects_.size(),
+                    "page " << j << " references invalid object "
+                            << ref.object);
+      MMR_CHECK_MSG(ref.probability > 0 && ref.probability <= 1,
+                    "page " << j << " optional probability out of (0,1]: "
+                            << ref.probability);
+      MMR_CHECK_MSG(seen_in_page.insert(ref.object).second,
+                    "page " << j << " references object " << ref.object
+                            << " both compulsorily and optionally");
+      refs_on_server_[p.host][ref.object].push_back({page_id, false, idx});
+      distinct[p.host].insert(ref.object);
+    }
+  }
+
+  for (std::size_t k = 0; k < objects_.size(); ++k) {
+    MMR_CHECK_MSG(objects_[k].bytes > 0, "object " << k << " has zero size");
+  }
+
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    auto& list = objects_referenced_[i];
+    list.assign(distinct[i].begin(), distinct[i].end());
+    std::sort(list.begin(), list.end());
+    std::uint64_t bytes = html_bytes_on_server_[i];
+    for (ObjectId k : list) bytes += objects_[k].bytes;
+    full_replication_bytes_[i] = bytes;
+  }
+
+  finalized_ = true;
+}
+
+void SystemModel::check_finalized() const {
+  MMR_CHECK_MSG(finalized_, "SystemModel::finalize() has not been called");
+}
+
+const std::vector<PageId>& SystemModel::pages_on_server(ServerId i) const {
+  check_finalized();
+  MMR_CHECK(i < servers_.size());
+  return pages_on_server_[i];
+}
+
+const std::vector<PageObjectRef>& SystemModel::object_refs_on_server(
+    ServerId i, ObjectId k) const {
+  check_finalized();
+  MMR_CHECK(i < servers_.size());
+  const auto it = refs_on_server_[i].find(k);
+  return it == refs_on_server_[i].end() ? kNoRefs : it->second;
+}
+
+const std::vector<ObjectId>& SystemModel::objects_referenced(
+    ServerId i) const {
+  check_finalized();
+  MMR_CHECK(i < servers_.size());
+  return objects_referenced_[i];
+}
+
+std::uint64_t SystemModel::html_bytes_on_server(ServerId i) const {
+  check_finalized();
+  MMR_CHECK(i < servers_.size());
+  return html_bytes_on_server_[i];
+}
+
+std::uint64_t SystemModel::full_replication_bytes(ServerId i) const {
+  check_finalized();
+  MMR_CHECK(i < servers_.size());
+  return full_replication_bytes_[i];
+}
+
+double SystemModel::page_request_rate(ServerId i) const {
+  check_finalized();
+  MMR_CHECK(i < servers_.size());
+  return page_request_rate_[i];
+}
+
+void SystemModel::set_page_frequency(PageId j, double frequency) {
+  check_finalized();
+  MMR_CHECK(j < pages_.size());
+  MMR_CHECK_MSG(frequency >= 0, "frequency must be nonnegative");
+  Page& p = pages_[j];
+  page_request_rate_[p.host] += frequency - p.frequency;
+  p.frequency = frequency;
+}
+
+}  // namespace mmr

@@ -1,0 +1,99 @@
+// SystemModel: the immutable problem instance — servers, repository, pages
+// and objects, plus the derived indices the algorithms need (pages per
+// server, object->referencing-pages per server, storage calibration totals).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/entities.h"
+
+namespace mmr {
+
+/// One place inside one page where an object is referenced.
+struct PageObjectRef {
+  PageId page = kInvalidId;
+  bool compulsory = false;   ///< true: index into Page::compulsory
+  std::uint32_t index = 0;   ///< position within that page's list
+};
+
+class SystemModel {
+ public:
+  // ---- construction -------------------------------------------------------
+  ServerId add_server(Server server);
+  ObjectId add_object(MediaObject object);
+  PageId add_page(Page page);
+  void set_repository(Repository repo) { repository_ = repo; }
+
+  /// Validates the instance and builds all indices. Must be called once after
+  /// construction and before any algorithm runs. Throws CheckError on an
+  /// inconsistent instance (bad ids, duplicate refs, non-positive sizes...).
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- accessors ----------------------------------------------------------
+  std::size_t num_servers() const { return servers_.size(); }
+  std::size_t num_objects() const { return objects_.size(); }
+  std::size_t num_pages() const { return pages_.size(); }
+
+  const Server& server(ServerId i) const { return servers_[i]; }
+  Server& mutable_server(ServerId i) { return servers_[i]; }
+  const MediaObject& object(ObjectId k) const { return objects_[k]; }
+  const Page& page(PageId j) const { return pages_[j]; }
+  const Repository& repository() const { return repository_; }
+  Repository& mutable_repository() { return repository_; }
+
+  const std::vector<Server>& servers() const { return servers_; }
+  const std::vector<MediaObject>& objects() const { return objects_; }
+  const std::vector<Page>& pages() const { return pages_; }
+
+  std::uint64_t object_bytes(ObjectId k) const { return objects_[k].bytes; }
+
+  // ---- derived indices (available after finalize) -------------------------
+  const std::vector<PageId>& pages_on_server(ServerId i) const;
+
+  /// All (page, slot) references to object k from pages hosted at server i.
+  /// Empty if no page on i references k.
+  const std::vector<PageObjectRef>& object_refs_on_server(ServerId i,
+                                                          ObjectId k) const;
+
+  /// Distinct objects referenced (compulsorily or optionally) by pages of i.
+  const std::vector<ObjectId>& objects_referenced(ServerId i) const;
+
+  /// Total HTML bytes hosted at server i (always stored locally, Eq. 10).
+  std::uint64_t html_bytes_on_server(ServerId i) const;
+
+  /// Bytes needed to hold the HTML plus *every distinct* object referenced by
+  /// pages of server i — the paper's "100% storage capacity" calibration.
+  std::uint64_t full_replication_bytes(ServerId i) const;
+
+  /// Sum of f(W_j) over pages hosted at i (page views/sec at the site).
+  double page_request_rate(ServerId i) const;
+
+  /// Updates f(W_j) after finalize (used by the dynamic-popularity
+  /// extension). Maintains page_request_rate; holders of Assignment caches
+  /// must call recompute_caches() afterwards.
+  void set_page_frequency(PageId j, double frequency);
+
+ private:
+  void check_finalized() const;
+
+  std::vector<Server> servers_;
+  std::vector<MediaObject> objects_;
+  std::vector<Page> pages_;
+  Repository repository_;
+  bool finalized_ = false;
+
+  std::vector<std::vector<PageId>> pages_on_server_;
+  std::vector<std::unordered_map<ObjectId, std::vector<PageObjectRef>>>
+      refs_on_server_;
+  std::vector<std::vector<ObjectId>> objects_referenced_;
+  std::vector<std::uint64_t> html_bytes_on_server_;
+  std::vector<std::uint64_t> full_replication_bytes_;
+  std::vector<double> page_request_rate_;
+
+  static const std::vector<PageObjectRef> kNoRefs;
+};
+
+}  // namespace mmr

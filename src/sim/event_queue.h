@@ -1,0 +1,63 @@
+// Minimal discrete-event kernel: a time-ordered queue with deterministic
+// FIFO tie-breaking. The simulator uses it to interleave page arrivals and
+// deferred optional-object requests so that shared per-server state (LRU
+// cache, admission bucket) is touched in true chronological order.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mmr {
+
+template <typename Event>
+class EventQueue {
+ public:
+  struct Item {
+    double time;
+    std::uint64_t seq;  ///< insertion order; breaks ties deterministically
+    Event event;
+  };
+
+  void push(double time, Event event) {
+    MMR_DCHECK(time >= last_popped_);
+    heap_.push_back({time, next_seq_++, std::move(event)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const Item& peek() const {
+    MMR_DCHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  Item pop() {
+    MMR_DCHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
+    last_popped_ = item.time;
+    return item;
+  }
+
+  /// Time of the most recently popped event (0 before any pop).
+  double now() const { return last_popped_; }
+
+ private:
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Item> heap_;
+  std::uint64_t next_seq_ = 0;
+  double last_popped_ = 0;
+};
+
+}  // namespace mmr

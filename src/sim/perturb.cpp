@@ -1,0 +1,67 @@
+#include "sim/perturb.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mmr {
+
+void PerturbParams::validate() const {
+  MMR_CHECK_MSG(p_nominal >= 0 && p_degraded >= 0 &&
+                    p_nominal + p_degraded <= 1.0,
+                "local-rate class probabilities invalid");
+  for (const auto& [lo, hi] :
+       {std::pair{nominal_lo, nominal_hi}, {degraded_lo, degraded_hi},
+        {congested_lo, congested_hi}, {repo_rate_lo, repo_rate_hi},
+        {repo_ovhd_lo, repo_ovhd_hi}, {local_ovhd_lo, local_ovhd_hi}}) {
+    MMR_CHECK_MSG(lo > 0 && lo <= hi, "bad multiplier band [" << lo << ", "
+                                                              << hi << "]");
+  }
+  MMR_CHECK_MSG(severity >= 0, "severity must be nonnegative");
+}
+
+namespace {
+
+/// Uniform multiplier from [lo, hi], with the deviation from 1.0 scaled by
+/// `severity` (severity 1 reproduces the band, 0 collapses it to 1.0).
+double scaled_multiplier(double lo, double hi, double severity, Rng& rng) {
+  const double m = rng.uniform(lo, hi);
+  return std::max(1e-6, 1.0 + severity * (m - 1.0));
+}
+
+}  // namespace
+
+NetworkSample perturb(const Server& estimates, const PerturbParams& params,
+                      Rng& rng) {
+  NetworkSample sample;
+
+  const double cls = rng.uniform();
+  double lo, hi;
+  if (cls < params.p_nominal) {
+    lo = params.nominal_lo;
+    hi = params.nominal_hi;
+  } else if (cls < params.p_nominal + params.p_degraded) {
+    lo = params.degraded_lo;
+    hi = params.degraded_hi;
+  } else {
+    lo = params.congested_lo;
+    hi = params.congested_hi;
+  }
+  sample.local_rate =
+      estimates.local_rate * scaled_multiplier(lo, hi, params.severity, rng);
+  sample.repo_rate =
+      estimates.repo_rate * scaled_multiplier(params.repo_rate_lo,
+                                              params.repo_rate_hi,
+                                              params.severity, rng);
+  sample.ovhd_local =
+      estimates.ovhd_local * scaled_multiplier(params.local_ovhd_lo,
+                                               params.local_ovhd_hi,
+                                               params.severity, rng);
+  sample.ovhd_repo =
+      estimates.ovhd_repo * scaled_multiplier(params.repo_ovhd_lo,
+                                              params.repo_ovhd_hi,
+                                              params.severity, rng);
+  return sample;
+}
+
+}  // namespace mmr

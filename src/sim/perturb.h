@@ -1,0 +1,50 @@
+// Per-request network perturbation model (paper Sec. 5.1).
+//
+// Allocation decisions use the servers' *estimated* rates and overheads; the
+// simulator perturbs them per request to test robustness:
+//   local rate  — 60% of requests within ±10% of the estimate, 30% between
+//                 1/3 and 1/2 of it, 10% between 1/6 and 1/4 (congestion),
+//   repo rate   — within ±20%,
+//   repo ovhd   — within ±20%,
+//   local ovhd  — between -10% and +50%.
+// `severity` scales every deviation band around 1.0 (ablation A5); 1.0 is
+// the paper's setting, 0.0 disables perturbation entirely.
+#pragma once
+
+#include "model/entities.h"
+#include "util/rng.h"
+
+namespace mmr {
+
+struct PerturbParams {
+  // Local transfer-rate mixture: {probability, multiplier range}.
+  double p_nominal = 0.60;
+  double nominal_lo = 0.90, nominal_hi = 1.10;
+  double p_degraded = 0.30;
+  double degraded_lo = 1.0 / 3.0, degraded_hi = 1.0 / 2.0;
+  // Remaining probability mass is the congestion class.
+  double congested_lo = 1.0 / 6.0, congested_hi = 1.0 / 4.0;
+
+  double repo_rate_lo = 0.80, repo_rate_hi = 1.20;
+  double repo_ovhd_lo = 0.80, repo_ovhd_hi = 1.20;
+  double local_ovhd_lo = 0.90, local_ovhd_hi = 1.50;
+
+  /// Scales every band's deviation from 1.0; see header comment.
+  double severity = 1.0;
+
+  void validate() const;
+};
+
+/// Actual network conditions of one HTTP interaction.
+struct NetworkSample {
+  double local_rate = 0;  ///< bytes/sec
+  double repo_rate = 0;   ///< bytes/sec
+  double ovhd_local = 0;  ///< seconds
+  double ovhd_repo = 0;   ///< seconds
+};
+
+/// Draws actual conditions for one request against a server's estimates.
+NetworkSample perturb(const Server& estimates, const PerturbParams& params,
+                      Rng& rng);
+
+}  // namespace mmr

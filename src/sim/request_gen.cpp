@@ -1,0 +1,44 @@
+#include "sim/request_gen.h"
+
+#include "util/check.h"
+
+namespace mmr {
+
+RequestGenerator::RequestGenerator(const SystemModel& sys) : sys_(&sys) {
+  tables_.resize(sys.num_servers());
+  ids_.resize(sys.num_servers());
+  rates_.resize(sys.num_servers());
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    const auto& pages = sys.pages_on_server(i);
+    std::vector<double> weights;
+    weights.reserve(pages.size());
+    double rate = 0;
+    for (PageId j : pages) {
+      const double f = sys.page(j).frequency;
+      if (f <= 0) continue;
+      weights.push_back(f);
+      ids_[i].push_back(j);
+      rate += f;
+    }
+    rates_[i] = rate;
+    if (!weights.empty()) tables_[i] = AliasTable(weights);
+  }
+}
+
+std::vector<PageRequest> RequestGenerator::generate(ServerId i,
+                                                    std::uint32_t count,
+                                                    Rng& rng) const {
+  MMR_CHECK(i < tables_.size());
+  MMR_CHECK_MSG(!ids_[i].empty(),
+                "server " << i << " has no pages with positive frequency");
+  std::vector<PageRequest> requests;
+  requests.reserve(count);
+  double t = 0;
+  for (std::uint32_t r = 0; r < count; ++r) {
+    t += rng.exponential(rates_[i]);
+    requests.push_back({t, ids_[i][tables_[i].sample(rng)]});
+  }
+  return requests;
+}
+
+}  // namespace mmr

@@ -1,0 +1,41 @@
+// Popularity-driven page-request streams.
+//
+// Per server, pages are drawn from an alias table proportional to f(W_j) and
+// arrivals form a Poisson process with the server's aggregate page rate, so
+// the request mix honours the hot/cold split of Table 1 and the admission
+// throttle sees realistic inter-arrival times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/system.h"
+#include "util/rng.h"
+
+namespace mmr {
+
+struct PageRequest {
+  double time = 0;  ///< arrival time, seconds from stream start
+  PageId page = kInvalidId;
+};
+
+class RequestGenerator {
+ public:
+  /// Builds per-server alias tables from page frequencies.
+  explicit RequestGenerator(const SystemModel& sys);
+
+  /// Generates `count` arrivals for server i; deterministic in (i, rng).
+  std::vector<PageRequest> generate(ServerId i, std::uint32_t count,
+                                    Rng& rng) const;
+
+  /// Total page-request rate of server i (Poisson intensity).
+  double arrival_rate(ServerId i) const { return rates_[i]; }
+
+ private:
+  const SystemModel* sys_;
+  std::vector<AliasTable> tables_;        // per server
+  std::vector<std::vector<PageId>> ids_;  // alias index -> PageId
+  std::vector<double> rates_;
+};
+
+}  // namespace mmr

@@ -1,0 +1,134 @@
+#include "sim/runner.h"
+
+#include <mutex>
+
+#include "baselines/static_policies.h"
+#include "util/check.h"
+#include "workload/generator.h"
+
+namespace mmr {
+
+RunOutcome run_single(const ExperimentConfig& config, const ScenarioSpec& spec,
+                      std::uint64_t seed) {
+  // 1. Unconstrained instance: capacities wide open, storage at 100%.
+  WorkloadParams wl = config.workload;
+  wl.server_proc_capacity = kUnlimited;
+  wl.repo_proc_capacity = kUnlimited;
+  wl.storage_fraction = 1.0;
+  SystemModel sys = generate_workload(wl, seed);
+
+  // 2. Unconstrained solution (calibrates the "% capacity" axes).
+  PolicyOptions unconstrained = config.policy;
+  unconstrained.restore_storage_enabled = false;
+  unconstrained.restore_processing_enabled = false;
+  unconstrained.offload_enabled = false;
+  PolicyResult unc = run_replication_policy(sys, unconstrained);
+
+  // Capacity axes are calibrated against the all-local load ("100% of the
+  // arriving requests") and the mandatory HTML-only load ("0%").
+  const Assignment all_local = make_local_assignment(sys);
+  std::vector<double> full_local_load(sys.num_servers());
+  std::vector<double> mandatory_load(sys.num_servers());
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    full_local_load[i] = all_local.server_proc_load(i);
+    mandatory_load[i] = sys.page_request_rate(i);  // HTML requests only
+  }
+  // Figure-3 calibration: 100% repository capacity == the load the
+  // unconstrained solution imposes on R (see runner.h).
+  const double unconstrained_repo_load = unc.assignment.repo_proc_load();
+
+  // 3. Apply the scenario.
+  set_storage_fraction(sys, spec.storage_fraction);
+  if (spec.local_proc_fraction) {
+    std::vector<double> capacities(sys.num_servers());
+    for (ServerId i = 0; i < sys.num_servers(); ++i) {
+      capacities[i] = std::max(mandatory_load[i],
+                               *spec.local_proc_fraction *
+                                   full_local_load[i]);
+      capacities[i] = std::max(capacities[i], 1e-9);
+    }
+    set_processing_capacities(sys, capacities);
+  }
+  if (spec.repo_capacity_fraction) {
+    set_repo_capacity(sys, unconstrained_repo_load,
+                      *spec.repo_capacity_fraction);
+  }
+
+  // Capacities changed but the unconstrained placement's decision bits are
+  // still meaningful; its cached loads are capacity-independent, so the
+  // simulation below can reuse it as the per-run baseline.
+
+  // 4. Constrained policy + baselines.
+  PolicyResult ours = run_replication_policy(sys, config.policy);
+
+  // 5. Simulate everything on the same stream.
+  Simulator simulator(sys, config.sim);
+  const std::uint64_t sim_seed = mix_seed(seed, 0x5EED);
+
+  RunOutcome out;
+  out.unconstrained_response =
+      simulator.simulate(unc.assignment, sim_seed).page_response.mean();
+  out.ours_response =
+      simulator.simulate(ours.assignment, sim_seed).page_response.mean();
+  out.ours_objective =
+      objective_total_cached(ours.assignment, config.policy.weights);
+  out.ours_feasible = ours.feasible;
+  if (spec.run_lru) {
+    out.lru_response = simulator.simulate_lru(sim_seed).page_response.mean();
+  }
+  if (spec.run_local) {
+    out.local_response =
+        simulator.simulate(make_local_assignment(sys), sim_seed)
+            .page_response.mean();
+  }
+  if (spec.run_remote) {
+    out.remote_response =
+        simulator.simulate(make_remote_assignment(sys), sim_seed)
+            .page_response.mean();
+  }
+  return out;
+}
+
+ScenarioResult run_scenario(const ExperimentConfig& config,
+                            const ScenarioSpec& spec, ThreadPool* pool) {
+  MMR_CHECK_MSG(config.runs > 0, "need at least one run");
+  ScenarioResult result;
+  result.runs = config.runs;
+  std::mutex mutex;
+
+  auto one = [&](std::size_t r) {
+    const std::uint64_t seed = mix_seed(config.base_seed, 1000 + r);
+    const RunOutcome out = run_single(config, spec, seed);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    const double base = out.unconstrained_response;
+    result.unconstrained_response.add(base);
+    result.policy_d.add(out.ours_objective);
+    result.ours.mean_response.add(out.ours_response);
+    result.ours.rel_increase.add(relative_increase(out.ours_response, base));
+    if (spec.run_lru) {
+      result.lru.mean_response.add(out.lru_response);
+      result.lru.rel_increase.add(relative_increase(out.lru_response, base));
+    }
+    if (spec.run_local) {
+      result.local.mean_response.add(out.local_response);
+      result.local.rel_increase.add(
+          relative_increase(out.local_response, base));
+    }
+    if (spec.run_remote) {
+      result.remote.mean_response.add(out.remote_response);
+      result.remote.rel_increase.add(
+          relative_increase(out.remote_response, base));
+    }
+    if (!out.ours_feasible) ++result.infeasible_runs;
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(config.runs, one);
+  } else {
+    for (std::size_t r = 0; r < config.runs; ++r) one(r);
+  }
+  return result;
+}
+
+}  // namespace mmr

@@ -1,0 +1,417 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/lru_cache.h"
+#include "sim/event_queue.h"
+#include "util/check.h"
+
+namespace mmr {
+
+void SimParams::validate() const {
+  MMR_CHECK_MSG(requests_per_server > 0, "requests_per_server must be > 0");
+  MMR_CHECK_MSG(p_interested >= 0 && p_interested <= 1, "bad p_interested");
+  MMR_CHECK_MSG(optional_request_fraction >= 0 &&
+                    optional_request_fraction <= 1,
+                "bad optional_request_fraction");
+  MMR_CHECK_MSG(token_burst_seconds > 0, "bad token_burst_seconds");
+  MMR_CHECK_MSG(overload_exponent >= 0, "bad overload_exponent");
+  perturb.validate();
+}
+
+void SimMetrics::merge(const SimMetrics& other) {
+  page_response.merge(other.page_response);
+  optional_time.merge(other.optional_time);
+  total_per_request.merge(other.total_per_request);
+  if (per_server_response.size() < other.per_server_response.size()) {
+    per_server_response.resize(other.per_server_response.size());
+  }
+  for (std::size_t i = 0; i < other.per_server_response.size(); ++i) {
+    per_server_response[i].merge(other.per_server_response[i]);
+  }
+  for (double x : other.page_samples.samples()) page_samples.add(x);
+  lru_hits += other.lru_hits;
+  lru_misses += other.lru_misses;
+  lru_evictions += other.lru_evictions;
+  throttled_requests += other.throttled_requests;
+  replica_creations += other.replica_creations;
+  replica_drops += other.replica_drops;
+}
+
+Simulator::Simulator(const SystemModel& sys, SimParams params)
+    : sys_(&sys), params_(params), gen_(sys) {
+  params_.validate();
+}
+
+namespace {
+
+/// Load-dependent slowdown factor: (load/capacity)^exponent above capacity,
+/// 1.0 otherwise (see SimParams::overload_exponent).
+double overload_factor(double load, double capacity, double exponent) {
+  if (exponent <= 0 || capacity == kUnlimited || capacity <= 0) return 1.0;
+  if (load <= capacity) return 1.0;
+  return std::pow(load / capacity, exponent);
+}
+
+/// How many optional links an interested viewer of page p follows.
+std::uint32_t optional_request_count(const Page& p, double fraction) {
+  if (p.optional.empty() || fraction <= 0) return 0;
+  return std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(
+             fraction * static_cast<double>(p.optional.size()))));
+}
+
+/// Continuous token bucket enforcing an HTTP req/s ceiling.
+class TokenBucket {
+ public:
+  TokenBucket(double rate, double burst_seconds)
+      : rate_(rate),
+        burst_(rate == kUnlimited ? kUnlimited : rate * burst_seconds),
+        level_(burst_) {}
+
+  /// Tries to take `n` tokens at time t; returns false when exhausted.
+  bool take(double n, double t) {
+    if (rate_ == kUnlimited) return true;
+    refill(t);
+    if (level_ >= n) {
+      level_ -= n;
+      return true;
+    }
+    return false;
+  }
+
+  /// Takes tokens unconditionally (mandatory work, e.g. the HTML document);
+  /// the level saturates at zero so mandatory bursts still deplete headroom.
+  void force_take(double n, double t) {
+    if (rate_ == kUnlimited) return;
+    refill(t);
+    level_ = std::max(0.0, level_ - n);
+  }
+
+ private:
+  void refill(double t) {
+    if (t > last_) {
+      level_ = std::min(burst_, level_ + rate_ * (t - last_));
+      last_ = t;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double level_;
+  double last_ = 0;
+};
+
+}  // namespace
+
+SimMetrics Simulator::simulate(const Assignment& asg,
+                               std::uint64_t seed) const {
+  MMR_CHECK(&asg.system() == sys_);
+  const SystemModel& sys = *sys_;
+  SimMetrics metrics;
+  metrics.per_server_response.resize(sys.num_servers());
+  Rng master(seed);
+
+  // The pipeline byte totals are fixed per page for a static placement;
+  // precompute them so the per-request work is O(1) plus optional picks.
+  struct PageBytes {
+    std::uint64_t local = 0;
+    std::uint64_t remote = 0;
+    std::uint32_t remote_count = 0;
+  };
+  std::vector<PageBytes> totals(sys.num_pages());
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    const Page& p = sys.page(j);
+    PageBytes& t = totals[j];
+    t.local = p.html_bytes;
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      const std::uint64_t bytes = sys.object_bytes(p.compulsory[idx]);
+      if (asg.comp_local(j, idx)) {
+        t.local += bytes;
+      } else {
+        t.remote += bytes;
+        ++t.remote_count;
+      }
+    }
+  }
+
+  // Load-dependent slowdowns from the placement-implied component loads.
+  const double repo_slow = overload_factor(asg.repo_proc_load(),
+                                           sys.repository().proc_capacity,
+                                           params_.overload_exponent);
+
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    Rng rng = master.split(0x51D0 + i);
+    const Server& server = sys.server(i);
+    const double local_slow = overload_factor(asg.server_proc_load(i),
+                                              server.proc_capacity,
+                                              params_.overload_exponent);
+    const std::vector<PageRequest> requests =
+        gen_.generate(i, params_.requests_per_server, rng);
+
+    for (const PageRequest& req : requests) {
+      const PageId j = req.page;
+      const Page& p = sys.page(j);
+      const NetworkSample net = perturb(server, params_.perturb, rng);
+
+      const std::uint64_t local_bytes = totals[j].local;
+      const std::uint64_t remote_bytes = totals[j].remote;
+      const std::uint32_t remote_count = totals[j].remote_count;
+      const double t_local =
+          net.ovhd_local +
+          transfer_seconds(local_bytes, net.local_rate) * local_slow;
+      // No repository connection is opened when nothing comes from R.
+      const double t_remote =
+          remote_count == 0
+              ? 0.0
+              : net.ovhd_repo +
+                    transfer_seconds(remote_bytes, net.repo_rate) * repo_slow;
+      const double response = std::max(t_local, t_remote);
+
+      double optional_total = 0;
+      if (!p.optional.empty() && rng.bernoulli(params_.p_interested)) {
+        const std::uint32_t n_req = optional_request_count(
+            p, params_.optional_request_fraction);
+        const auto picks = rng.sample_without_replacement(
+            static_cast<std::uint32_t>(p.optional.size()), n_req);
+        for (std::uint32_t idx : picks) {
+          // Each optional download opens a fresh connection (fresh draw).
+          const NetworkSample onet = perturb(server, params_.perturb, rng);
+          const std::uint64_t bytes =
+              sys.object_bytes(p.optional[idx].object);
+          const double t =
+              asg.opt_local(j, idx)
+                  ? onet.ovhd_local +
+                        transfer_seconds(bytes, onet.local_rate) * local_slow
+                  : onet.ovhd_repo +
+                        transfer_seconds(bytes, onet.repo_rate) * repo_slow;
+          metrics.optional_time.add(t);
+          optional_total += t;
+        }
+      }
+
+      metrics.page_response.add(response);
+      metrics.per_server_response[i].add(response);
+      metrics.total_per_request.add(response + optional_total);
+      if (params_.capture_samples) metrics.page_samples.add(response);
+    }
+  }
+  return metrics;
+}
+
+namespace {
+
+/// Deferred optional-object fetch in the LRU simulation.
+struct OptionalFetch {
+  PageId page = kInvalidId;
+  std::uint32_t opt_index = 0;
+};
+
+struct LruEvent {
+  enum class Kind { kPageArrival, kOptionalFetch } kind;
+  PageRequest request;      // kPageArrival
+  OptionalFetch optional;   // kOptionalFetch
+};
+
+}  // namespace
+
+SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
+  const SystemModel& sys = *sys_;
+  SimMetrics metrics;
+  metrics.per_server_response.resize(sys.num_servers());
+  Rng master(seed);
+
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    const Server& server = sys.server(i);
+    const std::uint64_t html = sys.html_bytes_on_server(i);
+    const std::uint64_t cache_capacity =
+        server.storage_capacity > html ? server.storage_capacity - html : 0;
+
+    const std::uint32_t passes = params_.lru_warm_start ? 2 : 1;
+    LruCache cache(cache_capacity);
+    TokenBucket bucket(params_.lru_enforce_capacity ? server.proc_capacity
+                                                    : kUnlimited,
+                       params_.token_burst_seconds);
+
+    for (std::uint32_t pass = 0; pass < passes; ++pass) {
+      const bool measure = pass + 1 == passes;
+      // Identical arrival/perturbation stream in both passes so the warm
+      // pass populates exactly the working set the measured pass touches.
+      Rng rng = master.split(0x17B0 + i);
+      const std::vector<PageRequest> requests =
+          gen_.generate(i, params_.requests_per_server, rng);
+
+      EventQueue<LruEvent> queue;
+      for (const PageRequest& r : requests) {
+        queue.push(r.time, {LruEvent::Kind::kPageArrival, r, {}});
+      }
+
+      while (!queue.empty()) {
+        auto item = queue.pop();
+        const double now = item.time;
+        if (item.event.kind == LruEvent::Kind::kPageArrival) {
+          const PageId j = item.event.request.page;
+          const Page& p = sys.page(j);
+          const NetworkSample net = perturb(server, params_.perturb, rng);
+
+          bucket.force_take(1.0, now);  // the HTML document, always local
+          std::uint64_t local_bytes = p.html_bytes;
+          std::uint64_t remote_bytes = 0;
+          std::uint32_t remote_count = 0;
+          for (ObjectId k : p.compulsory) {
+            const std::uint64_t bytes = sys.object_bytes(k);
+            if (cache.access(k)) {
+              if (bucket.take(1.0, now)) {
+                local_bytes += bytes;
+              } else {
+                // Above C(S_i): served by R with zero redirection overhead.
+                if (measure) ++metrics.throttled_requests;
+                remote_bytes += bytes;
+                ++remote_count;
+              }
+            } else {
+              remote_bytes += bytes;
+              ++remote_count;
+              cache.insert(k, bytes);
+            }
+          }
+          const double t_local =
+              net.ovhd_local + transfer_seconds(local_bytes, net.local_rate);
+          const double t_remote =
+              remote_count == 0 ? 0.0
+                                : net.ovhd_repo + transfer_seconds(
+                                                      remote_bytes,
+                                                      net.repo_rate);
+          const double response = std::max(t_local, t_remote);
+          if (measure) {
+            metrics.page_response.add(response);
+            metrics.per_server_response[i].add(response);
+            metrics.total_per_request.add(response);
+            if (params_.capture_samples) metrics.page_samples.add(response);
+          }
+
+          // The user inspects the page, then follows optional links; those
+          // fetches hit the shared cache later in true time order.
+          if (!p.optional.empty() && rng.bernoulli(params_.p_interested)) {
+            const std::uint32_t n_req = optional_request_count(
+                p, params_.optional_request_fraction);
+            const auto picks = rng.sample_without_replacement(
+                static_cast<std::uint32_t>(p.optional.size()), n_req);
+            for (std::uint32_t idx : picks) {
+              queue.push(now + response,
+                         {LruEvent::Kind::kOptionalFetch, {}, {j, idx}});
+            }
+          }
+        } else {
+          const PageId j = item.event.optional.page;
+          const std::uint32_t idx = item.event.optional.opt_index;
+          const ObjectId k = sys.page(j).optional[idx].object;
+          const std::uint64_t bytes = sys.object_bytes(k);
+          const NetworkSample net = perturb(server, params_.perturb, rng);
+          double t;
+          if (cache.access(k) && bucket.take(1.0, now)) {
+            t = net.ovhd_local + transfer_seconds(bytes, net.local_rate);
+          } else {
+            t = net.ovhd_repo + transfer_seconds(bytes, net.repo_rate);
+            cache.insert(k, bytes);
+          }
+          if (measure) metrics.optional_time.add(t);
+        }
+      }
+    }
+    metrics.lru_hits += cache.hits();
+    metrics.lru_misses += cache.misses();
+    metrics.lru_evictions += cache.evictions();
+  }
+  return metrics;
+}
+
+SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
+                                         const ThresholdParams& params) const {
+  params.validate();
+  const SystemModel& sys = *sys_;
+  SimMetrics metrics;
+  metrics.per_server_response.resize(sys.num_servers());
+  Rng master(seed);
+
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    const Server& server = sys.server(i);
+    const std::uint64_t html = sys.html_bytes_on_server(i);
+    const std::uint64_t capacity =
+        server.storage_capacity > html ? server.storage_capacity - html : 0;
+    ThresholdReplicator replicator(capacity, params);
+
+    // Same stream structure as the LRU baseline so comparisons are paired.
+    Rng rng = master.split(0x17B0 + i);
+    const std::vector<PageRequest> requests =
+        gen_.generate(i, params_.requests_per_server, rng);
+
+    EventQueue<LruEvent> queue;
+    for (const PageRequest& r : requests) {
+      queue.push(r.time, {LruEvent::Kind::kPageArrival, r, {}});
+    }
+
+    while (!queue.empty()) {
+      auto item = queue.pop();
+      const double now = item.time;
+      if (item.event.kind == LruEvent::Kind::kPageArrival) {
+        const PageId j = item.event.request.page;
+        const Page& p = sys.page(j);
+        const NetworkSample net = perturb(server, params_.perturb, rng);
+
+        std::uint64_t local_bytes = p.html_bytes;
+        std::uint64_t remote_bytes = 0;
+        std::uint32_t remote_count = 0;
+        for (ObjectId k : p.compulsory) {
+          const std::uint64_t bytes = sys.object_bytes(k);
+          if (replicator.access(k, bytes, now)) {
+            local_bytes += bytes;
+          } else {
+            remote_bytes += bytes;
+            ++remote_count;
+          }
+        }
+        const double t_local =
+            net.ovhd_local + transfer_seconds(local_bytes, net.local_rate);
+        const double t_remote =
+            remote_count == 0
+                ? 0.0
+                : net.ovhd_repo +
+                      transfer_seconds(remote_bytes, net.repo_rate);
+        const double response = std::max(t_local, t_remote);
+        metrics.page_response.add(response);
+        metrics.per_server_response[i].add(response);
+        metrics.total_per_request.add(response);
+        if (params_.capture_samples) metrics.page_samples.add(response);
+
+        if (!p.optional.empty() && rng.bernoulli(params_.p_interested)) {
+          const std::uint32_t n_req = optional_request_count(
+              p, params_.optional_request_fraction);
+          const auto picks = rng.sample_without_replacement(
+              static_cast<std::uint32_t>(p.optional.size()), n_req);
+          for (std::uint32_t idx : picks) {
+            queue.push(now + response,
+                       {LruEvent::Kind::kOptionalFetch, {}, {j, idx}});
+          }
+        }
+      } else {
+        const PageId j = item.event.optional.page;
+        const std::uint32_t idx = item.event.optional.opt_index;
+        const ObjectId k = sys.page(j).optional[idx].object;
+        const std::uint64_t bytes = sys.object_bytes(k);
+        const NetworkSample net = perturb(server, params_.perturb, rng);
+        const double t =
+            replicator.access(k, bytes, now)
+                ? net.ovhd_local + transfer_seconds(bytes, net.local_rate)
+                : net.ovhd_repo + transfer_seconds(bytes, net.repo_rate);
+        metrics.optional_time.add(t);
+      }
+    }
+    metrics.replica_creations += replicator.creations();
+    metrics.replica_drops += replicator.drops();
+  }
+  return metrics;
+}
+
+}  // namespace mmr

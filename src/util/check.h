@@ -1,0 +1,55 @@
+// Lightweight runtime check macros used across the library.
+//
+// MMR_CHECK is always on (it guards API contracts and is cheap relative to
+// the work done between checks); MMR_DCHECK compiles out in NDEBUG builds and
+// is used inside hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mmr {
+
+/// Thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MMR_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace mmr
+
+#define MMR_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::mmr::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MMR_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream mmr_check_os_;                              \
+      mmr_check_os_ << msg;                                          \
+      ::mmr::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  mmr_check_os_.str());              \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define MMR_DCHECK(expr) ((void)0)
+#else
+#define MMR_DCHECK(expr) MMR_CHECK(expr)
+#endif

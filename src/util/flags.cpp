@@ -1,0 +1,92 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mmr {
+
+Flags Flags::parse(int argc, const char* const* argv, bool allow_unknown) {
+  (void)allow_unknown;
+  Flags flags;
+  if (argc > 0) flags.program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[arg] = argv[++i];
+    } else {
+      flags.values_[arg] = "true";  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+Flags& Flags::describe(const std::string& name, const std::string& help) {
+  descriptions_.emplace_back(name, help);
+  return *this;
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value) const {
+  return raw(name).value_or(default_value);
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t default_value) const {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  MMR_CHECK_MSG(end && *end == '\0',
+                "flag --" << name << " is not an integer: " << *v);
+  return parsed;
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  MMR_CHECK_MSG(end && *end == '\0',
+                "flag --" << name << " is not a number: " << *v);
+  return parsed;
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  MMR_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << *v);
+  return default_value;
+}
+
+std::string Flags::help() const {
+  std::ostringstream os;
+  os << "Usage: " << program_name_ << " [--flag=value ...]\n";
+  for (const auto& [name, text] : descriptions_) {
+    os << "  --" << name << "\n      " << text << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mmr

@@ -1,0 +1,50 @@
+#include "util/log.h"
+
+#include <atomic>
+
+namespace mmr {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_output_mutex;
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories for brevity.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << '[' << log_level_name(level) << ' ' << base << ':' << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  std::cerr << stream_.str() << '\n';
+  (void)level_;
+}
+
+}  // namespace detail
+}  // namespace mmr

@@ -1,0 +1,51 @@
+// Leveled logging to stderr. Off by default above WARN so bench output stays
+// clean; harnesses flip the level with --verbose.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mmr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// No-op sink used when a message is below the active level.
+struct LogVoidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace detail
+}  // namespace mmr
+
+#define MMR_LOG(level)                                              \
+  (::mmr::LogLevel::level < ::mmr::log_level())                     \
+      ? (void)0                                                     \
+      : ::mmr::detail::LogVoidify() &                               \
+            ::mmr::detail::LogMessage(::mmr::LogLevel::level,       \
+                                      __FILE__, __LINE__)           \
+                .stream()
+
+#define MMR_LOG_DEBUG MMR_LOG(kDebug)
+#define MMR_LOG_INFO MMR_LOG(kInfo)
+#define MMR_LOG_WARN MMR_LOG(kWarn)
+#define MMR_LOG_ERROR MMR_LOG(kError)

@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace mmr {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Work-stealing-free static counter: tasks pull the next index. With one
+  // worker this degenerates to a serial loop with no overhead surprises.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error_slot = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  const std::size_t tasks = std::min(n, thread_count());
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    futures.push_back(submit([=] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1);
+        if (i >= n || first_error->load()) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(*error_mutex);
+          if (!first_error->exchange(true)) {
+            *error_slot = std::current_exception();
+          }
+          return;
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  if (first_error->load()) std::rethrow_exception(*error_slot);
+}
+
+}  // namespace mmr

@@ -1,0 +1,241 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mmr {
+
+void WorkloadParams::validate() const {
+  MMR_CHECK_MSG(num_servers > 0, "num_servers must be positive");
+  MMR_CHECK_MSG(min_pages_per_server > 0 &&
+                    min_pages_per_server <= max_pages_per_server,
+                "bad pages-per-server range");
+  MMR_CHECK_MSG(num_objects > 0, "num_objects must be positive");
+  MMR_CHECK_MSG(min_objects_per_server <= max_objects_per_server &&
+                    max_objects_per_server <= num_objects,
+                "bad objects-per-server range");
+  MMR_CHECK_MSG(min_compulsory_per_page <= max_compulsory_per_page,
+                "bad compulsory range");
+  MMR_CHECK_MSG(min_optional_per_page <= max_optional_per_page,
+                "bad optional range");
+  MMR_CHECK_MSG(
+      max_compulsory_per_page + max_optional_per_page <=
+          min_objects_per_server,
+      "a page could need more distinct objects than the smallest pool");
+  MMR_CHECK_MSG(hot_page_fraction > 0 && hot_page_fraction < 1,
+                "hot_page_fraction must be in (0,1)");
+  MMR_CHECK_MSG(hot_traffic_fraction > 0 && hot_traffic_fraction < 1,
+                "hot_traffic_fraction must be in (0,1)");
+  MMR_CHECK_MSG(popularity_jitter >= 0 && popularity_jitter < 1,
+                "popularity_jitter must be in [0,1)");
+  MMR_CHECK_MSG(!html_sizes.empty() && !object_sizes.empty(),
+                "size class lists must be nonempty");
+  for (const auto& classes : {html_sizes, object_sizes}) {
+    double total = 0;
+    for (const SizeClass& c : classes) {
+      MMR_CHECK_MSG(c.weight > 0, "size class weight must be positive");
+      MMR_CHECK_MSG(c.lo_bytes > 0 && c.lo_bytes <= c.hi_bytes,
+                    "bad size class byte range");
+      total += c.weight;
+    }
+    MMR_CHECK_MSG(std::abs(total - 1.0) < 1e-9,
+                  "size class weights must sum to 1, got " << total);
+  }
+  MMR_CHECK_MSG(p_interested >= 0 && p_interested <= 1, "bad p_interested");
+  MMR_CHECK_MSG(optional_request_fraction >= 0 &&
+                    optional_request_fraction <= 1,
+                "bad optional_request_fraction");
+  MMR_CHECK_MSG(server_proc_capacity > 0, "bad server_proc_capacity");
+  MMR_CHECK_MSG(repo_proc_capacity > 0, "bad repo_proc_capacity");
+  MMR_CHECK_MSG(storage_fraction >= 0, "bad storage_fraction");
+  MMR_CHECK_MSG(ovhd_local_lo >= 0 && ovhd_local_lo <= ovhd_local_hi,
+                "bad local overhead range");
+  MMR_CHECK_MSG(ovhd_repo_lo >= 0 && ovhd_repo_lo <= ovhd_repo_hi,
+                "bad repo overhead range");
+  MMR_CHECK_MSG(local_rate_lo > 0 && local_rate_lo <= local_rate_hi,
+                "bad local rate range");
+  MMR_CHECK_MSG(repo_rate_lo > 0 && repo_rate_lo <= repo_rate_hi,
+                "bad repo rate range");
+  MMR_CHECK_MSG(page_requests_per_sec_per_server > 0,
+                "bad page_requests_per_sec_per_server");
+  MMR_CHECK_MSG(optional_scale >= 0, "bad optional_scale");
+}
+
+std::uint64_t sample_size(const std::vector<SizeClass>& classes, Rng& rng) {
+  double r = rng.uniform();
+  for (const SizeClass& c : classes) {
+    if (r < c.weight) {
+      return static_cast<std::uint64_t>(rng.uniform_int(
+          static_cast<std::int64_t>(c.lo_bytes),
+          static_cast<std::int64_t>(c.hi_bytes)));
+    }
+    r -= c.weight;
+  }
+  // Floating-point slack: fall back to the last class.
+  const SizeClass& last = classes.back();
+  return static_cast<std::uint64_t>(rng.uniform_int(
+      static_cast<std::int64_t>(last.lo_bytes),
+      static_cast<std::int64_t>(last.hi_bytes)));
+}
+
+namespace {
+
+/// Assigns f(W_j) to the `n` pages of one site: the first `hot` pages in
+/// `order` carry `hot_traffic` of the site's total rate, the rest the
+/// remainder; weights inside each group are jittered uniformly.
+std::vector<double> popularity_split(std::uint32_t n,
+                                     const WorkloadParams& p, Rng& rng) {
+  const auto hot =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::lround(
+                                     p.hot_page_fraction * n)));
+  std::vector<double> freq(n, 0.0);
+  const double jitter = p.popularity_jitter;
+
+  auto distribute = [&](std::uint32_t begin, std::uint32_t end,
+                        double group_rate) {
+    if (begin >= end) return;
+    std::vector<double> w(end - begin);
+    double total = 0;
+    for (auto& x : w) {
+      x = rng.uniform(1.0 - jitter, 1.0 + jitter);
+      total += x;
+    }
+    for (std::uint32_t j = begin; j < end; ++j) {
+      freq[j] = group_rate * w[j - begin] / total;
+    }
+  };
+
+  const double total_rate = p.page_requests_per_sec_per_server;
+  distribute(0, hot, total_rate * p.hot_traffic_fraction);
+  distribute(hot, n, total_rate * (1.0 - p.hot_traffic_fraction));
+  return freq;
+}
+
+}  // namespace
+
+SystemModel generate_workload(const WorkloadParams& params,
+                              std::uint64_t seed) {
+  params.validate();
+  Rng master(seed);
+  SystemModel sys;
+
+  // 1. The global MO universe.
+  Rng obj_rng = master.split(0xA11CE);
+  for (std::uint32_t k = 0; k < params.num_objects; ++k) {
+    sys.add_object({sample_size(params.object_sizes, obj_rng)});
+  }
+
+  sys.set_repository({params.repo_proc_capacity});
+
+  // 2–5. Per-site pools, pages, popularity, network estimates.
+  for (std::uint32_t i = 0; i < params.num_servers; ++i) {
+    Rng rng = master.split(0xB0B0 + i);
+
+    Server server;
+    server.proc_capacity = params.server_proc_capacity;
+    server.storage_capacity = 0;  // set after finalize (needs footprint)
+    server.ovhd_local = rng.uniform(params.ovhd_local_lo,
+                                    params.ovhd_local_hi);
+    server.ovhd_repo = rng.uniform(params.ovhd_repo_lo, params.ovhd_repo_hi);
+    server.local_rate = rng.uniform(params.local_rate_lo,
+                                    params.local_rate_hi);
+    server.repo_rate = rng.uniform(params.repo_rate_lo, params.repo_rate_hi);
+    const ServerId sid = sys.add_server(server);
+
+    const auto pool_size = static_cast<std::uint32_t>(rng.uniform_int(
+        params.min_objects_per_server, params.max_objects_per_server));
+    std::vector<std::uint32_t> pool =
+        rng.sample_without_replacement(params.num_objects, pool_size);
+
+    const auto n_pages = static_cast<std::uint32_t>(rng.uniform_int(
+        params.min_pages_per_server, params.max_pages_per_server));
+    const std::vector<double> freq = popularity_split(n_pages, params, rng);
+
+    // The unconditional per-object request probability U'_jk (see DESIGN.md).
+    const double opt_prob =
+        params.p_interested * params.optional_request_fraction;
+
+    for (std::uint32_t pg = 0; pg < n_pages; ++pg) {
+      Page page;
+      page.host = sid;
+      page.html_bytes = sample_size(params.html_sizes, rng);
+      page.frequency = freq[pg];
+      page.optional_scale = params.optional_scale;
+
+      const auto n_comp = static_cast<std::uint32_t>(rng.uniform_int(
+          params.min_compulsory_per_page, params.max_compulsory_per_page));
+      const bool has_optional = rng.bernoulli(params.pages_with_optional);
+      const std::uint32_t n_opt =
+          has_optional ? static_cast<std::uint32_t>(rng.uniform_int(
+                             params.min_optional_per_page,
+                             params.max_optional_per_page))
+                       : 0;
+
+      // Draw n_comp + n_opt distinct pool slots; the first n_comp are
+      // compulsory, the rest optional (a page never references an object in
+      // both roles).
+      std::vector<std::uint32_t> slots =
+          rng.sample_without_replacement(pool_size, n_comp + n_opt);
+      page.compulsory.reserve(n_comp);
+      for (std::uint32_t x = 0; x < n_comp; ++x) {
+        page.compulsory.push_back(pool[slots[x]]);
+      }
+      if (n_opt > 0 && opt_prob > 0) {
+        page.optional.reserve(n_opt);
+        for (std::uint32_t x = n_comp; x < n_comp + n_opt; ++x) {
+          page.optional.push_back({pool[slots[x]], opt_prob});
+        }
+      }
+      sys.add_page(std::move(page));
+    }
+  }
+
+  sys.finalize();
+  set_storage_fraction(sys, params.storage_fraction);
+  return sys;
+}
+
+void set_storage_fraction(SystemModel& sys, double fraction) {
+  MMR_CHECK_MSG(fraction >= 0, "storage fraction must be nonnegative");
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    const double footprint =
+        static_cast<double>(sys.full_replication_bytes(i));
+    sys.mutable_server(i).storage_capacity =
+        static_cast<std::uint64_t>(std::llround(footprint * fraction));
+  }
+}
+
+void set_processing_capacity(SystemModel& sys,
+                             const std::vector<double>& base,
+                             double fraction) {
+  MMR_CHECK_MSG(base.size() == sys.num_servers(),
+                "base load vector size mismatch");
+  MMR_CHECK_MSG(fraction >= 0, "processing fraction must be nonnegative");
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    // A zero capacity would make even the bare HTML request infeasible in
+    // the model; the paper's "0%" tick means "everything goes to R", which
+    // the policy realizes by having no headroom beyond the HTML requests.
+    sys.mutable_server(i).proc_capacity =
+        std::max(base[i] * fraction, 1e-9);
+  }
+}
+
+void set_processing_capacities(SystemModel& sys,
+                               const std::vector<double>& capacities) {
+  MMR_CHECK_MSG(capacities.size() == sys.num_servers(),
+                "capacity vector size mismatch");
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    MMR_CHECK_MSG(capacities[i] > 0, "capacity must be positive");
+    sys.mutable_server(i).proc_capacity = capacities[i];
+  }
+}
+
+void set_repo_capacity(SystemModel& sys, double base_load, double fraction) {
+  MMR_CHECK_MSG(base_load >= 0 && fraction >= 0, "bad repo capacity args");
+  sys.mutable_repository().proc_capacity = std::max(base_load * fraction,
+                                                    1e-9);
+}
+
+}  // namespace mmr

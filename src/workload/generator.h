@@ -1,0 +1,54 @@
+// Synthetic workload generator reproducing Table 1 of the paper.
+//
+// Generation is fully deterministic in (params, seed). The pipeline:
+//   1. draw the global MO universe with the three-class size mixture,
+//   2. per site: draw an MO pool (1500–4500 distinct objects, sampled
+//      without replacement from the universe — pools overlap across sites,
+//      which is exactly the "shared repository content" premise),
+//   3. per page: HTML size class, 5–45 compulsory MOs from the pool, and for
+//      10% of pages 10–85 optional links (disjoint from the compulsory set),
+//   4. hot/cold popularity split (10% of pages -> 60% of the site's traffic),
+//   5. per-site network estimates and capacities.
+//
+// Storage capacity is set to `storage_fraction` x the site's full-replication
+// footprint, matching the paper's "% of storage capacity" axis.
+#pragma once
+
+#include <cstdint>
+
+#include "model/system.h"
+#include "util/rng.h"
+#include "workload/params.h"
+
+namespace mmr {
+
+/// Generates a finalized SystemModel. Throws CheckError on invalid params.
+SystemModel generate_workload(const WorkloadParams& params,
+                              std::uint64_t seed);
+
+/// Draws one size from the class mixture (exposed for tests).
+std::uint64_t sample_size(const std::vector<SizeClass>& classes, Rng& rng);
+
+/// Rescales every server's storage capacity to `fraction` x its
+/// full-replication footprint. Used by the Figure-1 sweep so the same
+/// workload is reused across storage ticks.
+void set_storage_fraction(SystemModel& sys, double fraction);
+
+/// Rescales every server's processing capacity to `fraction` x `base[i]`
+/// (base is typically the per-server load of the unconstrained solution).
+void set_processing_capacity(SystemModel& sys,
+                             const std::vector<double>& base,
+                             double fraction);
+
+/// Sets per-server processing capacities to absolute values (req/s). The
+/// figure harnesses use this with capacity_i = mandatory_i + frac *
+/// (unconstrained_i - mandatory_i), so that the "0%" tick leaves exactly the
+/// HTML traffic servable locally (everything else goes to R, matching the
+/// paper's "0% capacity == Remote policy" endpoint).
+void set_processing_capacities(SystemModel& sys,
+                               const std::vector<double>& capacities);
+
+/// Sets the repository capacity to `fraction` x `base_load`.
+void set_repo_capacity(SystemModel& sys, double base_load, double fraction);
+
+}  // namespace mmr

@@ -1,0 +1,94 @@
+// Synthetic workload parameters — Table 1 of the paper, with every knob
+// exposed and defaulted to the published value.
+//
+// Two quantities the paper uses but does not publish are exposed explicitly
+// (see DESIGN.md §5): the aggregate page-request rate per site (needed to
+// give f(W_j) absolute units against C(S_i) = 150 req/s) and the intra-group
+// weight jitter of the hot/cold popularity split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/entities.h"
+
+namespace mmr {
+
+/// One size class: `weight` fraction of the population draws uniformly from
+/// [lo_bytes, hi_bytes].
+struct SizeClass {
+  double weight = 0;
+  std::uint64_t lo_bytes = 0;
+  std::uint64_t hi_bytes = 0;
+};
+
+struct WorkloadParams {
+  // ---- topology ------------------------------------------------------------
+  std::uint32_t num_servers = 10;
+  std::uint32_t min_pages_per_server = 400;
+  std::uint32_t max_pages_per_server = 800;
+  std::uint32_t num_objects = 15000;           ///< MOs in the network
+  std::uint32_t min_objects_per_server = 1500; ///< MO pool of one LS
+  std::uint32_t max_objects_per_server = 4500;
+
+  // ---- page composition ----------------------------------------------------
+  std::uint32_t min_compulsory_per_page = 5;
+  std::uint32_t max_compulsory_per_page = 45;
+  std::uint32_t min_optional_per_page = 10;
+  std::uint32_t max_optional_per_page = 85;
+  double pages_with_optional = 0.10;  ///< fraction of pages carrying links
+
+  // ---- popularity ----------------------------------------------------------
+  double hot_page_fraction = 0.10;    ///< 10% of pages...
+  double hot_traffic_fraction = 0.60; ///< ...account for 60% of requests
+  /// Uniform jitter applied to per-page weights inside each group so pages in
+  /// a group are not perfectly equal; weight ~ U[1-jitter, 1+jitter].
+  double popularity_jitter = 0.5;
+
+  // ---- sizes ---------------------------------------------------------------
+  std::vector<SizeClass> html_sizes = {
+      {0.35, 1 * 1024, 6 * 1024},
+      {0.60, 6 * 1024, 20 * 1024},
+      {0.05, 20 * 1024, 50 * 1024},
+  };
+  std::vector<SizeClass> object_sizes = {
+      {0.30, 40 * 1024, 300 * 1024},
+      {0.60, 300 * 1024, 800 * 1024},
+      {0.10, 800 * 1024, 4 * 1024 * 1024},
+  };
+
+  // ---- optional-object behaviour -------------------------------------------
+  double p_interested = 0.10;          ///< P(user requests any optional MO)
+  double optional_request_fraction = 0.30;  ///< share of links then fetched
+
+  // ---- capacities ----------------------------------------------------------
+  double server_proc_capacity = 150.0;      ///< C(S_i), HTTP req/s
+  double repo_proc_capacity = kUnlimited;   ///< C(R)
+  /// Server storage as a fraction of its full-replication footprint
+  /// (HTML + every distinct referenced MO); 1.0 == the paper's "100%".
+  double storage_fraction = 1.0;
+
+  // ---- network estimates ---------------------------------------------------
+  double ovhd_local_lo = 1.275, ovhd_local_hi = 1.775;  ///< Ovhd(S_i), sec
+  double ovhd_repo_lo = 1.975, ovhd_repo_hi = 2.475;    ///< Ovhd(R,S_i), sec
+  double local_rate_lo = 3.0 * 1024, local_rate_hi = 10.0 * 1024;  ///< B/s
+  double repo_rate_lo = 0.3 * 1024, repo_rate_hi = 2.0 * 1024;     ///< B/s
+
+  // ---- traffic volume (not in Table 1; see DESIGN.md §5) --------------------
+  /// Total f(W_j) over the pages of one site, in page requests/sec. Chosen so
+  /// that a fully local assignment (~1 + 25 HTTP req per page view) lands at
+  /// ~100% of C(S_i) = 150 req/s.
+  double page_requests_per_sec_per_server = 5.0;
+
+  /// Scale factor f(W_j, M) of Eq. 6, applied to every page.
+  double optional_scale = 1.0;
+
+  /// Objective weights of Eq. 7.
+  double alpha1 = 2.0;
+  double alpha2 = 1.0;
+
+  /// Basic sanity checks; throws CheckError on inconsistent parameters.
+  void validate() const;
+};
+
+}  // namespace mmr

@@ -1,0 +1,38 @@
+// Workload characterization: measures the generated instance so Table 1 can
+// be checked side by side with the targets (bench/table1_workload).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/system.h"
+#include "util/stats.h"
+
+namespace mmr {
+
+struct WorkloadStats {
+  std::size_t num_servers = 0;
+  std::size_t num_pages = 0;
+  std::size_t num_objects = 0;           ///< universe size
+  RunningStats pages_per_server;
+  RunningStats distinct_objects_per_server;
+  RunningStats compulsory_per_page;
+  RunningStats optional_per_page_when_present;  ///< over pages that have any
+  double fraction_pages_with_optional = 0;
+  RunningStats html_bytes;
+  RunningStats object_bytes;             ///< over the whole universe
+  RunningStats full_replication_bytes;   ///< per server ("100% storage")
+  /// Fraction of total traffic carried by the hottest `hot_fraction` of each
+  /// server's pages (paper target: 10% -> 60%).
+  double measured_hot_traffic_share = 0;
+  double hot_fraction_used = 0;
+  RunningStats page_frequency;           ///< f(W_j) across all pages
+
+  std::string to_string() const;
+};
+
+/// `hot_fraction` selects how many of each server's most-frequent pages count
+/// as "hot" when measuring the traffic share (use the generator's value).
+WorkloadStats characterize(const SystemModel& sys, double hot_fraction = 0.10);
+
+}  // namespace mmr

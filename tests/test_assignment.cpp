@@ -1,0 +1,181 @@
+// Assignment decision-bit plumbing and, critically, the property that the
+// incremental caches always agree with the from-scratch evaluators.
+#include "model/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "model/cost.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+using testing::tiny_system;
+using testing::two_server_system;
+
+TEST(Assignment, StartsAllRemote) {
+  const SystemModel sys = tiny_system();
+  const Assignment asg(sys);
+  EXPECT_FALSE(asg.comp_local(0, 0));
+  EXPECT_FALSE(asg.comp_local(0, 1));
+  EXPECT_FALSE(asg.opt_local(0, 0));
+  EXPECT_EQ(asg.num_comp_local(0), 0u);
+  EXPECT_EQ(asg.storage_used(0), 200u);  // HTML always stored
+  EXPECT_TRUE(asg.stored_objects(0).empty());
+}
+
+TEST(Assignment, SetAndGetRoundTrip) {
+  const SystemModel sys = tiny_system();
+  Assignment asg(sys);
+  asg.set_comp_local(0, 1, true);
+  EXPECT_TRUE(asg.comp_local(0, 1));
+  EXPECT_EQ(asg.num_comp_local(0), 1u);
+  asg.set_comp_local(0, 1, false);
+  EXPECT_FALSE(asg.comp_local(0, 1));
+  EXPECT_EQ(asg.num_comp_local(0), 0u);
+}
+
+TEST(Assignment, IdempotentSetIsNoop) {
+  const SystemModel sys = tiny_system();
+  Assignment asg(sys);
+  asg.set_comp_local(0, 0, true);
+  const auto storage = asg.storage_used(0);
+  const auto load = asg.server_proc_load(0);
+  asg.set_comp_local(0, 0, true);  // same value again
+  EXPECT_EQ(asg.storage_used(0), storage);
+  EXPECT_DOUBLE_EQ(asg.server_proc_load(0), load);
+}
+
+TEST(Assignment, RefLocalDispatch) {
+  const SystemModel sys = tiny_system();
+  Assignment asg(sys);
+  const PageObjectRef comp_ref{0, true, 0};
+  const PageObjectRef opt_ref{0, false, 0};
+  asg.set_ref_local(comp_ref, true);
+  asg.set_ref_local(opt_ref, true);
+  EXPECT_TRUE(asg.ref_local(comp_ref));
+  EXPECT_TRUE(asg.ref_local(opt_ref));
+  EXPECT_TRUE(asg.comp_local(0, 0));
+  EXPECT_TRUE(asg.opt_local(0, 0));
+}
+
+TEST(Assignment, MarkCountsAndStorageUnion) {
+  const SystemModel sys = two_server_system();
+  Assignment asg(sys);
+  // `shared` (object 3) referenced by pages 0 and 1 on server 0.
+  asg.set_comp_local(0, 1, true);
+  EXPECT_EQ(asg.mark_count(0, 3), 1u);
+  const auto storage_one = asg.storage_used(0);
+  asg.set_comp_local(1, 1, true);
+  EXPECT_EQ(asg.mark_count(0, 3), 2u);
+  EXPECT_EQ(asg.storage_used(0), storage_one);  // stored once
+
+  asg.set_comp_local(0, 1, false);
+  EXPECT_EQ(asg.mark_count(0, 3), 1u);
+  EXPECT_TRUE(asg.object_stored(0, 3));
+  asg.set_comp_local(1, 1, false);
+  EXPECT_FALSE(asg.object_stored(0, 3));
+}
+
+TEST(Assignment, StoredObjectsSnapshotSorted) {
+  const SystemModel sys = two_server_system();
+  Assignment asg(sys);
+  asg.set_comp_local(1, 0, true);  // mid (object 1)
+  asg.set_comp_local(0, 0, true);  // big (object 0)
+  const auto stored = asg.stored_objects(0);
+  ASSERT_EQ(stored.size(), 2u);
+  EXPECT_EQ(stored[0], 0u);
+  EXPECT_EQ(stored[1], 1u);
+}
+
+TEST(Assignment, PerServerIsolation) {
+  const SystemModel sys = two_server_system();
+  Assignment asg(sys);
+  asg.set_comp_local(2, 0, true);  // page 2 lives on server 1
+  EXPECT_TRUE(asg.object_stored(1, 0));
+  EXPECT_FALSE(asg.object_stored(0, 0));
+}
+
+TEST(Assignment, RecomputeMatchesIncrementalAfterManyFlips) {
+  const SystemModel sys = two_server_system();
+  Assignment asg(sys);
+  Rng rng(99);
+  for (int step = 0; step < 500; ++step) {
+    const PageId j = static_cast<PageId>(rng.bounded(sys.num_pages()));
+    const Page& p = sys.page(j);
+    const bool comp = !p.compulsory.empty() &&
+                      (p.optional.empty() || rng.bernoulli(0.7));
+    if (comp) {
+      const auto idx =
+          static_cast<std::uint32_t>(rng.bounded(p.compulsory.size()));
+      asg.set_comp_local(j, idx, rng.bernoulli(0.5));
+    } else if (!p.optional.empty()) {
+      const auto idx =
+          static_cast<std::uint32_t>(rng.bounded(p.optional.size()));
+      asg.set_opt_local(j, idx, rng.bernoulli(0.5));
+    }
+  }
+
+  // Compare every cache against an independently recomputed copy.
+  Assignment fresh = asg;
+  fresh.recompute_caches();
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    EXPECT_NEAR(asg.page_local_time(j), fresh.page_local_time(j), 1e-9);
+    EXPECT_NEAR(asg.page_remote_time(j), fresh.page_remote_time(j), 1e-9);
+    EXPECT_NEAR(asg.page_optional_time(j), fresh.page_optional_time(j), 1e-9);
+    EXPECT_EQ(asg.num_comp_local(j), fresh.num_comp_local(j));
+    EXPECT_EQ(asg.num_opt_local(j), fresh.num_opt_local(j));
+  }
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_NEAR(asg.server_proc_load(i), fresh.server_proc_load(i), 1e-9);
+    EXPECT_EQ(asg.storage_used(i), fresh.storage_used(i));
+  }
+  EXPECT_NEAR(asg.repo_proc_load(), fresh.repo_proc_load(), 1e-9);
+}
+
+// Property sweep on generated workloads: cached aggregates == audit (the
+// from-scratch Eq. 8/9/10 computation) and cached times == cost.h.
+class AssignmentCacheProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AssignmentCacheProperty, CachesAgreeWithAudit) {
+  const SystemModel sys = generate_workload(testing::small_params(),
+                                            GetParam());
+  Assignment asg(sys);
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int step = 0; step < 2000; ++step) {
+    const PageId j = static_cast<PageId>(rng.bounded(sys.num_pages()));
+    const Page& p = sys.page(j);
+    if (!p.compulsory.empty() && rng.bernoulli(0.7)) {
+      const auto idx =
+          static_cast<std::uint32_t>(rng.bounded(p.compulsory.size()));
+      asg.set_comp_local(j, idx, rng.bernoulli(0.5));
+    } else if (!p.optional.empty()) {
+      const auto idx =
+          static_cast<std::uint32_t>(rng.bounded(p.optional.size()));
+      asg.set_opt_local(j, idx, rng.bernoulli(0.5));
+    }
+  }
+
+  const ConstraintReport report = audit_constraints(sys, asg);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_NEAR(asg.server_proc_load(i), report.server_proc_load[i], 1e-6);
+    EXPECT_EQ(asg.storage_used(i), report.storage_used[i]);
+  }
+  EXPECT_NEAR(asg.repo_proc_load(), report.repo_proc_load, 1e-6);
+
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    EXPECT_NEAR(asg.page_local_time(j), page_local_time(sys, asg, j), 1e-7);
+    EXPECT_NEAR(asg.page_remote_time(j), page_remote_time(sys, asg, j), 1e-7);
+    EXPECT_NEAR(asg.page_optional_time(j), page_optional_time(sys, asg, j),
+                1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentCacheProperty,
+                         ::testing::Values(1, 2, 3, 7, 11));
+
+}  // namespace
+}  // namespace mmr

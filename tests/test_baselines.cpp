@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "baselines/exact_solver.h"
+#include "baselines/static_policies.h"
+#include "core/partition.h"
+#include "core/policy.h"
+#include "model/cost.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace mmr {
+namespace {
+
+constexpr Weights kW{2.0, 1.0};
+
+TEST(StaticPolicies, RemoteHasNothingLocal) {
+  const SystemModel sys = testing::two_server_system();
+  const Assignment asg = make_remote_assignment(sys);
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    EXPECT_EQ(asg.num_comp_local(j), 0u);
+    EXPECT_EQ(asg.num_opt_local(j), 0u);
+  }
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_TRUE(asg.stored_objects(i).empty());
+  }
+}
+
+TEST(StaticPolicies, LocalHasEverythingLocal) {
+  const SystemModel sys = testing::two_server_system();
+  const Assignment asg = make_local_assignment(sys);
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    EXPECT_EQ(asg.num_comp_local(j), sys.page(j).compulsory.size());
+    EXPECT_EQ(asg.num_opt_local(j), sys.page(j).optional.size());
+  }
+  // Every referenced object is stored.
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_EQ(asg.stored_objects(i).size(),
+              sys.objects_referenced(i).size());
+    EXPECT_EQ(asg.storage_used(i), sys.full_replication_bytes(i));
+  }
+}
+
+TEST(ExactSolver, CountsDecisionBits) {
+  const SystemModel sys = testing::tiny_system();
+  EXPECT_EQ(count_decision_bits(sys), 3u);  // 2 compulsory + 1 optional
+}
+
+TEST(ExactSolver, RefusesLargeInstances) {
+  const SystemModel sys = testing::two_server_system();  // 8 bits, fine
+  EXPECT_NO_THROW(solve_exact(sys, kW, 24));
+  EXPECT_THROW(solve_exact(sys, kW, 4), CheckError);
+}
+
+TEST(ExactSolver, FindsUnconstrainedOptimum) {
+  const SystemModel sys = testing::tiny_system(kUnlimited, 1 << 20);
+  const auto best = solve_exact(sys, kW);
+  ASSERT_TRUE(best.has_value());
+  // All-local is optimal here (local pipeline much faster).
+  EXPECT_TRUE(best->assignment.comp_local(0, 0));
+  EXPECT_TRUE(best->assignment.comp_local(0, 1));
+  EXPECT_TRUE(best->assignment.opt_local(0, 0));
+  // 2*(2*11) + 1*(2*1.25) = 46.5.
+  EXPECT_DOUBLE_EQ(best->objective, 46.5);
+}
+
+TEST(ExactSolver, RespectsStorageConstraint) {
+  // Storage fits only one of the two compulsory objects (plus HTML).
+  const SystemModel sys = testing::tiny_system(kUnlimited, 200 + 520);
+  const auto best = solve_exact(sys, kW);
+  ASSERT_TRUE(best.has_value());
+  const auto report = audit_constraints(sys, best->assignment);
+  EXPECT_TRUE(report.ok());
+  // It should store the 500 B object (bigger repo saving than 300 B).
+  EXPECT_TRUE(best->assignment.comp_local(0, 1));
+  EXPECT_FALSE(best->assignment.comp_local(0, 0));
+}
+
+TEST(ExactSolver, ReturnsNulloptWhenInfeasible) {
+  // Processing capacity below the mandatory HTML load: nothing feasible.
+  const SystemModel sys = testing::tiny_system(/*proc_capacity=*/1.0);
+  EXPECT_FALSE(solve_exact(sys, kW).has_value());
+}
+
+TEST(ExactSolver, HeuristicPipelineNeverBeatsOracle) {
+  // Randomized tiny instances: the full heuristic pipeline must be feasible
+  // whenever the oracle is, and never better than it.
+  Rng rng(777);
+  for (int trial = 0; trial < 25; ++trial) {
+    SystemModel sys;
+    Server s;
+    s.proc_capacity = rng.uniform(3.0, 20.0);
+    s.storage_capacity = static_cast<std::uint64_t>(rng.uniform_int(300, 2500));
+    s.ovhd_local = rng.uniform(0.1, 2.0);
+    s.ovhd_repo = rng.uniform(0.2, 3.0);
+    s.local_rate = rng.uniform(50, 500);
+    s.repo_rate = rng.uniform(5, 100);
+    sys.add_server(s);
+    sys.set_repository({rng.uniform(2.0, 20.0)});
+
+    std::vector<ObjectId> objects;
+    for (int k = 0; k < 5; ++k) {
+      objects.push_back(sys.add_object(
+          {static_cast<std::uint64_t>(rng.uniform_int(100, 1000))}));
+    }
+    for (int pg = 0; pg < 2; ++pg) {
+      Page p;
+      p.host = 0;
+      p.html_bytes = static_cast<std::uint64_t>(rng.uniform_int(50, 300));
+      p.frequency = rng.uniform(0.2, 2.0);
+      // 2-3 compulsory + up to 1 optional, distinct objects.
+      const auto picks = rng.sample_without_replacement(5, 4);
+      const int n_comp = 2 + static_cast<int>(rng.bounded(2));
+      for (int x = 0; x < n_comp; ++x) p.compulsory.push_back(picks[x]);
+      if (rng.bernoulli(0.5)) {
+        p.optional.push_back({picks[3], rng.uniform(0.05, 0.9)});
+      }
+      sys.add_page(std::move(p));
+    }
+    sys.finalize();
+
+    const auto oracle = solve_exact(sys, kW);
+    const PolicyResult ours = run_replication_policy(sys);
+    const auto audit = audit_constraints(sys, ours.assignment);
+
+    if (oracle.has_value()) {
+      EXPECT_LE(oracle->objective,
+                objective_total_cached(ours.assignment, kW) + 1e-6)
+          << "trial " << trial;
+      // When the oracle is feasible, our pipeline should find a feasible
+      // answer too (it may fail only on genuinely infeasible instances).
+      EXPECT_TRUE(audit.ok()) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,176 @@
+// Pins Eq. 3–10 against hand-computed numbers on the tiny fixture.
+#include "model/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace mmr {
+namespace {
+
+using testing::tiny_system;
+
+// Fixture numbers (see test_helpers.h): ovhd_local=1, ovhd_repo=2,
+// local_rate=100, repo_rate=10, html=200, f=2, M0=300, M1=500,
+// M2=400 optional with U' = 0.25.
+
+TEST(CostModel, AllRemoteHandNumbers) {
+  const SystemModel sys = tiny_system();
+  const Assignment asg(sys);  // X = X' = 0
+
+  // Eq. 3: 1 + 200/100 = 3 (HTML only).
+  EXPECT_DOUBLE_EQ(page_local_time(sys, asg, 0), 3.0);
+  // Eq. 4: 2 + (300+500)/10 = 82.
+  EXPECT_DOUBLE_EQ(page_remote_time(sys, asg, 0), 82.0);
+  // Eq. 5.
+  EXPECT_DOUBLE_EQ(page_response_time(sys, asg, 0), 82.0);
+  // Eq. 6: 0.25 * (2 + 400/10) = 10.5.
+  EXPECT_DOUBLE_EQ(page_optional_time(sys, asg, 0), 10.5);
+  // Eq. 7: D1 = 2*82, D2 = 2*10.5.
+  EXPECT_DOUBLE_EQ(objective_d1(sys, asg), 164.0);
+  EXPECT_DOUBLE_EQ(objective_d2(sys, asg), 21.0);
+  EXPECT_DOUBLE_EQ(objective_total(sys, asg, {2.0, 1.0}), 349.0);
+}
+
+TEST(CostModel, AllLocalHandNumbers) {
+  const SystemModel sys = tiny_system();
+  Assignment asg(sys);
+  asg.set_comp_local(0, 0, true);
+  asg.set_comp_local(0, 1, true);
+  asg.set_opt_local(0, 0, true);
+
+  // Eq. 3: 1 + (200+300+500)/100 = 11.
+  EXPECT_DOUBLE_EQ(page_local_time(sys, asg, 0), 11.0);
+  // Eq. 4: overhead only.
+  EXPECT_DOUBLE_EQ(page_remote_time(sys, asg, 0), 2.0);
+  EXPECT_DOUBLE_EQ(page_response_time(sys, asg, 0), 11.0);
+  // Eq. 6: 0.25 * (1 + 400/100) = 1.25.
+  EXPECT_DOUBLE_EQ(page_optional_time(sys, asg, 0), 1.25);
+}
+
+TEST(CostModel, MixedSplitHandNumbers) {
+  const SystemModel sys = tiny_system();
+  Assignment asg(sys);
+  asg.set_comp_local(0, 1, true);  // M1 (500 B) local, M0 remote
+
+  // Eq. 3: 1 + (200+500)/100 = 8.
+  EXPECT_DOUBLE_EQ(page_local_time(sys, asg, 0), 8.0);
+  // Eq. 4: 2 + 300/10 = 32.
+  EXPECT_DOUBLE_EQ(page_remote_time(sys, asg, 0), 32.0);
+  EXPECT_DOUBLE_EQ(page_response_time(sys, asg, 0), 32.0);
+}
+
+TEST(CostModel, OptionalScaleMultipliesEq6) {
+  SystemModel sys;
+  Server s;
+  s.ovhd_local = 1.0;
+  s.ovhd_repo = 2.0;
+  s.local_rate = 100.0;
+  s.repo_rate = 10.0;
+  sys.add_server(s);
+  const ObjectId k = sys.add_object({400});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 100;
+  p.frequency = 1.0;
+  p.optional_scale = 3.0;  // f(W_j, M)
+  p.optional = {{k, 0.5}};
+  sys.add_page(std::move(p));
+  sys.finalize();
+
+  const Assignment asg(sys);
+  // 3.0 * 0.5 * (2 + 40) = 63.
+  EXPECT_DOUBLE_EQ(page_optional_time(sys, asg, 0), 63.0);
+}
+
+TEST(CostModel, CachedMatchesFromScratch) {
+  const SystemModel sys = tiny_system();
+  Assignment asg(sys);
+  asg.set_comp_local(0, 0, true);
+  asg.set_opt_local(0, 0, true);
+  const Weights w{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(objective_d1_cached(asg), objective_d1(sys, asg));
+  EXPECT_DOUBLE_EQ(objective_d2_cached(asg), objective_d2(sys, asg));
+  EXPECT_DOUBLE_EQ(objective_total_cached(asg, w),
+                   objective_total(sys, asg, w));
+}
+
+TEST(CostModel, ExpectedMeanResponseTimeIsFrequencyWeighted) {
+  const SystemModel sys = testing::two_server_system();
+  const Assignment asg(sys);
+  double num = 0, den = 0;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    num += sys.page(j).frequency * page_response_time(sys, asg, j);
+    den += sys.page(j).frequency;
+  }
+  EXPECT_NEAR(expected_mean_response_time(asg), num / den, 1e-12);
+}
+
+TEST(Constraints, Eq8LocalProcessingLoad) {
+  const SystemModel sys = tiny_system();
+  Assignment asg(sys);
+  // All remote: load = f * 1 (HTML only) = 2.
+  EXPECT_DOUBLE_EQ(audit_constraints(sys, asg).server_proc_load[0], 2.0);
+
+  asg.set_comp_local(0, 0, true);
+  // f * (1 + 1) = 4.
+  EXPECT_DOUBLE_EQ(audit_constraints(sys, asg).server_proc_load[0], 4.0);
+
+  asg.set_opt_local(0, 0, true);
+  // f * (1 + 1 + 1.0 * 0.25) = 4.5.
+  EXPECT_DOUBLE_EQ(audit_constraints(sys, asg).server_proc_load[0], 4.5);
+}
+
+TEST(Constraints, Eq9RepositoryLoad) {
+  const SystemModel sys = tiny_system();
+  Assignment asg(sys);
+  // All remote: f * (2 compulsory + 0.25 optional) = 4.5.
+  EXPECT_DOUBLE_EQ(audit_constraints(sys, asg).repo_proc_load, 4.5);
+
+  asg.set_comp_local(0, 0, true);
+  asg.set_comp_local(0, 1, true);
+  asg.set_opt_local(0, 0, true);
+  EXPECT_DOUBLE_EQ(audit_constraints(sys, asg).repo_proc_load, 0.0);
+}
+
+TEST(Constraints, Eq10StorageUnionSemantics) {
+  const SystemModel sys = testing::two_server_system();
+  Assignment asg(sys);
+  // Mark the shared object local on both pages of server 0: stored once.
+  asg.set_comp_local(0, 1, true);  // page 0, slot 1 = shared
+  asg.set_comp_local(1, 1, true);  // page 1, slot 1 = shared
+  const auto report = audit_constraints(sys, asg);
+  EXPECT_EQ(report.storage_used[0],
+            (1 + 2) * testing::kKB + 8 * testing::kKB);
+}
+
+TEST(Constraints, ViolationsDetectedAndDescribed) {
+  const SystemModel sys = tiny_system(/*proc_capacity=*/3.0, /*storage=*/500);
+  Assignment asg(sys);
+  asg.set_comp_local(0, 1, true);  // 500 B object: storage = 200+500 > 500
+  const auto report = audit_constraints(sys, asg);
+  ASSERT_FALSE(report.ok());
+  // Storage (700 > 500) and processing (4 > 3) both violated.
+  EXPECT_EQ(report.violations.size(), 2u);
+  for (const auto& v : report.violations) {
+    EXPECT_FALSE(v.describe().empty());
+  }
+}
+
+TEST(Constraints, UnlimitedCapacityNeverViolated) {
+  const SystemModel sys = tiny_system(kUnlimited, 1 << 20, kUnlimited);
+  Assignment asg(sys);
+  asg.set_comp_local(0, 0, true);
+  asg.set_comp_local(0, 1, true);
+  EXPECT_TRUE(audit_constraints(sys, asg).ok());
+}
+
+TEST(Constraints, WithinCapacityTolerance) {
+  EXPECT_TRUE(within_capacity(100.0, 100.0));
+  EXPECT_TRUE(within_capacity(100.0 + 1e-10, 100.0));
+  EXPECT_FALSE(within_capacity(100.1, 100.0));
+  EXPECT_TRUE(within_capacity(1e30, kUnlimited));
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,137 @@
+#include "dynamic/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_helpers.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+TEST(Drift, PreservesTotalTraffic) {
+  SystemModel sys = generate_workload(testing::small_params(), 301);
+  std::vector<double> before(sys.num_servers());
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    before[i] = sys.page_request_rate(i);
+  }
+  DriftParams params;
+  Rng rng(1);
+  const auto swaps = apply_popularity_drift(sys, params, rng);
+  EXPECT_GT(swaps, 0u);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_NEAR(sys.page_request_rate(i), before[i], 1e-9);
+  }
+}
+
+TEST(Drift, SwapsFrequenciesNotPages) {
+  SystemModel sys = generate_workload(testing::small_params(), 302);
+  std::vector<double> sorted_before;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    sorted_before.push_back(sys.page(j).frequency);
+  }
+  std::sort(sorted_before.begin(), sorted_before.end());
+
+  DriftParams params;
+  Rng rng(2);
+  apply_popularity_drift(sys, params, rng);
+
+  std::vector<double> sorted_after;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    sorted_after.push_back(sys.page(j).frequency);
+  }
+  std::sort(sorted_after.begin(), sorted_after.end());
+  // The multiset of frequencies is invariant (pure permutation).
+  ASSERT_EQ(sorted_before.size(), sorted_after.size());
+  for (std::size_t x = 0; x < sorted_before.size(); ++x) {
+    EXPECT_NEAR(sorted_before[x], sorted_after[x], 1e-12);
+  }
+}
+
+TEST(Drift, ZeroChurnIsNoop) {
+  SystemModel sys = generate_workload(testing::small_params(), 303);
+  std::vector<double> before;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    before.push_back(sys.page(j).frequency);
+  }
+  DriftParams params;
+  params.hot_churn = 0.0;
+  Rng rng(3);
+  EXPECT_EQ(apply_popularity_drift(sys, params, rng), 0u);
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    EXPECT_DOUBLE_EQ(sys.page(j).frequency, before[j]);
+  }
+}
+
+TEST(Drift, DeterministicInRng) {
+  SystemModel a = generate_workload(testing::small_params(), 304);
+  SystemModel b = generate_workload(testing::small_params(), 304);
+  DriftParams params;
+  Rng ra(7), rb(7);
+  apply_popularity_drift(a, params, ra);
+  apply_popularity_drift(b, params, rb);
+  for (PageId j = 0; j < a.num_pages(); ++j) {
+    EXPECT_DOUBLE_EQ(a.page(j).frequency, b.page(j).frequency);
+  }
+}
+
+TEST(Drift, RejectsBadParams) {
+  SystemModel sys = generate_workload(testing::small_params(), 305);
+  Rng rng(1);
+  DriftParams bad_churn;
+  bad_churn.hot_churn = 1.5;
+  EXPECT_THROW(apply_popularity_drift(sys, bad_churn, rng), CheckError);
+  DriftParams bad_quantile;
+  bad_quantile.hot_quantile = 1.0;
+  EXPECT_THROW(apply_popularity_drift(sys, bad_quantile, rng), CheckError);
+}
+
+TEST(SetPageFrequency, MaintainsRequestRateCache) {
+  SystemModel sys = generate_workload(testing::small_params(), 306);
+  const PageId j = sys.pages_on_server(0)[0];
+  const double old_rate = sys.page_request_rate(0);
+  const double old_f = sys.page(j).frequency;
+  sys.set_page_frequency(j, old_f + 2.5);
+  EXPECT_NEAR(sys.page_request_rate(0), old_rate + 2.5, 1e-9);
+  EXPECT_THROW(sys.set_page_frequency(j, -1.0), CheckError);
+}
+
+TEST(DynamicExperiment, PeriodicTracksDriftBetterThanStatic) {
+  WorkloadParams wl = testing::small_params();
+  wl.storage_fraction = 0.35;  // force real placement choices
+  SystemModel sys = generate_workload(wl, 307);
+
+  DynamicExperimentConfig cfg;
+  cfg.drift.epochs = 5;
+  cfg.drift.hot_churn = 0.5;
+  cfg.sim.requests_per_server = 500;
+  cfg.seed = 11;
+  cfg.run_lru = false;
+  const DynamicExperimentResult r = run_dynamic_experiment(sys, cfg);
+
+  ASSERT_EQ(r.epochs.size(), 5u);
+  // Epoch 0: identical placements, identical streams.
+  EXPECT_DOUBLE_EQ(r.epochs[0].static_response,
+                   r.epochs[0].periodic_response);
+  // Across the run, re-optimizing every epoch must not lose to the frozen
+  // epoch-0 placement.
+  EXPECT_LE(r.periodic_overall.mean(), r.static_overall.mean() + 1e-9);
+  // With heavy churn, it should strictly win.
+  EXPECT_LT(r.periodic_overall.mean(), r.static_overall.mean());
+}
+
+TEST(DynamicExperiment, LruMetricsPopulatedWhenRequested) {
+  WorkloadParams wl = testing::small_params();
+  SystemModel sys = generate_workload(wl, 308);
+  DynamicExperimentConfig cfg;
+  cfg.drift.epochs = 2;
+  cfg.sim.requests_per_server = 300;
+  cfg.run_lru = true;
+  const DynamicExperimentResult r = run_dynamic_experiment(sys, cfg);
+  EXPECT_EQ(r.lru_overall.count(), 2u);
+  EXPECT_GT(r.lru_overall.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace mmr

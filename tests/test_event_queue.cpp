@@ -1,0 +1,78 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mmr {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(3.0, 30);
+  q.push(1.0, 10);
+  q.push(2.0, 20);
+  EXPECT_EQ(q.pop().event, 10);
+  EXPECT_EQ(q.pop().event, 20);
+  EXPECT_EQ(q.pop().event, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoTieBreak) {
+  EventQueue<std::string> q;
+  q.push(1.0, "first");
+  q.push(1.0, "second");
+  q.push(1.0, "third");
+  EXPECT_EQ(q.pop().event, "first");
+  EXPECT_EQ(q.pop().event, "second");
+  EXPECT_EQ(q.pop().event, "third");
+}
+
+TEST(EventQueue, NowTracksPoppedTime) {
+  EventQueue<int> q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  q.push(5.0, 1);
+  q.push(7.5, 2);
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(1.0, 1);
+  q.push(10.0, 4);
+  EXPECT_EQ(q.pop().event, 1);
+  q.push(2.0, 2);  // scheduled after now(), fine
+  q.push(3.0, 3);
+  EXPECT_EQ(q.pop().event, 2);
+  EXPECT_EQ(q.pop().event, 3);
+  EXPECT_EQ(q.pop().event, 4);
+}
+
+TEST(EventQueue, SizeAndPeek) {
+  EventQueue<int> q;
+  q.push(2.0, 2);
+  q.push(1.0, 1);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.peek().event, 1);
+  EXPECT_EQ(q.size(), 2u);  // peek does not consume
+}
+
+TEST(EventQueue, ManyEventsStaySorted) {
+  EventQueue<int> q;
+  // Deterministic pseudo-shuffled times.
+  for (int i = 0; i < 1000; ++i) {
+    q.push(static_cast<double>((i * 7919) % 1000), i);
+  }
+  double last = -1;
+  while (!q.empty()) {
+    const auto item = q.pop();
+    ASSERT_GE(item.time, last);
+    last = item.time;
+  }
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,188 @@
+// Cross-cutting tests for the extension features: the refine policy stage,
+// the load-dependent service model, workload size-class fidelity, and the
+// off-loading trace format.
+#include <gtest/gtest.h>
+
+#include "baselines/static_policies.h"
+#include "core/policy.h"
+#include "sim/simulator.h"
+#include "test_helpers.h"
+#include "workload/generator.h"
+#include "workload/stats.h"
+
+namespace mmr {
+namespace {
+
+TEST(PolicyRefine, StageRunsAndImprovesOrKeeps) {
+  WorkloadParams wl = testing::small_params();
+  wl.storage_fraction = 0.4;
+  const SystemModel sys = generate_workload(wl, 601);
+
+  PolicyOptions plain;
+  const PolicyResult base = run_replication_policy(sys, plain);
+
+  PolicyOptions refined = plain;
+  refined.refine_enabled = true;
+  const PolicyResult ref = run_replication_policy(sys, refined);
+
+  EXPECT_GT(ref.refine_report.passes, 0u);
+  EXPECT_LE(ref.refine_report.d_after, ref.refine_report.d_before + 1e-9);
+  EXPECT_LE(objective_total_cached(ref.assignment, plain.weights),
+            objective_total_cached(base.assignment, plain.weights) + 1e-9);
+  EXPECT_TRUE(audit_constraints(sys, ref.assignment).ok());
+}
+
+TEST(PolicyRefine, DisabledByDefault) {
+  const SystemModel sys = generate_workload(testing::small_params(), 602);
+  const PolicyResult r = run_replication_policy(sys);
+  EXPECT_EQ(r.refine_report.passes, 0u);
+  EXPECT_EQ(r.refine_report.flips, 0u);
+}
+
+TEST(OverloadModel, StretchesOverloadedRepository) {
+  const SystemModel sys = generate_workload(testing::small_params(), 603);
+  // All-remote places the full MO load on R; give R a tiny capacity.
+  SystemModel constrained = generate_workload(testing::small_params(), 603);
+  const Assignment probe(constrained);
+  set_repo_capacity(constrained, probe.repo_proc_load(), 0.5);
+
+  SimParams with;
+  with.requests_per_server = 500;
+  with.overload_exponent = 1.0;
+  SimParams without = with;
+  without.overload_exponent = 0.0;
+
+  const Simulator sim_with(constrained, with);
+  const Simulator sim_without(constrained, without);
+  const Assignment remote = make_remote_assignment(constrained);
+  const double slow = sim_with.simulate(remote, 3).page_response.mean();
+  const double fast = sim_without.simulate(remote, 3).page_response.mean();
+  // Load is 2x capacity -> remote transfers stretch ~2x.
+  EXPECT_GT(slow, 1.5 * fast);
+  (void)sys;
+}
+
+TEST(OverloadModel, NoEffectWithinCapacity) {
+  const SystemModel sys = generate_workload(testing::small_params(), 604);
+  SimParams with;
+  with.requests_per_server = 400;
+  with.overload_exponent = 2.0;
+  SimParams without = with;
+  without.overload_exponent = 0.0;
+  const Simulator a(sys, with), b(sys, without);
+  const Assignment local = make_local_assignment(sys);
+  // Capacities are unlimited in small_params: identical results.
+  EXPECT_DOUBLE_EQ(a.simulate(local, 9).page_response.mean(),
+                   b.simulate(local, 9).page_response.mean());
+}
+
+TEST(OverloadModel, ValidationRejectsNegativeExponent) {
+  SimParams p;
+  p.overload_exponent = -1.0;
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(WorkloadClasses, HtmlSizeMixtureMatchesTable1) {
+  WorkloadParams p;  // paper defaults
+  p.num_servers = 4;
+  const SystemModel sys = generate_workload(p, 605);
+  std::size_t small = 0, medium = 0, large = 0;
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    const auto bytes = sys.page(j).html_bytes;
+    if (bytes <= 6 * 1024) {
+      ++small;
+    } else if (bytes <= 20 * 1024) {
+      ++medium;
+    } else {
+      ++large;
+    }
+  }
+  const double n = static_cast<double>(sys.num_pages());
+  EXPECT_NEAR(small / n, 0.35, 0.04);
+  EXPECT_NEAR(medium / n, 0.60, 0.04);
+  EXPECT_NEAR(large / n, 0.05, 0.02);
+}
+
+TEST(WorkloadClasses, ObjectSizeMixtureMatchesTable1) {
+  WorkloadParams p;
+  const SystemModel sys = generate_workload(p, 606);
+  std::size_t small = 0, medium = 0, large = 0;
+  for (ObjectId k = 0; k < sys.num_objects(); ++k) {
+    const auto bytes = sys.object_bytes(k);
+    if (bytes <= 300 * 1024) {
+      ++small;
+    } else if (bytes <= 800 * 1024) {
+      ++medium;
+    } else {
+      ++large;
+    }
+  }
+  const double n = static_cast<double>(sys.num_objects());
+  EXPECT_NEAR(small / n, 0.30, 0.02);
+  EXPECT_NEAR(medium / n, 0.60, 0.02);
+  EXPECT_NEAR(large / n, 0.10, 0.02);
+}
+
+TEST(WorkloadClasses, OverheadAndRateRangesMatchTable1) {
+  WorkloadParams p;
+  const SystemModel sys = generate_workload(p, 607);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    const Server& s = sys.server(i);
+    EXPECT_GE(s.ovhd_local, 1.275);
+    EXPECT_LE(s.ovhd_local, 1.775);
+    EXPECT_GE(s.ovhd_repo, 1.975);
+    EXPECT_LE(s.ovhd_repo, 2.475);
+    EXPECT_GE(s.local_rate, 3.0 * 1024);
+    EXPECT_LE(s.local_rate, 10.0 * 1024);
+    EXPECT_GE(s.repo_rate, 0.3 * 1024);
+    EXPECT_LE(s.repo_rate, 2.0 * 1024);
+    EXPECT_DOUBLE_EQ(s.proc_capacity, 150.0);
+  }
+}
+
+TEST(OffloadTrace, MentionsRoundsAndSets) {
+  const SystemModel sys = testing::tiny_system(
+      /*proc_capacity=*/100, /*storage=*/10 * testing::kKB,
+      /*repo_capacity=*/1.0);
+  Assignment asg(sys);
+  const OffloadReport report = offload_repository(sys, asg, {2, 1});
+  const std::string trace = report.trace();
+  EXPECT_NE(trace.find("round 1"), std::string::npos);
+  EXPECT_NE(trace.find("L1="), std::string::npos);
+  EXPECT_NE(trace.find("NewReq="), std::string::npos);
+  EXPECT_NE(trace.find("achieved="), std::string::npos);
+  EXPECT_NE(trace.find("converged"), std::string::npos);
+}
+
+TEST(SimulatorSamples, CapturedOnlyWhenEnabled) {
+  const SystemModel sys = generate_workload(testing::small_params(), 608);
+  SimParams off;
+  off.requests_per_server = 200;
+  SimParams on = off;
+  on.capture_samples = true;
+  const Simulator sim_off(sys, off), sim_on(sys, on);
+  const Assignment asg = make_local_assignment(sys);
+  EXPECT_TRUE(sim_off.simulate(asg, 1).page_samples.empty());
+  const SimMetrics m = sim_on.simulate(asg, 1);
+  EXPECT_EQ(m.page_samples.count(), m.page_response.count());
+  EXPECT_NEAR(m.page_samples.mean(), m.page_response.mean(), 1e-9);
+}
+
+TEST(ExpectedMeanResponse, ThrowsWithoutTraffic) {
+  SystemModel sys;
+  Server s;
+  s.local_rate = 10;
+  s.repo_rate = 1;
+  sys.add_server(s);
+  Page p;
+  p.host = 0;
+  p.html_bytes = 10;
+  p.frequency = 0.0;
+  sys.add_page(std::move(p));
+  sys.finalize();
+  const Assignment asg(sys);
+  EXPECT_THROW(expected_mean_response_time(asg), CheckError);
+}
+
+}  // namespace
+}  // namespace mmr

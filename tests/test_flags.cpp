@@ -1,0 +1,84 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mmr {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = parse({"prog", "--runs=5", "--name=test"});
+  EXPECT_EQ(f.get_int("runs", 0), 5);
+  EXPECT_EQ(f.get_string("name", ""), "test");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags f = parse({"prog", "--runs", "7"});
+  EXPECT_EQ(f.get_int("runs", 0), 7);
+}
+
+TEST(Flags, BareBooleanFlag) {
+  const Flags f = parse({"prog", "--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_TRUE(f.has("verbose"));
+}
+
+TEST(Flags, Defaults) {
+  const Flags f = parse({"prog"});
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(f.get_string("missing", "x"), "x");
+  EXPECT_FALSE(f.get_bool("missing", false));
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(Flags, DoubleParsing) {
+  const Flags f = parse({"prog", "--frac=0.65"});
+  EXPECT_DOUBLE_EQ(f.get_double("frac", 0), 0.65);
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(parse({"p", "--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"p", "--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"p", "--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"p", "--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"p", "--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"p", "--x=off"}).get_bool("x", true));
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  const Flags f = parse({"prog", "--n=abc"});
+  EXPECT_THROW(f.get_int("n", 0), CheckError);
+  EXPECT_THROW(f.get_double("n", 0), CheckError);
+  EXPECT_THROW(f.get_bool("n", false), CheckError);
+}
+
+TEST(Flags, Positional) {
+  const Flags f = parse({"prog", "input.txt", "--n=1", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(Flags, HelpListing) {
+  Flags f = parse({"prog", "--help"});
+  f.describe("runs", "number of runs");
+  EXPECT_TRUE(f.help_requested());
+  const std::string h = f.help();
+  EXPECT_NE(h.find("--runs"), std::string::npos);
+  EXPECT_NE(h.find("number of runs"), std::string::npos);
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags f = parse({"prog", "--n=1", "--n=2"});
+  EXPECT_EQ(f.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,147 @@
+#include "core/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_solver.h"
+#include "baselines/static_policies.h"
+#include "core/policy.h"
+#include "test_helpers.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+constexpr Weights kW{2.0, 1.0};
+
+TEST(LocalSearch, FixesObviouslyBadPlacement) {
+  // All-remote on a system where local is strictly better everywhere.
+  const SystemModel sys = testing::tiny_system(kUnlimited, 1 << 20);
+  Assignment asg = make_remote_assignment(sys);
+  const LocalSearchReport report = refine_local_search(sys, asg, kW);
+  EXPECT_GT(report.flips, 0u);
+  EXPECT_LT(report.d_after, report.d_before);
+  EXPECT_TRUE(asg.comp_local(0, 0));
+  EXPECT_TRUE(asg.comp_local(0, 1));
+  EXPECT_TRUE(asg.opt_local(0, 0));
+}
+
+TEST(LocalSearch, NoFlipsOnOptimum) {
+  const SystemModel sys = testing::tiny_system(kUnlimited, 1 << 20);
+  const auto oracle = solve_exact(sys, kW);
+  ASSERT_TRUE(oracle.has_value());
+  Assignment asg = oracle->assignment;
+  const LocalSearchReport report = refine_local_search(sys, asg, kW);
+  EXPECT_EQ(report.flips, 0u);
+  EXPECT_DOUBLE_EQ(report.d_before, report.d_after);
+}
+
+TEST(LocalSearch, RespectsStorageConstraint) {
+  const SystemModel sys = testing::tiny_system(kUnlimited, 200 + 520);
+  Assignment asg(sys);  // all remote; only one object can ever fit
+  refine_local_search(sys, asg, kW);
+  EXPECT_TRUE(audit_constraints(sys, asg).ok());
+  EXPECT_LE(asg.storage_used(0), sys.server(0).storage_capacity);
+}
+
+TEST(LocalSearch, RespectsProcessingConstraint) {
+  const SystemModel sys = testing::tiny_system(/*proc_capacity=*/4.4);
+  Assignment asg(sys);
+  refine_local_search(sys, asg, kW);
+  EXPECT_TRUE(within_capacity(asg.server_proc_load(0), 4.4));
+}
+
+TEST(LocalSearch, RespectsRepositoryConstraint) {
+  // Start all-local; unmarking would push load onto a zero-capacity repo.
+  SystemModel sys;
+  Server s;
+  s.storage_capacity = 1 << 20;
+  s.ovhd_local = 1.0;
+  s.ovhd_repo = 1.0;
+  s.local_rate = 10.0;     // local is slow...
+  s.repo_rate = 1000.0;    // ...remote would be much better
+  sys.add_server(s);
+  sys.set_repository({1e-9});  // but the repository has no capacity
+  const ObjectId k = sys.add_object({1000});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 100;
+  p.frequency = 1.0;
+  p.compulsory = {k};
+  sys.add_page(std::move(p));
+  sys.finalize();
+
+  Assignment asg = make_local_assignment(sys);
+  const LocalSearchReport report = refine_local_search(sys, asg, kW);
+  EXPECT_EQ(report.flips, 0u);  // the tempting flip is Eq.9-infeasible
+  EXPECT_TRUE(asg.comp_local(0, 0));
+}
+
+TEST(LocalSearch, MonotoneAndTerminates) {
+  WorkloadParams wl = testing::small_params();
+  wl.storage_fraction = 0.5;
+  const SystemModel sys = generate_workload(wl, 501);
+  Assignment asg(sys);  // all-remote start: plenty to fix
+  LocalSearchOptions opt;
+  opt.max_passes = 20;
+  const LocalSearchReport report = refine_local_search(sys, asg, kW, opt);
+  EXPECT_LE(report.d_after, report.d_before);
+  EXPECT_LT(report.passes, 20u);  // converged before the cap
+  EXPECT_TRUE(audit_constraints(sys, asg).ok());
+}
+
+TEST(LocalSearch, NeverWorsensPipelineResult) {
+  WorkloadParams wl = testing::small_params();
+  wl.storage_fraction = 0.4;
+  const SystemModel sys = generate_workload(wl, 502);
+  PolicyResult pipeline = run_replication_policy(sys);
+  const double before =
+      objective_total_cached(pipeline.assignment, kW);
+  const LocalSearchReport report =
+      refine_local_search(sys, pipeline.assignment, kW);
+  EXPECT_LE(report.d_after, before + 1e-9);
+  EXPECT_TRUE(audit_constraints(sys, pipeline.assignment).ok());
+}
+
+TEST(LocalSearch, ReachesOracleOnTinyInstances) {
+  // Single-bit hill climbing from the pipeline's answer should close most
+  // of the gap on tiny instances; it must never overshoot the oracle.
+  Rng rng(909);
+  for (int trial = 0; trial < 10; ++trial) {
+    SystemModel sys;
+    Server s;
+    s.proc_capacity = rng.uniform(5.0, 30.0);
+    s.storage_capacity =
+        static_cast<std::uint64_t>(rng.uniform_int(500, 2500));
+    s.ovhd_local = rng.uniform(0.1, 1.0);
+    s.ovhd_repo = rng.uniform(0.2, 2.0);
+    s.local_rate = rng.uniform(50, 300);
+    s.repo_rate = rng.uniform(10, 100);
+    sys.add_server(s);
+    std::vector<ObjectId> objs;
+    for (int k = 0; k < 4; ++k) {
+      objs.push_back(sys.add_object(
+          {static_cast<std::uint64_t>(rng.uniform_int(100, 800))}));
+    }
+    for (int pg = 0; pg < 2; ++pg) {
+      Page p;
+      p.host = 0;
+      p.html_bytes = static_cast<std::uint64_t>(rng.uniform_int(50, 200));
+      p.frequency = rng.uniform(0.2, 2.0);
+      const auto picks = rng.sample_without_replacement(4, 2);
+      p.compulsory = {picks[0], picks[1]};
+      sys.add_page(std::move(p));
+    }
+    sys.finalize();
+
+    const auto oracle = solve_exact(sys, kW);
+    if (!oracle.has_value()) continue;
+    PolicyResult pipeline = run_replication_policy(sys);
+    refine_local_search(sys, pipeline.assignment, kW);
+    EXPECT_LE(oracle->objective,
+              objective_total_cached(pipeline.assignment, kW) + 1e-6)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,69 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace mmr {
+namespace {
+
+/// RAII guard restoring the global log level.
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, LevelRoundTrip) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Log, SuppressedBelowLevelWritesNothing) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  MMR_LOG_DEBUG << "invisible";
+  MMR_LOG_INFO << "invisible";
+  MMR_LOG_WARN << "invisible";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Log, EmittedAtOrAboveLevel) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  MMR_LOG_INFO << "hello " << 42;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO"), std::string::npos);
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+  EXPECT_NE(out.find("test_log.cpp"), std::string::npos);  // basename only
+  EXPECT_EQ(out.find('/'), std::string::npos);
+}
+
+TEST(Log, StreamArgumentsNotEvaluatedWhenSuppressed) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  MMR_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  MMR_LOG_DEBUG << expensive();
+  ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,113 @@
+#include "baselines/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace mmr {
+namespace {
+
+TEST(LruCache, HitAndMissAccounting) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_TRUE(cache.insert(1, 40));
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.used_bytes(), 40u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache cache(100);
+  cache.insert(1, 40);
+  cache.insert(2, 40);
+  cache.access(1);          // 2 is now LRU
+  cache.insert(3, 40);      // must evict 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCache, EvictsMultipleForLargeInsert) {
+  LruCache cache(100);
+  cache.insert(1, 30);
+  cache.insert(2, 30);
+  cache.insert(3, 30);
+  cache.insert(4, 70);  // evicts 1 and 2 (30+70 <= 100)
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(LruCache, RejectsOversizedObject) {
+  LruCache cache(50);
+  EXPECT_FALSE(cache.insert(1, 51));
+  EXPECT_TRUE(cache.empty());
+  EXPECT_TRUE(cache.insert(2, 50));  // exactly fits
+  EXPECT_EQ(cache.used_bytes(), 50u);
+}
+
+TEST(LruCache, ZeroCapacityHoldsNothing) {
+  LruCache cache(0);
+  EXPECT_FALSE(cache.insert(1, 1));
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(LruCache, ReinsertRefreshesRecency) {
+  LruCache cache(100);
+  cache.insert(1, 40);
+  cache.insert(2, 40);
+  cache.insert(1, 40);     // refresh: 2 becomes LRU
+  cache.insert(3, 40);     // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.used_bytes(), 80u);  // no double count on refresh
+}
+
+TEST(LruCache, AccessRefreshesRecency) {
+  LruCache cache(90);
+  cache.insert(1, 30);
+  cache.insert(2, 30);
+  cache.insert(3, 30);
+  cache.access(1);      // order (MRU->LRU): 1, 3, 2
+  cache.insert(4, 30);  // evicts 2
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(LruCache, EraseFreesSpace) {
+  LruCache cache(100);
+  cache.insert(1, 60);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_TRUE(cache.insert(2, 100));
+}
+
+TEST(LruCache, ContainsDoesNotTouchRecency) {
+  LruCache cache(60);
+  cache.insert(1, 30);
+  cache.insert(2, 30);
+  EXPECT_TRUE(cache.contains(1));  // peek only; 1 stays LRU
+  cache.insert(3, 30);             // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(LruCache, StressConsistency) {
+  LruCache cache(1000);
+  std::uint64_t next_key = 0;
+  for (int round = 0; round < 2000; ++round) {
+    cache.insert(static_cast<ObjectId>(next_key++ % 50),
+                 (round % 90) + 10);
+    ASSERT_LE(cache.used_bytes(), 1000u);
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace mmr

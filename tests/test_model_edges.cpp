@@ -1,0 +1,190 @@
+// Edge-case coverage: assignment copy semantics, degenerate pages, flag
+// parser corners, and cross-checks that only show up in unusual instances.
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "model/cost.h"
+#include "test_helpers.h"
+#include "util/flags.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+TEST(AssignmentCopy, CopiesAreIndependent) {
+  const SystemModel sys = testing::tiny_system();
+  Assignment a(sys);
+  partition_page(sys, a, 0);
+  Assignment b = a;  // deep copy
+  b.set_comp_local(0, 0, !b.comp_local(0, 0));
+  EXPECT_NE(a.comp_local(0, 0), b.comp_local(0, 0));
+  EXPECT_NE(a.page_local_time(0), b.page_local_time(0));
+  // The original's caches are untouched.
+  Assignment fresh = a;
+  fresh.recompute_caches();
+  EXPECT_DOUBLE_EQ(a.page_local_time(0), fresh.page_local_time(0));
+}
+
+TEST(DegeneratePages, HtmlOnlyPageWorksThroughPipeline) {
+  SystemModel sys;
+  Server s;
+  s.storage_capacity = 1 << 20;
+  s.ovhd_local = 1.0;
+  s.ovhd_repo = 2.0;
+  s.local_rate = 100.0;
+  s.repo_rate = 10.0;
+  sys.add_server(s);
+  Page p;  // no multimedia at all
+  p.host = 0;
+  p.html_bytes = 500;
+  p.frequency = 1.0;
+  sys.add_page(std::move(p));
+  sys.finalize();
+
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  // Eq. 3: 1 + 5 = 6; Eq. 4: overhead only; Eq. 6: zero.
+  EXPECT_DOUBLE_EQ(asg.page_local_time(0), 6.0);
+  EXPECT_DOUBLE_EQ(asg.page_remote_time(0), 2.0);
+  EXPECT_DOUBLE_EQ(asg.page_optional_time(0), 0.0);
+  EXPECT_TRUE(audit_constraints(sys, asg).ok());
+}
+
+TEST(DegeneratePages, OptionalOnlyPage) {
+  SystemModel sys;
+  Server s;
+  s.storage_capacity = 1 << 20;
+  s.ovhd_local = 1.0;
+  s.ovhd_repo = 2.0;
+  s.local_rate = 100.0;
+  s.repo_rate = 10.0;
+  sys.add_server(s);
+  const ObjectId k = sys.add_object({400});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 100;
+  p.frequency = 1.0;
+  p.optional = {{k, 0.5}};
+  sys.add_page(std::move(p));
+  sys.finalize();
+
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  EXPECT_TRUE(asg.opt_local(0, 0));  // local is cheaper
+  // Response time is just the HTML pipeline (no remote objects).
+  EXPECT_DOUBLE_EQ(asg.page_remote_time(0), 2.0);
+  EXPECT_EQ(asg.num_comp_local(0), 0u);
+}
+
+TEST(ZeroFrequencyPage, ContributesNothingToObjectiveOrLoad) {
+  SystemModel sys;
+  Server s;
+  s.storage_capacity = 1 << 20;
+  s.local_rate = 100.0;
+  s.repo_rate = 10.0;
+  sys.add_server(s);
+  const ObjectId k = sys.add_object({400});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 100;
+  p.frequency = 0.0;  // archived page, never requested
+  p.compulsory = {k};
+  sys.add_page(std::move(p));
+  sys.finalize();
+
+  Assignment asg(sys);
+  asg.set_comp_local(0, 0, true);
+  EXPECT_DOUBLE_EQ(objective_total_cached(asg, {2, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(asg.server_proc_load(0), 0.0);
+  EXPECT_DOUBLE_EQ(asg.repo_proc_load(), 0.0);
+  // It still occupies storage, though.
+  EXPECT_EQ(asg.storage_used(0), 100u + 400u);
+}
+
+TEST(Flags, NegativeNumberAsSpaceSeparatedValue) {
+  const char* argv[] = {"prog", "--offset", "-5"};
+  const Flags f = Flags::parse(3, argv);
+  EXPECT_EQ(f.get_int("offset", 0), -5);
+}
+
+TEST(Flags, DoubleDashValueNotSwallowed) {
+  // "--a --b": --a is a bare boolean, --b too.
+  const char* argv[] = {"prog", "--a", "--b"};
+  const Flags f = Flags::parse(3, argv);
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_TRUE(f.get_bool("b", false));
+}
+
+TEST(PartitionExact, SingleObjectPage) {
+  SystemModel sys;
+  Server s;
+  s.ovhd_local = 1.0;
+  s.ovhd_repo = 2.0;
+  s.local_rate = 100.0;
+  s.repo_rate = 10.0;
+  sys.add_server(s);
+  const ObjectId k = sys.add_object({1000});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 100;
+  p.frequency = 1.0;
+  p.compulsory = {k};
+  sys.add_page(std::move(p));
+  sys.finalize();
+
+  Assignment asg(sys);
+  PartitionOptions opt;
+  opt.exact = true;
+  opt.exact_resolution_bytes = 1;
+  partition_page_exact(sys, asg, 0, opt);
+  // Local: 1 + 11 = 12 vs remote: 2 + 100 = 102 -> local.
+  EXPECT_TRUE(asg.comp_local(0, 0));
+}
+
+TEST(StoredObjects, UnionAcrossRoles) {
+  // The same object marked optionally on one page and compulsorily on
+  // another of the same server is stored once.
+  SystemModel sys;
+  Server s;
+  s.storage_capacity = 1 << 20;
+  s.local_rate = 100.0;
+  s.repo_rate = 10.0;
+  sys.add_server(s);
+  const ObjectId k = sys.add_object({700});
+  Page a;
+  a.host = 0;
+  a.html_bytes = 10;
+  a.frequency = 1.0;
+  a.compulsory = {k};
+  sys.add_page(std::move(a));
+  Page b;
+  b.host = 0;
+  b.html_bytes = 10;
+  b.frequency = 1.0;
+  b.optional = {{k, 0.3}};
+  sys.add_page(std::move(b));
+  sys.finalize();
+
+  Assignment asg(sys);
+  asg.set_comp_local(0, 0, true);
+  asg.set_opt_local(1, 0, true);
+  EXPECT_EQ(asg.mark_count(0, k), 2u);
+  EXPECT_EQ(asg.storage_used(0), 20u + 700u);
+  asg.set_comp_local(0, 0, false);
+  EXPECT_TRUE(asg.object_stored(0, k));  // optional mark keeps it alive
+  EXPECT_EQ(asg.storage_used(0), 20u + 700u);
+}
+
+TEST(Workload, SingleServerWorkload) {
+  WorkloadParams p = testing::small_params();
+  p.num_servers = 1;
+  const SystemModel sys = generate_workload(p, 801);
+  EXPECT_EQ(sys.num_servers(), 1u);
+  EXPECT_GT(sys.num_pages(), 0u);
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  EXPECT_TRUE(audit_constraints(sys, asg).ok());
+}
+
+}  // namespace
+}  // namespace mmr

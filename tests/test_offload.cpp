@@ -1,0 +1,260 @@
+#include "core/offload.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "core/processing_restore.h"
+#include "core/storage_restore.h"
+#include "model/cost.h"
+#include "test_helpers.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+constexpr Weights kW{2.0, 1.0};
+
+TEST(Offload, NotTriggeredWhenRepoWithinCapacity) {
+  const SystemModel sys = testing::tiny_system(
+      /*proc_capacity=*/100, /*storage=*/10 * testing::kKB,
+      /*repo_capacity=*/1000.0);
+  Assignment asg(sys);
+  partition_all(sys, asg);  // everything local: repo load 0
+  const auto report = offload_repository(sys, asg, kW);
+  EXPECT_FALSE(report.triggered);
+  EXPECT_TRUE(report.converged);
+  EXPECT_TRUE(report.rounds.empty());
+  EXPECT_NE(report.trace().find("not triggered"), std::string::npos);
+}
+
+TEST(Offload, AbsorbsExcessIntoServerWithHeadroom) {
+  // All-remote start, tight repo capacity, plenty of local capacity/storage:
+  // the server must take downloads over until Eq. 9 holds.
+  const SystemModel sys = testing::tiny_system(
+      /*proc_capacity=*/100, /*storage=*/10 * testing::kKB,
+      /*repo_capacity=*/1.0);
+  Assignment asg(sys);  // all remote: repo load = 2*(2 + 0.25) = 4.5
+  ASSERT_DOUBLE_EQ(asg.repo_proc_load(), 4.5);
+
+  const auto report = offload_repository(sys, asg, kW);
+  EXPECT_TRUE(report.triggered);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LE(asg.repo_proc_load(), 1.0 + 1e-9);
+  EXPECT_GE(report.slots_absorbed, 2u);
+  EXPECT_TRUE(audit_constraints(sys, asg).ok());
+  EXPECT_NE(report.trace().find("round 1"), std::string::npos);
+}
+
+TEST(Offload, RespectsLocalProcessingCapacity) {
+  // Local capacity only allows ~one extra download: the protocol must stop
+  // at Eq. 8 and report non-convergence if the repo stays overloaded.
+  const SystemModel sys = testing::tiny_system(
+      /*proc_capacity=*/4.2,  // mandatory 2 + one comp download (2) + eps
+      /*storage=*/10 * testing::kKB,
+      /*repo_capacity=*/0.5);
+  Assignment asg(sys);
+  const auto report = offload_repository(sys, asg, kW);
+  EXPECT_TRUE(report.triggered);
+  EXPECT_TRUE(within_capacity(asg.server_proc_load(0), 4.2));
+  // Headroom is 2.2: one compulsory slot (workload 2) fits, after which the
+  // optional slot (0.5) no longer does. Repo load drops 4.5 -> 2.5 > 0.5.
+  EXPECT_FALSE(report.converged);
+  EXPECT_NEAR(asg.repo_proc_load(), 2.5, 1e-9);
+  EXPECT_NE(report.trace().find("NOT converged"), std::string::npos);
+}
+
+TEST(Offload, L2ServerUsesAlreadyStoredObjectsOnly) {
+  // Storage exactly fits what is already stored (nothing new fits), but a
+  // stored object is marked remote on one page — the L2 path must flip it.
+  const SystemModel sys = testing::two_server_system(
+      /*proc_capacity=*/1000.0,
+      /*storage=*/(1 + 2 + 8) * testing::kKB,  // server 0: html + shared only
+      /*repo_capacity=*/0.1);
+  Assignment asg(sys);
+  // Store `shared` via page 1 but leave page 0's reference remote.
+  asg.set_comp_local(1, 1, true);
+  ASSERT_EQ(asg.storage_used(0), (1 + 2 + 8) * testing::kKB);  // full
+  const double repo_before = asg.repo_proc_load();
+
+  OffloadOptions opt;
+  opt.allow_swap = false;
+  const auto report = offload_repository(sys, asg, kW, opt);
+  EXPECT_TRUE(report.triggered);
+  // Page 0's `shared` slot (f=5) must now be local — no storage change.
+  EXPECT_TRUE(asg.comp_local(0, 1));
+  EXPECT_EQ(asg.storage_used(0), (1 + 2 + 8) * testing::kKB);
+  EXPECT_LT(asg.repo_proc_load(), repo_before);
+  (void)report;
+}
+
+TEST(Offload, ProportionalDistributionAcrossServers) {
+  // Two servers with ample resources: round 1 must split the deficit in
+  // proportion to free processing capacity and converge.
+  WorkloadParams params = testing::small_params();
+  params.num_servers = 2;
+  params.server_proc_capacity = 500.0;
+  SystemModel sys = generate_workload(params, 81);
+  Assignment asg(sys);  // all remote
+  const double load = asg.repo_proc_load();
+  ASSERT_GT(load, 0);
+  set_repo_capacity(sys, load, 0.5);
+
+  const auto report = offload_repository(sys, asg, kW);
+  ASSERT_TRUE(report.triggered);
+  EXPECT_TRUE(report.converged);
+  ASSERT_FALSE(report.rounds.empty());
+  const OffloadRound& r0 = report.rounds[0];
+  EXPECT_EQ(r0.l1.size(), 2u);
+  ASSERT_EQ(r0.answers.size(), 2u);
+  // NewReq proportional to free capacity (nearly equal here).
+  const double req0 = r0.answers[0].requested;
+  const double req1 = r0.answers[1].requested;
+  EXPECT_NEAR(req0 + req1, r0.deficit, 1e-6);
+}
+
+TEST(Offload, ServerMovesToL3AfterShortfall) {
+  // Server capacity lets it absorb only part of its NewReq; it must appear
+  // as moved_to_l3 and be excluded from the next round's L1/L2.
+  const SystemModel sys = testing::tiny_system(
+      /*proc_capacity=*/3.0,  // mandatory 2 + headroom 1 < deficit
+      /*storage=*/10 * testing::kKB,
+      /*repo_capacity=*/0.5);
+  Assignment asg(sys);
+  const auto report = offload_repository(sys, asg, kW);
+  ASSERT_TRUE(report.triggered);
+  EXPECT_FALSE(report.converged);
+  bool saw_l3_move = false;
+  for (const auto& round : report.rounds) {
+    for (const auto& a : round.answers) saw_l3_move |= a.moved_to_l3;
+  }
+  EXPECT_TRUE(saw_l3_move);
+  // Negotiation must terminate quickly once everyone is in L3.
+  EXPECT_LE(report.rounds.size(), 3u);
+}
+
+TEST(Offload, SwapAdmitsHighWorkloadObject) {
+  // Server stores a big, cold object; a small, hot object cannot fit without
+  // eviction. The swap phase should trade them.
+  SystemModel sys;
+  Server s;
+  s.proc_capacity = kUnlimited;
+  s.storage_capacity = 1 + 1 + 1000;  // two 1-byte HTMLs + big only
+  s.ovhd_local = 0.1;
+  s.ovhd_repo = 0.2;
+  s.local_rate = 1000.0;
+  s.repo_rate = 10.0;
+  sys.add_server(s);
+  sys.set_repository({0.05});
+  sys.add_object({1000});  // big
+  sys.add_object({900});   // hot (doesn't fit next to big)
+  Page cold;
+  cold.host = 0;
+  cold.html_bytes = 1;
+  cold.frequency = 0.1;
+  cold.compulsory = {0};
+  sys.add_page(std::move(cold));
+  Page hot;
+  hot.host = 0;
+  hot.html_bytes = 1;
+  hot.frequency = 10.0;
+  hot.compulsory = {1};
+  sys.add_page(std::move(hot));
+  sys.finalize();
+
+  Assignment asg(sys);
+  asg.set_comp_local(0, 0, true);  // big stored, hot remote
+  ASSERT_DOUBLE_EQ(asg.repo_proc_load(), 10.0);
+
+  OffloadOptions opt;
+  opt.allow_swap = true;
+  const auto report = offload_repository(sys, asg, kW, opt);
+  EXPECT_TRUE(report.triggered);
+  EXPECT_GE(report.swaps, 1u);
+  EXPECT_TRUE(asg.comp_local(1, 0));   // hot now local
+  EXPECT_FALSE(asg.comp_local(0, 0));  // big evicted
+  EXPECT_NEAR(asg.repo_proc_load(), 0.1, 1e-9);
+  EXPECT_LE(asg.storage_used(0), sys.server(0).storage_capacity);
+}
+
+TEST(Offload, SwapDisabledLeavesObjectRemote) {
+  SystemModel sys;
+  Server s;
+  s.proc_capacity = kUnlimited;
+  s.storage_capacity = 1 + 1 + 1000;
+  s.ovhd_local = 0.1;
+  s.ovhd_repo = 0.2;
+  s.local_rate = 1000.0;
+  s.repo_rate = 10.0;
+  sys.add_server(s);
+  sys.set_repository({0.05});
+  sys.add_object({1000});
+  sys.add_object({900});
+  Page cold;
+  cold.host = 0;
+  cold.html_bytes = 1;
+  cold.frequency = 0.1;
+  cold.compulsory = {0};
+  sys.add_page(std::move(cold));
+  Page hot;
+  hot.host = 0;
+  hot.html_bytes = 1;
+  hot.frequency = 10.0;
+  hot.compulsory = {1};
+  sys.add_page(std::move(hot));
+  sys.finalize();
+
+  Assignment asg(sys);
+  asg.set_comp_local(0, 0, true);
+  OffloadOptions opt;
+  opt.allow_swap = false;
+  const auto report = offload_repository(sys, asg, kW, opt);
+  EXPECT_FALSE(report.converged);
+  EXPECT_FALSE(asg.comp_local(1, 0));
+  EXPECT_EQ(report.swaps, 0u);
+}
+
+// Property: after the full pipeline with a constrained repository, either
+// the protocol converged (Eq. 9 holds) or every server is pinned at its own
+// capacity/storage limit; constraints Eq. 8/10 always hold.
+class OffloadProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(OffloadProperty, NeverViolatesLocalConstraints) {
+  const auto [seed, repo_fraction] = GetParam();
+  WorkloadParams params = testing::small_params();
+  params.server_proc_capacity = 60.0;
+  params.storage_fraction = 0.8;
+  SystemModel sys = generate_workload(params, seed);
+
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  restore_storage(sys, asg, kW);
+  restore_processing(sys, asg, kW);
+  set_repo_capacity(sys, std::max(asg.repo_proc_load(), 1.0), repo_fraction);
+
+  const auto report = offload_repository(sys, asg, kW);
+  const ConstraintReport audit = audit_constraints(sys, asg);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_TRUE(within_capacity(audit.server_proc_load[i],
+                                sys.server(i).proc_capacity))
+        << "server " << i;
+    EXPECT_LE(audit.storage_used[i], sys.server(i).storage_capacity)
+        << "server " << i;
+  }
+  if (report.converged) {
+    EXPECT_TRUE(within_capacity(audit.repo_proc_load,
+                                sys.repository().proc_capacity));
+  }
+  // Caches intact after the negotiation.
+  Assignment fresh = asg;
+  fresh.recompute_caches();
+  EXPECT_NEAR(asg.repo_proc_load(), fresh.repo_proc_load(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, OffloadProperty,
+    ::testing::Combine(::testing::Values(91, 92),
+                       ::testing::Values(0.9, 0.5, 0.2)));
+
+}  // namespace
+}  // namespace mmr

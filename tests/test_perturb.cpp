@@ -1,0 +1,120 @@
+#include "sim/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mmr {
+namespace {
+
+Server estimates() {
+  Server s;
+  s.local_rate = 10000.0;
+  s.repo_rate = 1000.0;
+  s.ovhd_local = 1.5;
+  s.ovhd_repo = 2.2;
+  return s;
+}
+
+TEST(Perturb, SamplesStayInPaperBands) {
+  const Server s = estimates();
+  PerturbParams params;  // paper defaults
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const NetworkSample n = perturb(s, params, rng);
+    const double rate_mult = n.local_rate / s.local_rate;
+    const bool nominal = rate_mult >= 0.9 - 1e-9 && rate_mult <= 1.1 + 1e-9;
+    const bool degraded =
+        rate_mult >= 1.0 / 3 - 1e-9 && rate_mult <= 0.5 + 1e-9;
+    const bool congested =
+        rate_mult >= 1.0 / 6 - 1e-9 && rate_mult <= 0.25 + 1e-9;
+    ASSERT_TRUE(nominal || degraded || congested) << rate_mult;
+
+    ASSERT_GE(n.repo_rate / s.repo_rate, 0.8 - 1e-9);
+    ASSERT_LE(n.repo_rate / s.repo_rate, 1.2 + 1e-9);
+    ASSERT_GE(n.ovhd_repo / s.ovhd_repo, 0.8 - 1e-9);
+    ASSERT_LE(n.ovhd_repo / s.ovhd_repo, 1.2 + 1e-9);
+    ASSERT_GE(n.ovhd_local / s.ovhd_local, 0.9 - 1e-9);
+    ASSERT_LE(n.ovhd_local / s.ovhd_local, 1.5 + 1e-9);
+  }
+}
+
+TEST(Perturb, ClassMixMatchesProbabilities) {
+  const Server s = estimates();
+  PerturbParams params;
+  Rng rng(2);
+  int nominal = 0, degraded = 0, congested = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const double mult = perturb(s, params, rng).local_rate / s.local_rate;
+    if (mult >= 0.9 - 1e-9) {
+      ++nominal;
+    } else if (mult >= 1.0 / 3 - 1e-9) {
+      ++degraded;
+    } else {
+      ++congested;
+    }
+  }
+  EXPECT_NEAR(nominal / static_cast<double>(n), 0.60, 0.02);
+  EXPECT_NEAR(degraded / static_cast<double>(n), 0.30, 0.02);
+  EXPECT_NEAR(congested / static_cast<double>(n), 0.10, 0.02);
+}
+
+TEST(Perturb, ZeroSeverityReturnsEstimates) {
+  const Server s = estimates();
+  PerturbParams params;
+  params.severity = 0.0;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const NetworkSample n = perturb(s, params, rng);
+    EXPECT_DOUBLE_EQ(n.local_rate, s.local_rate);
+    EXPECT_DOUBLE_EQ(n.repo_rate, s.repo_rate);
+    EXPECT_DOUBLE_EQ(n.ovhd_local, s.ovhd_local);
+    EXPECT_DOUBLE_EQ(n.ovhd_repo, s.ovhd_repo);
+  }
+}
+
+TEST(Perturb, SeverityScalesDeviations) {
+  const Server s = estimates();
+  PerturbParams half;
+  half.severity = 0.5;
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const NetworkSample n = perturb(s, half, rng);
+    // Worst-case congested band at severity 1 is 1/6; at 0.5 it is
+    // 1 + 0.5*(1/6 - 1) = 0.5833...
+    ASSERT_GE(n.local_rate / s.local_rate, 0.58);
+    ASSERT_LE(n.ovhd_local / s.ovhd_local, 1.25 + 1e-9);
+  }
+}
+
+TEST(Perturb, DeterministicGivenRngState) {
+  const Server s = estimates();
+  PerturbParams params;
+  Rng a(5), b(5);
+  for (int i = 0; i < 50; ++i) {
+    const NetworkSample x = perturb(s, params, a);
+    const NetworkSample y = perturb(s, params, b);
+    EXPECT_DOUBLE_EQ(x.local_rate, y.local_rate);
+    EXPECT_DOUBLE_EQ(x.ovhd_repo, y.ovhd_repo);
+  }
+}
+
+TEST(PerturbParams, ValidationRejectsBadBands) {
+  PerturbParams p;
+  p.p_nominal = 0.8;
+  p.p_degraded = 0.3;  // sums above 1
+  EXPECT_THROW(p.validate(), CheckError);
+
+  PerturbParams q;
+  q.nominal_lo = 1.2;
+  q.nominal_hi = 0.9;  // inverted
+  EXPECT_THROW(q.validate(), CheckError);
+
+  PerturbParams r;
+  r.severity = -0.1;
+  EXPECT_THROW(r.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace mmr

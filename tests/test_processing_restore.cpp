@@ -1,0 +1,137 @@
+#include "core/processing_restore.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "model/cost.h"
+#include "test_helpers.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+constexpr Weights kW{2.0, 1.0};
+
+TEST(ProcessingRestore, NoopWhenWithinCapacity) {
+  const SystemModel sys = testing::tiny_system(/*proc_capacity=*/100.0);
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const double before = objective_total_cached(asg, kW);
+  const auto report = restore_processing(sys, asg, kW);
+  EXPECT_EQ(report.unmarked_slots, 0u);
+  EXPECT_DOUBLE_EQ(objective_total_cached(asg, kW), before);
+}
+
+TEST(ProcessingRestore, ShedsLoadUntilFits) {
+  // Full-local load = f*(1+2+0.25) = 6.5; capacity 5 forces shedding.
+  const SystemModel sys = testing::tiny_system(/*proc_capacity=*/5.0);
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  ASSERT_GT(asg.server_proc_load(0), 5.0);
+
+  const auto report = restore_processing(sys, asg, kW);
+  EXPECT_TRUE(report.feasible());
+  EXPECT_LE(asg.server_proc_load(0), 5.0 + 1e-9);
+  EXPECT_GE(report.unmarked_slots, 1u);
+  EXPECT_TRUE(within_capacity(
+      audit_constraints(sys, asg).server_proc_load[0], 5.0));
+}
+
+TEST(ProcessingRestore, ShedsCheapestSlotFirst) {
+  // Capacity forces exactly one shed; the optional slot frees only
+  // 0.25*f = 0.5 req/s while a compulsory slot frees f = 2. The amortized
+  // criterion picks the slot with least delta-D per req/s freed — here the
+  // optional one is also by far the cheapest in delta (0.25 weight), so it
+  // must go first.
+  const SystemModel sys = testing::tiny_system(/*proc_capacity=*/6.2);
+  Assignment asg(sys);
+  partition_all(sys, asg);  // load 6.5
+  const auto report = restore_processing(sys, asg, kW);
+  EXPECT_TRUE(report.feasible());
+  EXPECT_EQ(report.unmarked_slots, 1u);
+  EXPECT_FALSE(asg.opt_local(0, 0));
+  EXPECT_TRUE(asg.comp_local(0, 0));
+  EXPECT_TRUE(asg.comp_local(0, 1));
+}
+
+TEST(ProcessingRestore, DeallocatesObjectsWithNoMarksLeft) {
+  const SystemModel sys = testing::tiny_system(/*proc_capacity=*/2.5);
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const auto report = restore_processing(sys, asg, kW);
+  EXPECT_TRUE(report.feasible());
+  // Capacity 2.5 with f=2 leaves almost nothing beyond the HTML request:
+  // everything is unmarked and hence deallocated.
+  EXPECT_EQ(asg.num_comp_local(0), 0u);
+  EXPECT_EQ(asg.num_opt_local(0), 0u);
+  EXPECT_TRUE(asg.stored_objects(0).empty());
+  EXPECT_EQ(report.objects_deallocated, 3u);
+}
+
+TEST(ProcessingRestore, InfeasibleWhenMandatoryLoadExceeds) {
+  // f = 2 HTML requests/sec > capacity 1: nothing to shed.
+  const SystemModel sys = testing::tiny_system(/*proc_capacity=*/1.0);
+  Assignment asg(sys);
+  const auto report = restore_processing(sys, asg, kW);
+  ASSERT_EQ(report.infeasible_servers.size(), 1u);
+  EXPECT_FALSE(report.feasible());
+}
+
+TEST(ProcessingRestore, OnlyOverloadedServersTouched) {
+  const SystemModel sys = testing::two_server_system(/*proc_capacity=*/1000.0);
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  // Overload only server 1 by lowering its capacity below its load.
+  SystemModel& mut = const_cast<SystemModel&>(sys);
+  mut.mutable_server(1).proc_capacity = asg.server_proc_load(1) - 0.5;
+
+  const auto snapshot0 = asg.server_proc_load(0);
+  const auto report = restore_processing(sys, asg, kW);
+  EXPECT_TRUE(report.feasible());
+  EXPECT_DOUBLE_EQ(asg.server_proc_load(0), snapshot0);
+  EXPECT_LE(asg.server_proc_load(1), mut.server(1).proc_capacity + 1e-9);
+}
+
+// Property sweep over capacity fractions: always feasible (mandatory load is
+// well below), constraints audited from scratch, caches intact.
+class ProcessingRestoreProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(ProcessingRestoreProperty, RestoresEq8) {
+  const auto [seed, fraction] = GetParam();
+  WorkloadParams params = testing::small_params();
+  const SystemModel* base = nullptr;
+  SystemModel sys = generate_workload(params, seed);
+  base = &sys;
+
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  // Capacity = mandatory + fraction * (unconstrained - mandatory).
+  std::vector<double> caps(sys.num_servers());
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    const double mandatory = sys.page_request_rate(i);
+    caps[i] = mandatory + fraction * (asg.server_proc_load(i) - mandatory);
+  }
+  set_processing_capacities(sys, caps);
+
+  const auto report = restore_processing(*base, asg, kW);
+  EXPECT_TRUE(report.feasible());
+  const ConstraintReport audit = audit_constraints(sys, asg);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_TRUE(within_capacity(audit.server_proc_load[i],
+                                sys.server(i).proc_capacity))
+        << "server " << i;
+  }
+  Assignment fresh = asg;
+  fresh.recompute_caches();
+  EXPECT_NEAR(objective_total_cached(asg, kW),
+              objective_total_cached(fresh, kW), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, ProcessingRestoreProperty,
+    ::testing::Combine(::testing::Values(71, 72),
+                       ::testing::Values(0.0, 0.3, 0.6, 0.9)));
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,103 @@
+#include "sim/request_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_helpers.h"
+#include "util/check.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+TEST(RequestGen, ArrivalTimesStrictlyIncrease) {
+  const SystemModel sys = generate_workload(testing::small_params(), 11);
+  const RequestGenerator gen(sys);
+  Rng rng(1);
+  const auto requests = gen.generate(0, 500, rng);
+  ASSERT_EQ(requests.size(), 500u);
+  for (std::size_t x = 1; x < requests.size(); ++x) {
+    EXPECT_GT(requests[x].time, requests[x - 1].time);
+  }
+}
+
+TEST(RequestGen, ArrivalRateMatchesAggregateFrequency) {
+  const SystemModel sys = generate_workload(testing::small_params(), 12);
+  const RequestGenerator gen(sys);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_NEAR(gen.arrival_rate(i), sys.page_request_rate(i), 1e-9);
+  }
+  // Mean inter-arrival must be ~ 1/rate.
+  Rng rng(2);
+  const auto requests = gen.generate(0, 20000, rng);
+  const double horizon = requests.back().time;
+  EXPECT_NEAR(20000.0 / horizon, gen.arrival_rate(0),
+              0.05 * gen.arrival_rate(0));
+}
+
+TEST(RequestGen, PagesDrawnProportionallyToFrequency) {
+  const SystemModel sys = generate_workload(testing::small_params(), 13);
+  const RequestGenerator gen(sys);
+  Rng rng(3);
+  const auto requests = gen.generate(0, 50000, rng);
+
+  std::map<PageId, int> counts;
+  for (const auto& r : requests) ++counts[r.page];
+  double total_freq = 0;
+  for (PageId j : sys.pages_on_server(0)) total_freq += sys.page(j).frequency;
+  // Check the hottest page's empirical share against its frequency share.
+  PageId hottest = sys.pages_on_server(0)[0];
+  for (PageId j : sys.pages_on_server(0)) {
+    if (sys.page(j).frequency > sys.page(hottest).frequency) hottest = j;
+  }
+  const double expected = sys.page(hottest).frequency / total_freq;
+  const double measured = counts[hottest] / 50000.0;
+  EXPECT_NEAR(measured, expected, 0.25 * expected + 0.002);
+}
+
+TEST(RequestGen, OnlyHostedPagesAppear) {
+  const SystemModel sys = generate_workload(testing::small_params(), 14);
+  const RequestGenerator gen(sys);
+  Rng rng(4);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    Rng server_rng = rng.split(i);
+    for (const auto& r : gen.generate(i, 200, server_rng)) {
+      EXPECT_EQ(sys.page(r.page).host, i);
+    }
+  }
+}
+
+TEST(RequestGen, DeterministicInRng) {
+  const SystemModel sys = generate_workload(testing::small_params(), 15);
+  const RequestGenerator gen(sys);
+  Rng a(9), b(9);
+  const auto ra = gen.generate(1, 100, a);
+  const auto rb = gen.generate(1, 100, b);
+  for (std::size_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(ra[x].page, rb[x].page);
+    EXPECT_DOUBLE_EQ(ra[x].time, rb[x].time);
+  }
+}
+
+TEST(RequestGen, ThrowsForServerWithoutTraffic) {
+  SystemModel sys;
+  sys.add_server({.proc_capacity = 10, .storage_capacity = 100,
+                  .ovhd_local = 1, .ovhd_repo = 2, .local_rate = 10,
+                  .repo_rate = 1});
+  const ObjectId k = sys.add_object({10});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 10;
+  p.frequency = 0.0;  // no traffic at all
+  p.compulsory = {k};
+  sys.add_page(std::move(p));
+  sys.finalize();
+
+  const RequestGenerator gen(sys);
+  Rng rng(1);
+  EXPECT_THROW(gen.generate(0, 10, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace mmr

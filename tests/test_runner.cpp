@@ -1,0 +1,110 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace mmr {
+namespace {
+
+ExperimentConfig fast_config() {
+  ExperimentConfig cfg;
+  cfg.workload = testing::small_params();
+  cfg.sim.requests_per_server = 400;
+  cfg.runs = 3;
+  cfg.base_seed = 7;
+  return cfg;
+}
+
+TEST(Runner, SingleRunProducesSaneOrdering) {
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;  // unconstrained scenario
+  const RunOutcome out = run_single(cfg, spec, 11);
+  EXPECT_GT(out.unconstrained_response, 0);
+  // With no constraints, ours == unconstrained placement quality-wise.
+  EXPECT_NEAR(out.ours_response, out.unconstrained_response,
+              0.05 * out.unconstrained_response);
+  // The repo link is ~10x slower: Remote must be clearly the worst.
+  EXPECT_GT(out.remote_response, out.local_response);
+  EXPECT_GT(out.remote_response, out.ours_response);
+  EXPECT_TRUE(out.ours_feasible);
+}
+
+TEST(Runner, DeterministicInSeed) {
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;
+  spec.storage_fraction = 0.5;
+  const RunOutcome a = run_single(cfg, spec, 13);
+  const RunOutcome b = run_single(cfg, spec, 13);
+  EXPECT_DOUBLE_EQ(a.ours_response, b.ours_response);
+  EXPECT_DOUBLE_EQ(a.lru_response, b.lru_response);
+  EXPECT_DOUBLE_EQ(a.unconstrained_response, b.unconstrained_response);
+}
+
+TEST(Runner, ScenarioAggregatesRuns) {
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;
+  spec.storage_fraction = 0.6;
+  const ScenarioResult r = run_scenario(cfg, spec, nullptr);
+  EXPECT_EQ(r.runs, cfg.runs);
+  EXPECT_EQ(r.ours.rel_increase.count(), cfg.runs);
+  EXPECT_EQ(r.lru.rel_increase.count(), cfg.runs);
+  EXPECT_EQ(r.remote.rel_increase.count(), cfg.runs);
+  // Relative increases vs the same-run unconstrained baseline: ours at 60%
+  // storage must be >= 0 on average, remote hugely positive.
+  EXPECT_GE(r.ours.rel_increase.mean(), -0.05);
+  EXPECT_GT(r.remote.rel_increase.mean(), 1.0);
+}
+
+TEST(Runner, PoolAndSerialAgree) {
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;
+  spec.storage_fraction = 0.5;
+  spec.run_lru = false;  // save time; determinism is the point
+  const ScenarioResult serial = run_scenario(cfg, spec, nullptr);
+  ThreadPool pool(3);
+  const ScenarioResult parallel = run_scenario(cfg, spec, &pool);
+  EXPECT_DOUBLE_EQ(serial.ours.rel_increase.mean(),
+                   parallel.ours.rel_increase.mean());
+  EXPECT_DOUBLE_EQ(serial.unconstrained_response.mean(),
+                   parallel.unconstrained_response.mean());
+}
+
+TEST(Runner, OptionalBaselinesCanBeSkipped) {
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;
+  spec.run_lru = false;
+  spec.run_local = false;
+  spec.run_remote = false;
+  const ScenarioResult r = run_scenario(cfg, spec, nullptr);
+  EXPECT_EQ(r.lru.rel_increase.count(), 0u);
+  EXPECT_EQ(r.local.rel_increase.count(), 0u);
+  EXPECT_EQ(r.remote.rel_increase.count(), 0u);
+  EXPECT_EQ(r.ours.rel_increase.count(), cfg.runs);
+}
+
+TEST(Runner, ProcessingFractionCapsLoad) {
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;
+  spec.local_proc_fraction = 0.5;
+  const RunOutcome constrained = run_single(cfg, spec, 17);
+  ScenarioSpec free_spec;
+  const RunOutcome free = run_single(cfg, free_spec, 17);
+  // Halved replication headroom cannot make things better.
+  EXPECT_GE(constrained.ours_response, free.ours_response - 1e-9);
+}
+
+TEST(Runner, RepoFractionTriggersOffload) {
+  // A very tight repository (2% of all MO requests) with unconstrained
+  // local capacity: the off-loading negotiation must absorb the excess and
+  // stay feasible.
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;
+  spec.repo_capacity_fraction = 0.02;
+  const RunOutcome out = run_single(cfg, spec, 19);
+  EXPECT_TRUE(out.ours_feasible);
+  EXPECT_GT(out.ours_response, 0);
+}
+
+}  // namespace
+}  // namespace mmr

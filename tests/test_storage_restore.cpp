@@ -1,0 +1,179 @@
+#include "core/storage_restore.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "model/cost.h"
+#include "test_helpers.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+constexpr Weights kW{2.0, 1.0};
+
+TEST(StorageRestore, NoopWhenWithinCapacity) {
+  const SystemModel sys = testing::tiny_system(
+      /*proc_capacity=*/kUnlimited, /*storage=*/10 * testing::kKB);
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const double before = objective_total_cached(asg, kW);
+  const auto report = restore_storage(sys, asg, kW);
+  EXPECT_EQ(report.deallocations, 0u);
+  EXPECT_TRUE(report.feasible());
+  EXPECT_DOUBLE_EQ(objective_total_cached(asg, kW), before);
+}
+
+TEST(StorageRestore, DeallocatesUntilFits) {
+  // Storage only fits the HTML (200 B) plus one object.
+  const SystemModel sys =
+      testing::tiny_system(kUnlimited, /*storage=*/200 + 550);
+  Assignment asg(sys);
+  partition_all(sys, asg);  // wants M0+M1+M2 stored (1200 B)
+  ASSERT_GT(asg.storage_used(0), sys.server(0).storage_capacity);
+
+  const auto report = restore_storage(sys, asg, kW);
+  EXPECT_TRUE(report.feasible());
+  EXPECT_LE(asg.storage_used(0), sys.server(0).storage_capacity);
+  EXPECT_GE(report.deallocations, 2u);
+  EXPECT_TRUE(audit_constraints(sys, asg).ok());
+}
+
+TEST(StorageRestore, InfeasibleWhenHtmlAloneExceeds) {
+  const SystemModel sys = testing::tiny_system(kUnlimited, /*storage=*/100);
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const auto report = restore_storage(sys, asg, kW);
+  ASSERT_EQ(report.infeasible_servers.size(), 1u);
+  EXPECT_EQ(report.infeasible_servers[0], 0u);
+  EXPECT_FALSE(report.feasible());
+  // Everything deallocatable was deallocated anyway.
+  EXPECT_TRUE(asg.stored_objects(0).empty());
+}
+
+TEST(StorageRestore, PrefersCheapDeallocationPerByte) {
+  // A big object on a cold page vs a small object on a hot page: the
+  // amortized criterion (delta-D per byte freed) must evict the big/cold one
+  // and keep the small/hot one.
+  SystemModel sys;
+  Server s;
+  s.ovhd_local = 0.0;
+  s.ovhd_repo = 0.0;
+  s.local_rate = 100.0;
+  s.repo_rate = 1.0;  // repo is slow: deallocations genuinely hurt
+  s.storage_capacity = 2 + 100;  // both HTMLs + the small object only
+  sys.add_server(s);
+  sys.add_object({1000});  // big
+  sys.add_object({100});   // small
+  Page cold;
+  cold.host = 0;
+  cold.html_bytes = 1;
+  cold.frequency = 0.1;
+  cold.compulsory = {0};
+  sys.add_page(std::move(cold));
+  Page hot;
+  hot.host = 0;
+  hot.html_bytes = 1;
+  hot.frequency = 10.0;
+  hot.compulsory = {1};
+  sys.add_page(std::move(hot));
+  sys.finalize();
+
+  Assignment asg(sys);
+  asg.set_comp_local(0, 0, true);
+  asg.set_comp_local(1, 0, true);
+  const auto report = restore_storage(sys, asg, kW);
+  EXPECT_TRUE(report.feasible());
+  // delta-D/byte: big ~ 2*0.1*990/1000 = 0.198, small ~ 2*10*99/100 = 19.8.
+  EXPECT_FALSE(asg.comp_local(0, 0));
+  EXPECT_TRUE(asg.comp_local(1, 0));
+  EXPECT_EQ(report.deallocations, 1u);
+}
+
+TEST(StorageRestore, RepartitionRecoversLocalDownloads) {
+  // After deallocating an object, a page should pull still-stored objects
+  // into its local pipeline when that now helps.
+  const SystemModel sys = testing::two_server_system(
+      /*proc_capacity=*/kUnlimited,
+      /*storage=*/(1 + 2 + 10 + 8 + 2 + 5) * testing::kKB);  // no room for big
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const auto report = restore_storage(sys, asg, kW);
+  EXPECT_TRUE(report.feasible());
+  EXPECT_TRUE(audit_constraints(sys, asg).ok());
+  // big (40K) cannot be stored on server 0 alongside everything else.
+  EXPECT_LE(asg.storage_used(0), sys.server(0).storage_capacity);
+}
+
+TEST(StorageRestore, RawCriterionAblationAlsoRestores) {
+  WorkloadParams params = testing::small_params();
+  params.storage_fraction = 0.3;
+  const SystemModel sys = generate_workload(params, 51);
+  for (const bool amortize : {true, false}) {
+    Assignment asg(sys);
+    partition_all(sys, asg);
+    StorageRestoreOptions opt;
+    opt.amortize_by_size = amortize;
+    const auto report = restore_storage(sys, asg, kW, opt);
+    EXPECT_TRUE(report.feasible());
+    for (ServerId i = 0; i < sys.num_servers(); ++i) {
+      EXPECT_LE(asg.storage_used(i), sys.server(i).storage_capacity);
+    }
+  }
+}
+
+TEST(StorageRestore, NoRepartitionAblationStillFeasible) {
+  WorkloadParams params = testing::small_params();
+  params.storage_fraction = 0.4;
+  const SystemModel sys = generate_workload(params, 52);
+  Assignment with(sys), without(sys);
+  partition_all(sys, with);
+  partition_all(sys, without);
+
+  StorageRestoreOptions no_repart;
+  no_repart.repartition_after_dealloc = false;
+  restore_storage(sys, with, kW);
+  restore_storage(sys, without, kW, no_repart);
+  // Both feasible; the repartitioning variant must not be worse.
+  EXPECT_LE(objective_total_cached(with, kW),
+            objective_total_cached(without, kW) + 1e-6);
+}
+
+// Property: restoration always lands within capacity (or declares
+// infeasible) and never corrupts the caches, across storage fractions.
+class StorageRestoreProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(StorageRestoreProperty, RestoresAndKeepsCachesConsistent) {
+  const auto [seed, fraction] = GetParam();
+  WorkloadParams params = testing::small_params();
+  params.storage_fraction = fraction;
+  const SystemModel sys = generate_workload(params, seed);
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const auto report = restore_storage(sys, asg, kW);
+
+  const ConstraintReport audit = audit_constraints(sys, asg);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    if (std::find(report.infeasible_servers.begin(),
+                  report.infeasible_servers.end(),
+                  i) == report.infeasible_servers.end()) {
+      EXPECT_LE(audit.storage_used[i], sys.server(i).storage_capacity)
+          << "server " << i << " fraction " << fraction;
+    }
+    EXPECT_EQ(asg.storage_used(i), audit.storage_used[i]);
+  }
+  // Cache consistency after the heavy mutation sequence.
+  Assignment fresh = asg;
+  fresh.recompute_caches();
+  EXPECT_NEAR(objective_total_cached(asg, kW),
+              objective_total_cached(fresh, kW), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, StorageRestoreProperty,
+    ::testing::Combine(::testing::Values(61, 62, 63),
+                       ::testing::Values(0.1, 0.4, 0.7, 1.0)));
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,195 @@
+#include "model/system.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace mmr {
+namespace {
+
+using testing::tiny_system;
+using testing::two_server_system;
+
+TEST(SystemModel, TinySystemIndices) {
+  const SystemModel sys = tiny_system();
+  EXPECT_EQ(sys.num_servers(), 1u);
+  EXPECT_EQ(sys.num_pages(), 1u);
+  EXPECT_EQ(sys.num_objects(), 3u);
+  ASSERT_EQ(sys.pages_on_server(0).size(), 1u);
+  EXPECT_EQ(sys.pages_on_server(0)[0], 0u);
+  EXPECT_EQ(sys.objects_referenced(0).size(), 3u);
+  EXPECT_EQ(sys.html_bytes_on_server(0), 200u);
+  // HTML + 300 + 500 + 400.
+  EXPECT_EQ(sys.full_replication_bytes(0), 200u + 1200u);
+  EXPECT_DOUBLE_EQ(sys.page_request_rate(0), 2.0);
+}
+
+TEST(SystemModel, ObjectRefsTrackRoleAndSlot) {
+  const SystemModel sys = tiny_system();
+  const auto& refs0 = sys.object_refs_on_server(0, 0);
+  ASSERT_EQ(refs0.size(), 1u);
+  EXPECT_TRUE(refs0[0].compulsory);
+  EXPECT_EQ(refs0[0].index, 0u);
+
+  const auto& refs2 = sys.object_refs_on_server(0, 2);
+  ASSERT_EQ(refs2.size(), 1u);
+  EXPECT_FALSE(refs2[0].compulsory);
+  EXPECT_EQ(refs2[0].index, 0u);
+}
+
+TEST(SystemModel, SharedObjectAppearsInBothServers) {
+  const SystemModel sys = two_server_system();
+  // Object 0 ("big") is used by pages on both servers.
+  EXPECT_EQ(sys.object_refs_on_server(0, 0).size(), 1u);
+  EXPECT_EQ(sys.object_refs_on_server(1, 0).size(), 1u);
+  // Object 3 ("shared") is used by two pages of server 0.
+  EXPECT_EQ(sys.object_refs_on_server(0, 3).size(), 2u);
+  EXPECT_TRUE(sys.object_refs_on_server(1, 3).empty());
+}
+
+TEST(SystemModel, FullReplicationCountsDistinctObjectsOnce) {
+  const SystemModel sys = two_server_system();
+  // Server 0: html 1K+2K, objects big(40K)+shared(8K)+mid(10K)+small(2K)+
+  // extra(5K) each counted once.
+  EXPECT_EQ(sys.full_replication_bytes(0),
+            (1 + 2 + 40 + 8 + 10 + 2 + 5) * testing::kKB);
+}
+
+TEST(SystemModel, AccessBeforeFinalizeThrows) {
+  SystemModel sys;
+  sys.add_server({});
+  EXPECT_THROW(sys.pages_on_server(0), CheckError);
+  EXPECT_THROW(sys.objects_referenced(0), CheckError);
+}
+
+TEST(SystemModel, FinalizeTwiceThrows) {
+  SystemModel sys = tiny_system();
+  EXPECT_THROW(sys.finalize(), CheckError);
+}
+
+TEST(SystemModel, AddAfterFinalizeThrows) {
+  SystemModel sys = tiny_system();
+  EXPECT_THROW(sys.add_server({}), CheckError);
+  EXPECT_THROW(sys.add_object({100}), CheckError);
+  EXPECT_THROW(sys.add_page({}), CheckError);
+}
+
+TEST(SystemModelValidation, RejectsInvalidHost) {
+  SystemModel sys;
+  sys.add_server({});
+  sys.add_object({100});
+  Page p;
+  p.host = 5;  // no such server
+  p.html_bytes = 10;
+  sys.add_page(std::move(p));
+  EXPECT_THROW(sys.finalize(), CheckError);
+}
+
+TEST(SystemModelValidation, RejectsInvalidObjectReference) {
+  SystemModel sys;
+  sys.add_server({});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 10;
+  p.compulsory = {7};  // no such object
+  sys.add_page(std::move(p));
+  EXPECT_THROW(sys.finalize(), CheckError);
+}
+
+TEST(SystemModelValidation, RejectsDuplicateReference) {
+  SystemModel sys;
+  sys.add_server({});
+  const ObjectId k = sys.add_object({100});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 10;
+  p.compulsory = {k, k};
+  sys.add_page(std::move(p));
+  EXPECT_THROW(sys.finalize(), CheckError);
+}
+
+TEST(SystemModelValidation, RejectsCompulsoryAndOptionalOverlap) {
+  SystemModel sys;
+  sys.add_server({});
+  const ObjectId k = sys.add_object({100});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 10;
+  p.compulsory = {k};
+  p.optional = {{k, 0.5}};
+  sys.add_page(std::move(p));
+  EXPECT_THROW(sys.finalize(), CheckError);
+}
+
+TEST(SystemModelValidation, RejectsBadOptionalProbability) {
+  for (double prob : {0.0, -0.1, 1.5}) {
+    SystemModel sys;
+    sys.add_server({});
+    const ObjectId k = sys.add_object({100});
+    Page p;
+    p.host = 0;
+    p.html_bytes = 10;
+    p.optional = {{k, prob}};
+    sys.add_page(std::move(p));
+    EXPECT_THROW(sys.finalize(), CheckError) << "prob=" << prob;
+  }
+}
+
+TEST(SystemModelValidation, RejectsZeroSizes) {
+  {
+    SystemModel sys;
+    sys.add_server({});
+    sys.add_object({0});  // zero-size object
+    EXPECT_THROW(sys.finalize(), CheckError);
+  }
+  {
+    SystemModel sys;
+    sys.add_server({});
+    Page p;
+    p.host = 0;
+    p.html_bytes = 0;  // zero-size HTML
+    sys.add_page(std::move(p));
+    EXPECT_THROW(sys.finalize(), CheckError);
+  }
+}
+
+TEST(SystemModelValidation, RejectsBadServerParameters) {
+  auto attempt = [](auto mutate) {
+    SystemModel sys;
+    Server s;
+    s.local_rate = 100;
+    s.repo_rate = 10;
+    mutate(s);
+    sys.add_server(s);
+    EXPECT_THROW(sys.finalize(), CheckError);
+  };
+  attempt([](Server& s) { s.local_rate = 0; });
+  attempt([](Server& s) { s.repo_rate = -1; });
+  attempt([](Server& s) { s.ovhd_local = -0.1; });
+  attempt([](Server& s) { s.proc_capacity = 0; });
+}
+
+TEST(SystemModelValidation, RejectsEmptyModel) {
+  SystemModel sys;
+  EXPECT_THROW(sys.finalize(), CheckError);
+}
+
+TEST(SystemModelValidation, NegativeFrequencyRejected) {
+  SystemModel sys;
+  sys.add_server({});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 10;
+  p.frequency = -1.0;
+  sys.add_page(std::move(p));
+  EXPECT_THROW(sys.finalize(), CheckError);
+}
+
+TEST(TransferSeconds, Basics) {
+  EXPECT_DOUBLE_EQ(transfer_seconds(1000, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(transfer_seconds(0, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mmr
