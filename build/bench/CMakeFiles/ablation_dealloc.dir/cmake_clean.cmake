@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dealloc.dir/ablation_dealloc.cpp.o"
+  "CMakeFiles/ablation_dealloc.dir/ablation_dealloc.cpp.o.d"
+  "ablation_dealloc"
+  "ablation_dealloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dealloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

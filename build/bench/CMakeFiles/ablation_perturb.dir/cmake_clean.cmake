@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_perturb.dir/ablation_perturb.cpp.o"
+  "CMakeFiles/ablation_perturb.dir/ablation_perturb.cpp.o.d"
+  "ablation_perturb"
+  "ablation_perturb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_perturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

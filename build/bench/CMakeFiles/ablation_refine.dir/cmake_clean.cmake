@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_refine.dir/ablation_refine.cpp.o"
+  "CMakeFiles/ablation_refine.dir/ablation_refine.cpp.o.d"
+  "ablation_refine"
+  "ablation_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

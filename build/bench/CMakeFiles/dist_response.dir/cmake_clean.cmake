@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_response.dir/dist_response.cpp.o"
+  "CMakeFiles/dist_response.dir/dist_response.cpp.o.d"
+  "dist_response"
+  "dist_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

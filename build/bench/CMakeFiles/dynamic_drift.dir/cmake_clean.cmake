@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_drift.dir/dynamic_drift.cpp.o"
+  "CMakeFiles/dynamic_drift.dir/dynamic_drift.cpp.o.d"
+  "dynamic_drift"
+  "dynamic_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_storage.dir/fig1_storage.cpp.o"
+  "CMakeFiles/fig1_storage.dir/fig1_storage.cpp.o.d"
+  "fig1_storage"
+  "fig1_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_processing.dir/fig2_processing.cpp.o"
+  "CMakeFiles/fig2_processing.dir/fig2_processing.cpp.o.d"
+  "fig2_processing"
+  "fig2_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

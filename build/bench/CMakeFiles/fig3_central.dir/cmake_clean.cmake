@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_central.dir/fig3_central.cpp.o"
+  "CMakeFiles/fig3_central.dir/fig3_central.cpp.o.d"
+  "fig3_central"
+  "fig3_central.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_central.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

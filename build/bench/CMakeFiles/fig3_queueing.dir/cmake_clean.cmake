@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_queueing.dir/fig3_queueing.cpp.o"
+  "CMakeFiles/fig3_queueing.dir/fig3_queueing.cpp.o.d"
+  "fig3_queueing"
+  "fig3_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmrepl_cli.dir/mmrepl_cli.cpp.o"
+  "CMakeFiles/mmrepl_cli.dir/mmrepl_cli.cpp.o.d"
+  "mmrepl_cli"
+  "mmrepl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmrepl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

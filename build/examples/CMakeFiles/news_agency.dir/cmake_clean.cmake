@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_agency.dir/news_agency.cpp.o"
+  "CMakeFiles/news_agency.dir/news_agency.cpp.o.d"
+  "news_agency"
+  "news_agency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_agency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_trace.dir/offload_trace.cpp.o"
+  "CMakeFiles/offload_trace.dir/offload_trace.cpp.o.d"
+  "offload_trace"
+  "offload_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

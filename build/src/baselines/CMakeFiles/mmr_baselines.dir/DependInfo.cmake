@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/exact_solver.cpp" "src/baselines/CMakeFiles/mmr_baselines.dir/exact_solver.cpp.o" "gcc" "src/baselines/CMakeFiles/mmr_baselines.dir/exact_solver.cpp.o.d"
+  "/root/repo/src/baselines/greedy_global.cpp" "src/baselines/CMakeFiles/mmr_baselines.dir/greedy_global.cpp.o" "gcc" "src/baselines/CMakeFiles/mmr_baselines.dir/greedy_global.cpp.o.d"
+  "/root/repo/src/baselines/lru_cache.cpp" "src/baselines/CMakeFiles/mmr_baselines.dir/lru_cache.cpp.o" "gcc" "src/baselines/CMakeFiles/mmr_baselines.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/baselines/static_policies.cpp" "src/baselines/CMakeFiles/mmr_baselines.dir/static_policies.cpp.o" "gcc" "src/baselines/CMakeFiles/mmr_baselines.dir/static_policies.cpp.o.d"
+  "/root/repo/src/baselines/threshold_replication.cpp" "src/baselines/CMakeFiles/mmr_baselines.dir/threshold_replication.cpp.o" "gcc" "src/baselines/CMakeFiles/mmr_baselines.dir/threshold_replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mmr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_baselines.dir/exact_solver.cpp.o"
+  "CMakeFiles/mmr_baselines.dir/exact_solver.cpp.o.d"
+  "CMakeFiles/mmr_baselines.dir/greedy_global.cpp.o"
+  "CMakeFiles/mmr_baselines.dir/greedy_global.cpp.o.d"
+  "CMakeFiles/mmr_baselines.dir/lru_cache.cpp.o"
+  "CMakeFiles/mmr_baselines.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/mmr_baselines.dir/static_policies.cpp.o"
+  "CMakeFiles/mmr_baselines.dir/static_policies.cpp.o.d"
+  "CMakeFiles/mmr_baselines.dir/threshold_replication.cpp.o"
+  "CMakeFiles/mmr_baselines.dir/threshold_replication.cpp.o.d"
+  "libmmr_baselines.a"
+  "libmmr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/delta.cpp" "src/core/CMakeFiles/mmr_core.dir/delta.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/delta.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/mmr_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/offload.cpp" "src/core/CMakeFiles/mmr_core.dir/offload.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/offload.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/mmr_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/mmr_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/processing_restore.cpp" "src/core/CMakeFiles/mmr_core.dir/processing_restore.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/processing_restore.cpp.o.d"
+  "/root/repo/src/core/storage_restore.cpp" "src/core/CMakeFiles/mmr_core.dir/storage_restore.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/storage_restore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mmr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

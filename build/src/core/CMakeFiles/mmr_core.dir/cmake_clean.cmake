@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_core.dir/delta.cpp.o"
+  "CMakeFiles/mmr_core.dir/delta.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/local_search.cpp.o"
+  "CMakeFiles/mmr_core.dir/local_search.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/offload.cpp.o"
+  "CMakeFiles/mmr_core.dir/offload.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/partition.cpp.o"
+  "CMakeFiles/mmr_core.dir/partition.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/policy.cpp.o"
+  "CMakeFiles/mmr_core.dir/policy.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/processing_restore.cpp.o"
+  "CMakeFiles/mmr_core.dir/processing_restore.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/storage_restore.cpp.o"
+  "CMakeFiles/mmr_core.dir/storage_restore.cpp.o.d"
+  "libmmr_core.a"
+  "libmmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_dynamic.dir/drift.cpp.o"
+  "CMakeFiles/mmr_dynamic.dir/drift.cpp.o.d"
+  "libmmr_dynamic.a"
+  "libmmr_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

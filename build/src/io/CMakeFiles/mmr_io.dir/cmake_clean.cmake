@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_io.dir/serialize.cpp.o"
+  "CMakeFiles/mmr_io.dir/serialize.cpp.o.d"
+  "libmmr_io.a"
+  "libmmr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

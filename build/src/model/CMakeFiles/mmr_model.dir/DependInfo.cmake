@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/assignment.cpp" "src/model/CMakeFiles/mmr_model.dir/assignment.cpp.o" "gcc" "src/model/CMakeFiles/mmr_model.dir/assignment.cpp.o.d"
+  "/root/repo/src/model/cost.cpp" "src/model/CMakeFiles/mmr_model.dir/cost.cpp.o" "gcc" "src/model/CMakeFiles/mmr_model.dir/cost.cpp.o.d"
+  "/root/repo/src/model/system.cpp" "src/model/CMakeFiles/mmr_model.dir/system.cpp.o" "gcc" "src/model/CMakeFiles/mmr_model.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

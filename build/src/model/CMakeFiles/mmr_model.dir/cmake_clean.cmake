@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_model.dir/assignment.cpp.o"
+  "CMakeFiles/mmr_model.dir/assignment.cpp.o.d"
+  "CMakeFiles/mmr_model.dir/cost.cpp.o"
+  "CMakeFiles/mmr_model.dir/cost.cpp.o.d"
+  "CMakeFiles/mmr_model.dir/system.cpp.o"
+  "CMakeFiles/mmr_model.dir/system.cpp.o.d"
+  "libmmr_model.a"
+  "libmmr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

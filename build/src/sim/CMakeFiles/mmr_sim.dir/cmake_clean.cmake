@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_sim.dir/perturb.cpp.o"
+  "CMakeFiles/mmr_sim.dir/perturb.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/request_gen.cpp.o"
+  "CMakeFiles/mmr_sim.dir/request_gen.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/runner.cpp.o"
+  "CMakeFiles/mmr_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/mmr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mmr_sim.dir/simulator.cpp.o.d"
+  "libmmr_sim.a"
+  "libmmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

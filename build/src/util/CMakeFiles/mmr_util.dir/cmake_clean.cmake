@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_util.dir/flags.cpp.o"
+  "CMakeFiles/mmr_util.dir/flags.cpp.o.d"
+  "CMakeFiles/mmr_util.dir/log.cpp.o"
+  "CMakeFiles/mmr_util.dir/log.cpp.o.d"
+  "CMakeFiles/mmr_util.dir/rng.cpp.o"
+  "CMakeFiles/mmr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mmr_util.dir/stats.cpp.o"
+  "CMakeFiles/mmr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mmr_util.dir/table.cpp.o"
+  "CMakeFiles/mmr_util.dir/table.cpp.o.d"
+  "CMakeFiles/mmr_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mmr_util.dir/thread_pool.cpp.o.d"
+  "libmmr_util.a"
+  "libmmr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

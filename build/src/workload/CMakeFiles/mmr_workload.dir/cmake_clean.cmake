@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_workload.dir/generator.cpp.o"
+  "CMakeFiles/mmr_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/mmr_workload.dir/stats.cpp.o"
+  "CMakeFiles/mmr_workload.dir/stats.cpp.o.d"
+  "libmmr_workload.a"
+  "libmmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmr_workload.a"
+)

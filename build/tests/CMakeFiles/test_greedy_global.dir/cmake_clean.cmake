@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_greedy_global.dir/test_greedy_global.cpp.o"
+  "CMakeFiles/test_greedy_global.dir/test_greedy_global.cpp.o.d"
+  "test_greedy_global"
+  "test_greedy_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_greedy_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_edges.dir/test_model_edges.cpp.o"
+  "CMakeFiles/test_model_edges.dir/test_model_edges.cpp.o.d"
+  "test_model_edges"
+  "test_model_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

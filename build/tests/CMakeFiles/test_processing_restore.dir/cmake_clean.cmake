@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_processing_restore.dir/test_processing_restore.cpp.o"
+  "CMakeFiles/test_processing_restore.dir/test_processing_restore.cpp.o.d"
+  "test_processing_restore"
+  "test_processing_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_processing_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

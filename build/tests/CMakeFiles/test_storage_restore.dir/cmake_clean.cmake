@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_restore.dir/test_storage_restore.cpp.o"
+  "CMakeFiles/test_storage_restore.dir/test_storage_restore.cpp.o.d"
+  "test_storage_restore"
+  "test_storage_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/test_system.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/test_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mmr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mmr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mmr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mmr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/mmr_dynamic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
