@@ -7,18 +7,87 @@
 //   --seed=N        base seed
 //   --threads=N     worker threads (0 = hardware)
 //   --quick         shrink to runs=5, requests=2000 for a fast look
+//   --metrics-out=F write metrics.json when the harness exits
+//   --trace-out=F   enable tracing, write trace.json when the harness exits
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "io/artifacts.h"
 #include "sim/runner.h"
 #include "util/flags.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace mmr::bench {
+
+namespace detail {
+
+/// Deferred artifact emission shared by every harness. Writers run from an
+/// atexit handler on the main thread, after the harness' thread pools have
+/// been torn down — so every worker's trace buffer has already flushed.
+struct ArtifactState {
+  std::string metrics_path;
+  std::string trace_path;
+  RunMeta meta;
+  std::chrono::steady_clock::time_point start;
+};
+
+inline ArtifactState& artifact_state() {
+  static ArtifactState state;
+  return state;
+}
+
+inline void write_artifacts_at_exit() {
+  // An exception escaping an atexit handler is std::terminate; a bad output
+  // path must not turn a finished run into an abort.
+  try {
+    ArtifactState& state = artifact_state();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      state.start)
+            .count();
+    state.meta.add("wall_seconds", wall);
+    if (!state.metrics_path.empty()) {
+      write_metrics_file(state.metrics_path, current_metrics().snapshot(),
+                         state.meta);
+    }
+    if (!state.trace_path.empty()) {
+      write_trace_file(state.trace_path, Tracer::instance(), state.meta);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: failed to write run artifacts: " << e.what() << "\n";
+  }
+}
+
+}  // namespace detail
+
+/// Wires --metrics-out/--trace-out to artifact files written when the
+/// harness exits. Called by config_from_flags; safe to call at most once.
+inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
+  detail::ArtifactState& state = detail::artifact_state();
+  state.metrics_path = flags.get_string("metrics-out", "");
+  state.trace_path = flags.get_string("trace-out", "");
+  if (state.metrics_path.empty() && state.trace_path.empty()) return;
+  if (!state.trace_path.empty()) set_trace_enabled(true);
+  state.start = std::chrono::steady_clock::now();
+  std::string tool = flags.program_name();
+  const std::size_t slash = tool.find_last_of('/');
+  if (slash != std::string::npos) tool = tool.substr(slash + 1);
+  state.meta.tool = tool;
+  state.meta.add("runs", static_cast<std::uint64_t>(cfg.runs))
+      .add("requests_per_server",
+           static_cast<std::uint64_t>(cfg.sim.requests_per_server))
+      .add("base_seed", cfg.base_seed)
+      .add("threads", static_cast<std::uint64_t>(cfg.threads));
+  std::atexit(detail::write_artifacts_at_exit);
+}
 
 inline ExperimentConfig config_from_flags(const Flags& flags) {
   ExperimentConfig cfg;
@@ -36,6 +105,7 @@ inline ExperimentConfig config_from_flags(const Flags& flags) {
   // keep per-run warnings out of the bench output unless asked for.
   set_log_level(flags.get_bool("verbose", false) ? LogLevel::kInfo
                                                  : LogLevel::kError);
+  init_artifacts(flags, cfg);
   return cfg;
 }
 
@@ -46,7 +116,10 @@ inline Flags standard_flags(int argc, const char* const* argv) {
       .describe("seed", "base seed (default 42)")
       .describe("threads", "worker threads, 0 = hardware (default 0)")
       .describe("quick", "fast mode: runs=5, requests=2000")
-      .describe("verbose", "enable info logging");
+      .describe("verbose", "enable info logging")
+      .describe("metrics-out", "write metrics.json to this path on exit")
+      .describe("trace-out",
+                "enable tracing; write Chrome trace.json to this path on exit");
   return flags;
 }
 

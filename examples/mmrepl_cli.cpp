@@ -10,13 +10,20 @@
 //       Re-check Eq. 8/9/10 and print the objective.
 //   mmrepl_cli simulate --system=sys.txt --placement=placement.txt
 //       Measure response times under the Sec. 5.1 perturbation model.
+//
+// Every command also accepts --metrics-out=<path> / --trace-out=<path> to
+// dump the run's metrics.json / Chrome trace.json (docs/OBSERVABILITY.md).
+#include <chrono>
 #include <iostream>
 
 #include "core/policy.h"
+#include "io/artifacts.h"
 #include "io/serialize.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/table.h"
+#include "util/trace.h"
 #include "workload/generator.h"
 #include "workload/stats.h"
 
@@ -131,14 +138,42 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string& cmd = flags.positional()[0];
+  const std::string metrics_out = flags.get_string("metrics-out", "");
+  const std::string trace_out = flags.get_string("trace-out", "");
+  if (!trace_out.empty()) set_trace_enabled(true);
+  const auto start = std::chrono::steady_clock::now();
   try {
-    if (cmd == "generate") return cmd_generate(flags);
-    if (cmd == "describe") return cmd_describe(flags);
-    if (cmd == "solve") return cmd_solve(flags);
-    if (cmd == "audit") return cmd_audit(flags);
-    if (cmd == "simulate") return cmd_simulate(flags);
-    std::cerr << "unknown command '" << cmd << "'\n" << usage;
-    return 1;
+    int rc;
+    if (cmd == "generate") {
+      rc = cmd_generate(flags);
+    } else if (cmd == "describe") {
+      rc = cmd_describe(flags);
+    } else if (cmd == "solve") {
+      rc = cmd_solve(flags);
+    } else if (cmd == "audit") {
+      rc = cmd_audit(flags);
+    } else if (cmd == "simulate") {
+      rc = cmd_simulate(flags);
+    } else {
+      std::cerr << "unknown command '" << cmd << "'\n" << usage;
+      return 1;
+    }
+    if (!metrics_out.empty() || !trace_out.empty()) {
+      RunMeta meta;
+      meta.tool = "mmrepl_cli";
+      meta.add("command", cmd);
+      meta.add("wall_seconds",
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+      if (!metrics_out.empty()) {
+        write_metrics_file(metrics_out, current_metrics().snapshot(), meta);
+      }
+      if (!trace_out.empty()) {
+        write_trace_file(trace_out, Tracer::instance(), meta);
+      }
+    }
+    return rc;
   } catch (const CheckError& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -2,6 +2,7 @@
 
 #include "core/delta.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace mmr {
 
@@ -48,12 +49,18 @@ LocalSearchReport refine_local_search(const SystemModel& sys, Assignment& asg,
   LocalSearchReport report;
   report.d_before = objective_total_cached(asg, w);
 
+  // Accumulated locally and published once: these counters tick for every
+  // candidate move, which is far too hot for per-event registry lookups.
+  std::uint64_t moves_evaluated = 0;
+  std::uint64_t rejected_infeasible = 0;
+
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
     ++report.passes;
     bool improved = false;
     for (PageId j = 0; j < sys.num_pages(); ++j) {
       const Page& p = sys.page(j);
       for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+        ++moves_evaluated;
         const bool local = asg.comp_local(j, idx);
         const double delta = local ? unmark_comp_delta(asg, j, idx, w)
                                    : mark_comp_delta(asg, j, idx, w);
@@ -61,6 +68,7 @@ LocalSearchReport refine_local_search(const SystemModel& sys, Assignment& asg,
         const PageObjectRef ref{j, true, idx};
         if (options.respect_constraints &&
             !flip_feasible(sys, asg, ref, !local)) {
+          ++rejected_infeasible;
           continue;
         }
         asg.set_comp_local(j, idx, !local);
@@ -68,6 +76,7 @@ LocalSearchReport refine_local_search(const SystemModel& sys, Assignment& asg,
         improved = true;
       }
       for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+        ++moves_evaluated;
         const bool local = asg.opt_local(j, idx);
         const double delta = local ? unmark_opt_delta(asg, j, idx, w)
                                    : mark_opt_delta(asg, j, idx, w);
@@ -75,6 +84,7 @@ LocalSearchReport refine_local_search(const SystemModel& sys, Assignment& asg,
         const PageObjectRef ref{j, false, idx};
         if (options.respect_constraints &&
             !flip_feasible(sys, asg, ref, !local)) {
+          ++rejected_infeasible;
           continue;
         }
         asg.set_opt_local(j, idx, !local);
@@ -85,6 +95,10 @@ LocalSearchReport refine_local_search(const SystemModel& sys, Assignment& asg,
     if (!improved) break;
   }
   report.d_after = objective_total_cached(asg, w);
+  MMR_COUNT("solver.local_search.passes", report.passes);
+  MMR_COUNT("solver.local_search.flips_accepted", report.flips);
+  MMR_COUNT("solver.local_search.moves_evaluated", moves_evaluated);
+  MMR_COUNT("solver.local_search.rejected_infeasible", rejected_infeasible);
   return report;
 }
 

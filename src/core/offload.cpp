@@ -8,7 +8,9 @@
 #include "core/delta.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace mmr {
 
@@ -64,16 +66,13 @@ class ServerAbsorber {
   }
 
   /// Absorbs up to `target` req/s of repository workload; returns the amount
-  /// achieved. allow_new_storage applies on top of the global option (L2
-  /// servers pass false).
-  double absorb(double target, bool allow_new_storage,
-                std::uint32_t* slots_absorbed, std::uint32_t* objects_allocated,
-                std::uint32_t* swaps) {
+  /// achieved and tallies what it did into `report`. allow_new_storage
+  /// applies on top of the global option (L2 servers pass false).
+  double absorb(double target, bool allow_new_storage, OffloadReport& report) {
     double achieved = 0;
-    achieved += absorb_greedy(target, allow_new_storage, slots_absorbed,
-                              objects_allocated);
+    achieved += absorb_greedy(target, allow_new_storage, report);
     if (achieved + 1e-12 < target && options_.allow_swap) {
-      achieved += absorb_by_swapping(target - achieved, slots_absorbed, swaps);
+      achieved += absorb_by_swapping(target - achieved, report);
     }
     return achieved;
   }
@@ -105,8 +104,7 @@ class ServerAbsorber {
   }
 
   double absorb_greedy(double target, bool allow_new_storage,
-                       std::uint32_t* slots_absorbed,
-                       std::uint32_t* objects_allocated) {
+                       OffloadReport& report) {
     MinHeap heap;
     for (PageId j : sys_.pages_on_server(server_)) push_page_slots(j, heap);
 
@@ -133,8 +131,11 @@ class ServerAbsorber {
 
       asg_.set_ref_local(ref, true);
       achieved += slot_repo_workload(sys_, ref);
-      ++*slots_absorbed;
-      if (!stored) ++*objects_allocated;
+      ++report.slots_absorbed;
+      if (!stored) {
+        ++report.objects_allocated;
+        report.bytes_allocated += sys_.object_bytes(k);
+      }
       ++page_epoch_[top.page];
       push_page_slots(top.page, heap);
     }
@@ -144,8 +145,7 @@ class ServerAbsorber {
   /// Admits objects that did not fit by evicting stored objects with the
   /// least locally served workload per byte — only when the trade strictly
   /// increases the workload this server takes off the repository.
-  double absorb_by_swapping(double target, std::uint32_t* slots_absorbed,
-                            std::uint32_t* swaps) {
+  double absorb_by_swapping(double target, OffloadReport& report) {
     double achieved = 0;
     for (std::uint32_t attempt = 0;
          attempt < options_.max_swaps_per_server_round &&
@@ -224,14 +224,15 @@ class ServerAbsorber {
             static_cast<double>(sys_.object_bytes(best_new)) > free_space()) {
           break;  // eviction did not make enough room after all
         }
+        if (!any) report.bytes_allocated += sys_.object_bytes(best_new);
         asg_.set_ref_local(ref, true);
         achieved += slot_repo_workload(sys_, ref);
-        ++*slots_absorbed;
+        ++report.slots_absorbed;
         ++page_epoch_[ref.page];
         any = true;
       }
       if (!any) break;
-      ++*swaps;
+      ++report.swaps;
     }
     return std::max(0.0, achieved);
   }
@@ -271,6 +272,11 @@ OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
     OffloadRound rec;
     rec.repo_load_before = repo_load;
     rec.deficit = repo_load - capacity;
+
+    TraceSpan round_span("offload.round");
+    round_span.arg("round", static_cast<std::uint64_t>(round + 1))
+        .arg("repo_load", rec.repo_load_before)
+        .arg("deficit", rec.deficit);
 
     // Collect status messages and classify (paper's L1/L2/L3). A server
     // with unlimited processing capacity could absorb the whole deficit, so
@@ -329,8 +335,7 @@ OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
       const bool is_l1 =
           std::find(rec.l1.begin(), rec.l1.end(), i) != rec.l1.end();
       answer.achieved = absorbers[i].absorb(
-          req, is_l1 && options.allow_new_storage, &report.slots_absorbed,
-          &report.objects_allocated, &report.swaps);
+          req, is_l1 && options.allow_new_storage, report);
       if (answer.achieved + 1e-9 < answer.requested) {
         answer.moved_to_l3 = true;
         in_l3[i] = true;
@@ -346,6 +351,13 @@ OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
     MMR_LOG_WARN << "off-loading did not converge: repo load "
                  << report.final_repo_load << " > capacity " << capacity;
   }
+  MMR_COUNT("solver.offload.triggered", 1);
+  MMR_COUNT("solver.offload.rounds", report.rounds.size());
+  MMR_COUNT("solver.offload.slots_absorbed", report.slots_absorbed);
+  MMR_COUNT("solver.offload.objects_allocated", report.objects_allocated);
+  MMR_COUNT("solver.offload.swaps", report.swaps);
+  MMR_COUNT("solver.offload.bytes_allocated", report.bytes_allocated);
+  if (!report.converged) MMR_COUNT("solver.offload.nonconverged", 1);
   return report;
 }
 

@@ -58,6 +58,7 @@ struct OffloadReport {
   std::uint32_t slots_absorbed = 0;   ///< remote downloads marked local
   std::uint32_t objects_allocated = 0;  ///< newly stored objects
   std::uint32_t swaps = 0;
+  std::uint64_t bytes_allocated = 0;  ///< storage consumed by new replicas
   std::vector<OffloadRound> rounds;
   /// Human-readable negotiation trace (message-by-message).
   std::string trace() const;

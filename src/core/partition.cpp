@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace mmr {
 
@@ -178,6 +179,10 @@ void partition_all(const SystemModel& sys, Assignment& asg,
                    const PartitionOptions& options) {
   for (PageId j = 0; j < sys.num_pages(); ++j) {
     partition_page(sys, asg, j, options);
+  }
+  MMR_COUNT("solver.partition.pages", sys.num_pages());
+  if (options.exact) {
+    MMR_COUNT("solver.partition.exact_pages", sys.num_pages());
   }
 }
 

@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "util/metrics.h"
 #include "util/table.h"
+#include "util/trace.h"
 
 namespace mmr {
 
@@ -11,28 +13,60 @@ PolicyResult run_replication_policy(const SystemModel& sys,
   PolicyResult result = {Assignment(sys), 0, 0, 0, 0, {}, {}, {}, {}, true};
   const Weights& w = options.weights;
 
-  partition_all(sys, result.assignment, options.partition);
+  // Pre-register every phase timer so exported snapshots always carry the
+  // full per-phase set (disabled phases show count 0).
+  const bool m = metrics_enabled();
+  MetricTimer* t_partition = m ? &current_metrics().timer("solver.partition")
+                               : nullptr;
+  MetricTimer* t_storage =
+      m ? &current_metrics().timer("solver.storage_restore") : nullptr;
+  MetricTimer* t_processing =
+      m ? &current_metrics().timer("solver.processing_restore") : nullptr;
+  MetricTimer* t_offload = m ? &current_metrics().timer("solver.offload")
+                             : nullptr;
+  MetricTimer* t_refine = m ? &current_metrics().timer("solver.local_search")
+                            : nullptr;
+
+  TraceSpan policy_span("policy");
+
+  {
+    ScopedTimer timed(t_partition);
+    MMR_TRACE_SPAN("partition");
+    partition_all(sys, result.assignment, options.partition);
+  }
   result.d_after_partition = objective_total_cached(result.assignment, w);
+  MMR_GAUGE("solver.d_after_partition", result.d_after_partition);
 
   if (options.restore_storage_enabled) {
+    ScopedTimer timed(t_storage);
+    MMR_TRACE_SPAN("storage_restore");
     result.storage_report =
         restore_storage(sys, result.assignment, w, options.storage);
   }
   result.d_after_storage = objective_total_cached(result.assignment, w);
+  MMR_GAUGE("solver.d_after_storage", result.d_after_storage);
 
   if (options.restore_processing_enabled) {
+    ScopedTimer timed(t_processing);
+    MMR_TRACE_SPAN("processing_restore");
     result.processing_report =
         restore_processing(sys, result.assignment, w, options.processing);
   }
   result.d_after_processing = objective_total_cached(result.assignment, w);
+  MMR_GAUGE("solver.d_after_processing", result.d_after_processing);
 
   if (options.offload_enabled) {
+    ScopedTimer timed(t_offload);
+    MMR_TRACE_SPAN("offload");
     result.offload_report =
         offload_repository(sys, result.assignment, w, options.offload);
   }
   result.d_after_offload = objective_total_cached(result.assignment, w);
+  MMR_GAUGE("solver.d_after_offload", result.d_after_offload);
 
   if (options.refine_enabled) {
+    ScopedTimer timed(t_refine);
+    MMR_TRACE_SPAN("local_search");
     result.refine_report =
         refine_local_search(sys, result.assignment, w, options.refine);
   }
@@ -42,6 +76,7 @@ PolicyResult run_replication_policy(const SystemModel& sys,
                     (!options.offload_enabled ||
                      !result.offload_report.triggered ||
                      result.offload_report.converged);
+  if (!result.feasible) MMR_COUNT("solver.infeasible", 1);
   return result;
 }
 

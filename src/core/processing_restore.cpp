@@ -5,6 +5,7 @@
 #include "core/delta.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/metrics.h"
 
 namespace mmr {
 
@@ -95,6 +96,11 @@ ProcessingRestoreReport restore_processing(
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
     restore_server(sys, asg, i, w, options, report);
   }
+  MMR_COUNT("solver.processing.unmarked_slots", report.unmarked_slots);
+  MMR_COUNT("solver.processing.objects_deallocated",
+            report.objects_deallocated);
+  MMR_COUNT("solver.processing.infeasible_servers",
+            report.infeasible_servers.size());
   return report;
 }
 

@@ -7,6 +7,7 @@
 #include "core/partition.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/metrics.h"
 
 namespace mmr {
 
@@ -82,6 +83,7 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
       }
     }
     ++report.deallocations;
+    report.bytes_freed += sys.object_bytes(k);
     MMR_DCHECK(!asg.object_stored(i, k));
     allowed_scratch[k] = 0;
 
@@ -123,6 +125,13 @@ StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
     restore_server(sys, asg, i, w, options, report, allowed_scratch);
   }
+  MMR_COUNT("solver.storage.deallocations", report.deallocations);
+  MMR_COUNT("solver.storage.repartitioned_pages", report.repartitioned_pages);
+  MMR_COUNT("solver.storage.repartition_improvements",
+            report.repartition_improvements);
+  MMR_COUNT("solver.storage.bytes_freed", report.bytes_freed);
+  MMR_COUNT("solver.storage.infeasible_servers",
+            report.infeasible_servers.size());
   return report;
 }
 

@@ -32,6 +32,7 @@ struct StorageRestoreReport {
   std::uint32_t deallocations = 0;
   std::uint32_t repartitioned_pages = 0;
   std::uint32_t repartition_improvements = 0;
+  std::uint64_t bytes_freed = 0;  ///< storage released by deallocations
   /// Servers whose HTML alone exceeds capacity (constraint unrestorable).
   std::vector<ServerId> infeasible_servers;
   bool feasible() const { return infeasible_servers.empty(); }

@@ -1,0 +1,165 @@
+#include "io/artifacts.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace mmr {
+
+namespace {
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  JsonWriter(os).value(v);
+  return os.str();
+}
+
+std::string iso8601_utc_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+void write_run_meta(JsonWriter& w, const RunMeta& meta) {
+  w.key("run_meta").begin_object();
+  w.kv("tool", meta.tool);
+  w.kv("git_describe", build_git_describe());
+  w.kv("timestamp_utc", iso8601_utc_now());
+  for (const auto& [key, raw] : meta.fields) w.key(key).raw(raw);
+  w.end_object();
+}
+
+void write_to_file(const std::string& path,
+                   const std::function<void(std::ostream&)>& body) {
+  std::ofstream os(path);
+  MMR_CHECK_MSG(os.good(), "cannot open '" + path + "' for writing");
+  body(os);
+  os.flush();
+  MMR_CHECK_MSG(os.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace
+
+RunMeta& RunMeta::add(const std::string& key, const std::string& value) {
+  fields.emplace_back(key, "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+RunMeta& RunMeta::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+RunMeta& RunMeta::add(const std::string& key, std::int64_t value) {
+  fields.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+RunMeta& RunMeta::add(const std::string& key, std::uint64_t value) {
+  fields.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+RunMeta& RunMeta::add(const std::string& key, double value) {
+  fields.emplace_back(key, json_number(value));
+  return *this;
+}
+
+RunMeta& RunMeta::add(const std::string& key, bool value) {
+  fields.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string build_git_describe() {
+#ifdef MMR_GIT_DESCRIBE
+  return MMR_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot,
+                        const RunMeta& meta) {
+  JsonWriter w(os);
+  w.begin_object();
+  write_run_meta(w, meta);
+
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snapshot.counters) w.kv(name, v);
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : snapshot.gauges) {
+    w.key(name).begin_object();
+    w.kv("count", static_cast<std::uint64_t>(g.count));
+    w.kv("last", g.last);
+    w.kv("mean", g.mean);
+    w.kv("min", g.min);
+    w.kv("max", g.max);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("timers").begin_object();
+  for (const auto& [name, t] : snapshot.timers) {
+    w.key(name).begin_object();
+    w.kv("count", t.count);
+    w.kv("total_s", t.total_s);
+    w.kv("mean_s", t.mean_s);
+    w.kv("min_s", t.min_s);
+    w.kv("max_s", t.max_s);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.key(name).begin_object();
+    w.kv("lo", h.lo);
+    w.kv("hi", h.hi);
+    w.kv("total", h.total);
+    w.key("bucket_counts").begin_array();
+    for (std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  os << '\n';
+}
+
+void write_metrics_file(const std::string& path,
+                        const MetricsSnapshot& snapshot, const RunMeta& meta) {
+  write_to_file(path, [&](std::ostream& os) {
+    write_metrics_json(os, snapshot, meta);
+  });
+}
+
+void write_trace_json(std::ostream& os, Tracer& tracer, const RunMeta& meta) {
+  JsonWriter w(os);
+  w.begin_object();
+  write_run_meta(w, meta);
+  Tracer::write_events_member(w, tracer.snapshot());
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  os << '\n';
+}
+
+void write_trace_file(const std::string& path, Tracer& tracer,
+                      const RunMeta& meta) {
+  write_to_file(path,
+                [&](std::ostream& os) { write_trace_json(os, tracer, meta); });
+}
+
+}  // namespace mmr

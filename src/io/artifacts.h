@@ -1,0 +1,53 @@
+// Machine-readable run artifacts (docs/OBSERVABILITY.md):
+//
+//   metrics.json — a MetricsSnapshot (counters/gauges/timers/histograms)
+//                  plus a run_meta block,
+//   trace.json   — Chrome trace_event JSON with the same run_meta block
+//                  attached under a top-level "run_meta" key (ignored by
+//                  trace viewers).
+//
+// run_meta records how the numbers were produced: tool name, seed/config
+// fields supplied by the harness, the source revision (git describe, baked
+// in at configure time), an ISO-8601 UTC timestamp and the wall time.
+// Bench harnesses get both writers for free via --metrics-out/--trace-out
+// (bench/bench_common.h); mmrepl_cli exposes the same flags.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace mmr {
+
+/// Ordered key/value metadata for the run_meta block. Values are stored as
+/// encoded JSON so heterogeneous types keep their shape.
+struct RunMeta {
+  std::string tool;
+  std::vector<std::pair<std::string, std::string>> fields;  ///< raw JSON values
+
+  RunMeta& add(const std::string& key, const std::string& value);
+  RunMeta& add(const std::string& key, const char* value);
+  RunMeta& add(const std::string& key, std::int64_t value);
+  RunMeta& add(const std::string& key, std::uint64_t value);
+  RunMeta& add(const std::string& key, double value);
+  RunMeta& add(const std::string& key, bool value);
+};
+
+/// `git describe --always --dirty` of the built source, or "unknown".
+std::string build_git_describe();
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot,
+                        const RunMeta& meta);
+void write_metrics_file(const std::string& path,
+                        const MetricsSnapshot& snapshot, const RunMeta& meta);
+
+void write_trace_json(std::ostream& os, Tracer& tracer, const RunMeta& meta);
+void write_trace_file(const std::string& path, Tracer& tracer,
+                      const RunMeta& meta);
+
+}  // namespace mmr

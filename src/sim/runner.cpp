@@ -4,12 +4,16 @@
 
 #include "baselines/static_policies.h"
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "workload/generator.h"
 
 namespace mmr {
 
 RunOutcome run_single(const ExperimentConfig& config, const ScenarioSpec& spec,
                       std::uint64_t seed) {
+  TraceSpan run_span("run_single");
+  if (run_span.active()) run_span.arg("seed", seed);
   // 1. Unconstrained instance: capacities wide open, storage at 100%.
   WorkloadParams wl = config.workload;
   wl.server_proc_capacity = kUnlimited;
@@ -18,11 +22,14 @@ RunOutcome run_single(const ExperimentConfig& config, const ScenarioSpec& spec,
   SystemModel sys = generate_workload(wl, seed);
 
   // 2. Unconstrained solution (calibrates the "% capacity" axes).
-  PolicyOptions unconstrained = config.policy;
-  unconstrained.restore_storage_enabled = false;
-  unconstrained.restore_processing_enabled = false;
-  unconstrained.offload_enabled = false;
-  PolicyResult unc = run_replication_policy(sys, unconstrained);
+  PolicyOptions unconstrained_options = config.policy;
+  unconstrained_options.restore_storage_enabled = false;
+  unconstrained_options.restore_processing_enabled = false;
+  unconstrained_options.offload_enabled = false;
+  PolicyResult unc = [&] {
+    MetricLabelScope label("unconstrained");
+    return run_replication_policy(sys, unconstrained_options);
+  }();
 
   // Capacity axes are calibrated against the all-local load ("100% of the
   // arriving requests") and the mandatory HTML-only load ("0%").
@@ -59,33 +66,49 @@ RunOutcome run_single(const ExperimentConfig& config, const ScenarioSpec& spec,
   // simulation below can reuse it as the per-run baseline.
 
   // 4. Constrained policy + baselines.
-  PolicyResult ours = run_replication_policy(sys, config.policy);
+  PolicyResult ours = [&] {
+    MetricLabelScope label("ours");
+    return run_replication_policy(sys, config.policy);
+  }();
 
-  // 5. Simulate everything on the same stream.
+  // 5. Simulate everything on the same stream. Each policy's simulation
+  // runs under its label so per-policy instruments (response histograms)
+  // stay distinguishable after the runner merges worker registries.
   Simulator simulator(sys, config.sim);
   const std::uint64_t sim_seed = mix_seed(seed, 0x5EED);
 
   RunOutcome out;
-  out.unconstrained_response =
-      simulator.simulate(unc.assignment, sim_seed).page_response.mean();
-  out.ours_response =
-      simulator.simulate(ours.assignment, sim_seed).page_response.mean();
+  {
+    MetricLabelScope label("unconstrained");
+    out.unconstrained_response =
+        simulator.simulate(unc.assignment, sim_seed).page_response.mean();
+  }
+  {
+    MetricLabelScope label("ours");
+    out.ours_response =
+        simulator.simulate(ours.assignment, sim_seed).page_response.mean();
+  }
   out.ours_objective =
       objective_total_cached(ours.assignment, config.policy.weights);
   out.ours_feasible = ours.feasible;
+  if (!out.ours_feasible) MMR_COUNT("runner.infeasible_runs", 1);
   if (spec.run_lru) {
+    MetricLabelScope label("lru");
     out.lru_response = simulator.simulate_lru(sim_seed).page_response.mean();
   }
   if (spec.run_local) {
+    MetricLabelScope label("local");
     out.local_response =
         simulator.simulate(make_local_assignment(sys), sim_seed)
             .page_response.mean();
   }
   if (spec.run_remote) {
+    MetricLabelScope label("remote");
     out.remote_response =
         simulator.simulate(make_remote_assignment(sys), sim_seed)
             .page_response.mean();
   }
+  MMR_COUNT("runner.runs", 1);
   return out;
 }
 
@@ -95,12 +118,28 @@ ScenarioResult run_scenario(const ExperimentConfig& config,
   ScenarioResult result;
   result.runs = config.runs;
   std::mutex mutex;
+  TraceSpan scenario_span("run_scenario");
+  if (scenario_span.active()) {
+    scenario_span.arg("runs", static_cast<std::uint64_t>(config.runs));
+  }
+  // Capture the aggregation target on the calling thread: pool workers run
+  // each seed under a private registry and merge it back here, so aggregates
+  // are identical whatever the thread count (merge is associative).
+  MetricsRegistry* metrics_target =
+      metrics_enabled() ? &current_metrics() : nullptr;
 
   auto one = [&](std::size_t r) {
     const std::uint64_t seed = mix_seed(config.base_seed, 1000 + r);
-    const RunOutcome out = run_single(config, spec, seed);
+    MetricsRegistry per_run_metrics;
+    RunOutcome out;
+    {
+      MetricsScope scope(metrics_target != nullptr ? &per_run_metrics
+                                                   : nullptr);
+      out = run_single(config, spec, seed);
+    }
 
     std::lock_guard<std::mutex> lock(mutex);
+    if (metrics_target != nullptr) metrics_target->merge(per_run_metrics);
     const double base = out.unconstrained_response;
     result.unconstrained_response.add(base);
     result.policy_d.add(out.ours_objective);
@@ -127,6 +166,19 @@ ScenarioResult run_scenario(const ExperimentConfig& config,
     pool->parallel_for(config.runs, one);
   } else {
     for (std::size_t r = 0; r < config.runs; ++r) one(r);
+  }
+
+  MMR_GAUGE("runner.response.unconstrained",
+            result.unconstrained_response.mean());
+  MMR_GAUGE("runner.response.ours", result.ours.mean_response.mean());
+  if (spec.run_lru) {
+    MMR_GAUGE("runner.response.lru", result.lru.mean_response.mean());
+  }
+  if (spec.run_local) {
+    MMR_GAUGE("runner.response.local", result.local.mean_response.mean());
+  }
+  if (spec.run_remote) {
+    MMR_GAUGE("runner.response.remote", result.remote.mean_response.mean());
   }
   return result;
 }

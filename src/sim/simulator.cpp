@@ -6,8 +6,47 @@
 #include "baselines/lru_cache.h"
 #include "sim/event_queue.h"
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace mmr {
+
+namespace {
+
+/// Per-simulation metric handles, resolved once so the per-request path is
+/// an atomic add, not a registry lookup. Null members when collection is
+/// off. The response histogram is split by the active metric label
+/// ("sim.response_hist.ours" etc.) so per-policy distributions survive the
+/// runner's aggregation.
+struct SimMetricHandles {
+  MetricCounter* requests = nullptr;
+  MetricCounter* local_bound = nullptr;   ///< local pipeline set the max
+  MetricCounter* remote_bound = nullptr;  ///< repository pipeline set the max
+  MetricCounter* optional_downloads = nullptr;
+  MetricHistogram* response_hist = nullptr;
+
+  static SimMetricHandles acquire() {
+    SimMetricHandles h;
+    if (!metrics_enabled()) return h;
+    MetricsRegistry& reg = current_metrics();
+    h.requests = &reg.counter("sim.requests");
+    h.local_bound = &reg.counter("sim.local_bound");
+    h.remote_bound = &reg.counter("sim.remote_bound");
+    h.optional_downloads = &reg.counter("sim.optional_downloads");
+    h.response_hist =
+        &reg.histogram(labeled_metric("sim.response_hist"), 0.0, 60.0, 60);
+    return h;
+  }
+
+  void observe_response(double response, double t_local, double t_remote) {
+    if (requests == nullptr) return;
+    requests->add(1);
+    (t_local >= t_remote ? local_bound : remote_bound)->add(1);
+    response_hist->add(response);
+  }
+};
+
+}  // namespace
 
 void SimParams::validate() const {
   MMR_CHECK_MSG(requests_per_server > 0, "requests_per_server must be > 0");
@@ -112,6 +151,11 @@ SimMetrics Simulator::simulate(const Assignment& asg,
   SimMetrics metrics;
   metrics.per_server_response.resize(sys.num_servers());
   Rng master(seed);
+  SimMetricHandles mh = SimMetricHandles::acquire();
+  TraceSpan span("simulate");
+  if (span.active() && !current_metric_label().empty()) {
+    span.arg("policy", current_metric_label());
+  }
 
   // The pipeline byte totals are fixed per page for a static placement;
   // precompute them so the per-request work is O(1) plus optional picks.
@@ -188,9 +232,11 @@ SimMetrics Simulator::simulate(const Assignment& asg,
                         transfer_seconds(bytes, onet.repo_rate) * repo_slow;
           metrics.optional_time.add(t);
           optional_total += t;
+          if (mh.optional_downloads != nullptr) mh.optional_downloads->add(1);
         }
       }
 
+      mh.observe_response(response, t_local, t_remote);
       metrics.page_response.add(response);
       metrics.per_server_response[i].add(response);
       metrics.total_per_request.add(response + optional_total);
@@ -221,6 +267,8 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
   SimMetrics metrics;
   metrics.per_server_response.resize(sys.num_servers());
   Rng master(seed);
+  SimMetricHandles mh = SimMetricHandles::acquire();
+  MMR_TRACE_SPAN("simulate_lru");
 
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
     const Server& server = sys.server(i);
@@ -285,6 +333,7 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
                                                       net.repo_rate);
           const double response = std::max(t_local, t_remote);
           if (measure) {
+            mh.observe_response(response, t_local, t_remote);
             metrics.page_response.add(response);
             metrics.per_server_response[i].add(response);
             metrics.total_per_request.add(response);
@@ -316,7 +365,10 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
             t = net.ovhd_repo + transfer_seconds(bytes, net.repo_rate);
             cache.insert(k, bytes);
           }
-          if (measure) metrics.optional_time.add(t);
+          if (measure) {
+            metrics.optional_time.add(t);
+            if (mh.optional_downloads != nullptr) mh.optional_downloads->add(1);
+          }
         }
       }
     }
@@ -324,6 +376,10 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
     metrics.lru_misses += cache.misses();
     metrics.lru_evictions += cache.evictions();
   }
+  MMR_COUNT("sim.lru.hits", metrics.lru_hits);
+  MMR_COUNT("sim.lru.misses", metrics.lru_misses);
+  MMR_COUNT("sim.lru.evictions", metrics.lru_evictions);
+  MMR_COUNT("sim.throttled_requests", metrics.throttled_requests);
   return metrics;
 }
 
@@ -334,6 +390,8 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
   SimMetrics metrics;
   metrics.per_server_response.resize(sys.num_servers());
   Rng master(seed);
+  SimMetricHandles mh = SimMetricHandles::acquire();
+  MMR_TRACE_SPAN("simulate_threshold");
 
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
     const Server& server = sys.server(i);
@@ -380,6 +438,7 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
                 : net.ovhd_repo +
                       transfer_seconds(remote_bytes, net.repo_rate);
         const double response = std::max(t_local, t_remote);
+        mh.observe_response(response, t_local, t_remote);
         metrics.page_response.add(response);
         metrics.per_server_response[i].add(response);
         metrics.total_per_request.add(response);
@@ -406,11 +465,14 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
                 ? net.ovhd_local + transfer_seconds(bytes, net.local_rate)
                 : net.ovhd_repo + transfer_seconds(bytes, net.repo_rate);
         metrics.optional_time.add(t);
+        if (mh.optional_downloads != nullptr) mh.optional_downloads->add(1);
       }
     }
     metrics.replica_creations += replicator.creations();
     metrics.replica_drops += replicator.drops();
   }
+  MMR_COUNT("sim.replica_creations", metrics.replica_creations);
+  MMR_COUNT("sim.replica_drops", metrics.replica_drops);
   return metrics;
 }
 

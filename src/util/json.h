@@ -1,0 +1,88 @@
+// Minimal JSON support for the observability artifacts (metrics.json,
+// trace.json, JSONL logs): a streaming writer with automatic comma
+// placement, and a small recursive-descent parser used by tests and tools to
+// round-trip snapshots. Deliberately not a general-purpose JSON library —
+// no DOM mutation, no incremental parse; see docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mmr {
+
+/// Escapes `s` for inclusion inside a JSON string literal. Quotes are not
+/// added; control characters become \uXXXX.
+std::string json_escape(const std::string& s);
+
+/// Streaming JSON writer. The caller keeps begin/end calls balanced; the
+/// writer tracks nesting and inserts commas. Non-finite doubles are written
+/// as null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Writes `"k":` inside the current object; follow with a value or a
+  /// begin_object()/begin_array().
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+  /// Emits `raw` verbatim in value position (caller guarantees valid JSON).
+  JsonWriter& raw(const std::string& raw);
+
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void before_value();
+
+  std::ostream& os_;
+  /// One entry per open container: the element count written so far.
+  /// first = is_object.
+  std::vector<std::pair<bool, std::size_t>> stack_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value. Numbers are stored as double (sufficient for the
+/// artifact round-trip tests; 64-bit counters above 2^53 lose precision).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num_v = 0;
+  std::string str_v;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool has(const std::string& k) const {
+    return is_object() && obj.count(k) > 0;
+  }
+  /// Object member access; throws CheckError when absent or not an object.
+  const JsonValue& at(const std::string& k) const;
+  /// Array element access; throws CheckError when out of range.
+  const JsonValue& at(std::size_t i) const;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+/// Throws CheckError with an offset on malformed input.
+JsonValue json_parse(const std::string& text);
+
+}  // namespace mmr

@@ -1,12 +1,39 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <ctime>
+
+#include "util/json.h"
 
 namespace mmr {
 
 namespace {
+
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_output_mutex;
+// Guarded by g_output_mutex, like the streams they select.
+LogSinkFormat g_format = LogSinkFormat::kText;
+std::ostream* g_sink = nullptr;  // nullptr = std::cerr
+
+/// Applies MMR_LOG_LEVEL during static initialization so logging before
+/// main() (and in processes that never call set_log_level) obeys it.
+const bool g_env_level_applied = [] {
+  if (const char* env = std::getenv("MMR_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(env)) set_log_level(*parsed);
+  }
+  return true;
+}();
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%FT%TZ", &tm);
+  return buf;
+}
+
 }  // namespace
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
@@ -27,23 +54,46 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+void set_log_sink(LogSinkFormat format, std::ostream* os) {
+  std::lock_guard<std::mutex> lock(g_output_mutex);
+  g_format = format;
+  g_sink = os;
+}
+
 namespace detail {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+    : level_(level), file_(file), line_(line) {
   // Strip directories for brevity.
-  const char* base = file;
   for (const char* p = file; *p; ++p) {
-    if (*p == '/') base = p + 1;
+    if (*p == '/') file_ = p + 1;
   }
-  stream_ << '[' << log_level_name(level) << ' ' << base << ':' << line
-          << "] ";
 }
 
 LogMessage::~LogMessage() {
   std::lock_guard<std::mutex> lock(g_output_mutex);
-  std::cerr << stream_.str() << '\n';
-  (void)level_;
+  std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
+  if (g_format == LogSinkFormat::kText) {
+    os << '[' << log_level_name(level_) << ' ' << file_ << ':' << line_
+       << "] " << stream_.str() << '\n';
+  } else {
+    os << "{\"ts\":\"" << utc_timestamp() << "\",\"level\":\""
+       << log_level_name(level_) << "\",\"file\":\"" << json_escape(file_)
+       << "\",\"line\":" << line_ << ",\"msg\":\""
+       << json_escape(stream_.str()) << "\"}\n";
+  }
 }
 
 }  // namespace detail

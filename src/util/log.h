@@ -1,11 +1,18 @@
 // Leveled logging to stderr. Off by default above WARN so bench output stays
-// clean; harnesses flip the level with --verbose.
+// clean; harnesses flip the level with --verbose, or set the MMR_LOG_LEVEL
+// environment variable (debug|info|warn|error — applied before main()).
+//
+// The sink is swappable: set_log_sink(LogSinkFormat::kJsonl, &stream) routes
+// messages as one JSON object per line ({"ts","level","file","line","msg"})
+// for machine consumption; the default remains human-readable text on stderr.
 #pragma once
 
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace mmr {
 
@@ -15,6 +22,19 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 const char* log_level_name(LogLevel level);
+
+/// "debug"/"info"/"warn"/"warning"/"error" (case-insensitive) → the level;
+/// nullopt for anything else. Used for the MMR_LOG_LEVEL environment variable.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+enum class LogSinkFormat {
+  kText,   ///< "[WARN file.cpp:42] message"
+  kJsonl,  ///< {"ts":"...","level":"WARN","file":"file.cpp","line":42,"msg":"..."}
+};
+
+/// Redirects log output. `os` must outlive all logging; nullptr restores
+/// stderr. Thread-safe with respect to concurrent log statements.
+void set_log_sink(LogSinkFormat format, std::ostream* os = nullptr);
 
 namespace detail {
 
@@ -26,6 +46,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;  ///< basename of the source file
+  int line_;
   std::ostringstream stream_;
 };
 

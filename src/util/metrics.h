@@ -1,0 +1,262 @@
+// Process-wide metrics substrate for the solver, simulator and experiment
+// harness (docs/OBSERVABILITY.md has the metric catalog).
+//
+// Four instrument kinds live in a MetricsRegistry:
+//   counters   — monotonically increasing uint64 (relaxed atomics),
+//   gauges     — observed value series (last + RunningStats aggregate),
+//   timers     — wall-clock latency accumulators fed by ScopedTimer,
+//   histograms — fixed-bucket distributions (util/stats Histogram).
+//
+// Registries support merge() as an associative parallel reduction, mirroring
+// RunningStats::merge: the runner's per-seed workers each install a private
+// registry with MetricsScope and merge it into the parent when done, so
+// aggregate values never depend on thread count or scheduling.
+//
+// Hot loops acquire handles once and increment through them:
+//
+//   MetricCounter* reqs =
+//       metrics_enabled() ? &current_metrics().counter("sim.requests")
+//                         : nullptr;
+//   ...
+//   if (reqs) reqs->add(1);
+//
+// Phase-level code uses the macros, which no-op when collection is disabled:
+//
+//   MMR_TIMED("solver.partition");          // RAII wall-clock scope timer
+//   MMR_COUNT("solver.offload.swaps", 1);
+//   MMR_GAUGE("solver.d_after_offload", d);
+//
+// Instrumentation never draws from any RNG stream, so enabling or disabling
+// metrics cannot change simulation results (guarded by test_runner).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace mmr {
+
+/// Global collection switch (default on). When off, the macros and
+/// handle-acquisition idiom above skip all work.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+/// Monotonic counter; increments are relaxed atomics (merge provides the
+/// synchronization point).
+class MetricCounter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Aggregated gauge stats as exported to JSON.
+struct GaugeStat {
+  std::size_t count = 0;
+  double last = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Observed-value gauge. set() records an observation; aggregation keeps the
+/// full RunningStats so merge() is associative. Mutex-guarded — gauges are
+/// phase-level instruments, not per-request ones.
+class MetricGauge {
+ public:
+  void set(double v);
+  GaugeStat stat() const;
+  void merge_from(const MetricGauge& other);
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  double last_ = 0;
+  RunningStats stats_;
+};
+
+/// Timer stats in seconds as exported to JSON.
+struct TimerStat {
+  std::uint64_t count = 0;
+  double total_s = 0;
+  double mean_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+};
+
+/// Wall-clock latency accumulator (count/total/min/max in nanoseconds, all
+/// relaxed atomics). Fed by ScopedTimer / MMR_TIMED.
+class MetricTimer {
+ public:
+  void record_ns(std::uint64_t ns);
+  TimerStat stat() const;
+  void merge_from(const MetricTimer& other);
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Histogram stats as exported to JSON.
+struct HistogramStat {
+  double lo = 0;
+  double hi = 0;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> counts;
+};
+
+/// Fixed-bucket distribution; wraps util/stats Histogram with a mutex (each
+/// runner worker owns its registry, so the lock is uncontended in practice).
+class MetricHistogram {
+ public:
+  MetricHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  HistogramStat stat() const;
+  /// Requires identical bucket configuration.
+  void merge_from(const MetricHistogram& other);
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  Histogram hist_;
+};
+
+/// Plain-data snapshot of a registry, ready for export or comparison.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeStat> gauges;
+  std::map<std::string, TimerStat> timers;
+  std::map<std::string, HistogramStat> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && timers.empty() &&
+           histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Handle accessors: create-on-first-use, stable references for the
+  /// registry's lifetime (values are never erased, only reset()).
+  MetricCounter& counter(const std::string& name);
+  MetricGauge& gauge(const std::string& name);
+  MetricTimer& timer(const std::string& name);
+  MetricHistogram& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+
+  /// Folds `other` into *this, as if every observation had been recorded
+  /// here. Associative and commutative (up to gauge `last`, which is
+  /// excluded from aggregate semantics).
+  void merge(const MetricsRegistry& other);
+
+  /// Zeroes every instrument in place. Handles stay valid — instruments are
+  /// never erased, so hot-path pointers survive a reset.
+  void reset();
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;  // guards map shape, not instrument updates
+  std::map<std::string, MetricCounter> counters_;
+  std::map<std::string, MetricGauge> gauges_;
+  std::map<std::string, MetricTimer> timers_;
+  std::map<std::string, MetricHistogram> histograms_;
+};
+
+/// Process-wide default registry (intentionally leaked: safe to use from
+/// atexit handlers and thread_local destructors).
+MetricsRegistry& global_metrics();
+
+/// The registry instrumentation writes to: the innermost MetricsScope on
+/// this thread, else the global registry.
+MetricsRegistry& current_metrics();
+
+/// RAII thread-local registry override. Pass nullptr for a no-op scope.
+class MetricsScope {
+ public:
+  explicit MetricsScope(MetricsRegistry* registry);
+  ~MetricsScope();
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+  bool installed_;
+};
+
+/// Thread-local metric-name label, used to split per-policy instruments
+/// (e.g. "sim.response_hist.ours"). Empty by default.
+const std::string& current_metric_label();
+/// `base` when no label is active, `base + "." + label` otherwise.
+std::string labeled_metric(const std::string& base);
+
+class MetricLabelScope {
+ public:
+  explicit MetricLabelScope(std::string label);
+  ~MetricLabelScope();
+  MetricLabelScope(const MetricLabelScope&) = delete;
+  MetricLabelScope& operator=(const MetricLabelScope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+/// Monotonic nanosecond clock shared by timers and the tracer.
+std::uint64_t monotonic_now_ns();
+
+/// Times its scope into `timer` (nullptr = disabled, zero work).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(MetricTimer* timer) : timer_(timer) {
+    if (timer_ != nullptr) start_ns_ = monotonic_now_ns();
+  }
+  ~ScopedTimer() {
+    if (timer_ != nullptr) timer_->record_ns(monotonic_now_ns() - start_ns_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricTimer* timer_;
+  std::uint64_t start_ns_ = 0;
+};
+
+#define MMR_METRICS_CONCAT_INNER(a, b) a##b
+#define MMR_METRICS_CONCAT(a, b) MMR_METRICS_CONCAT_INNER(a, b)
+
+#define MMR_TIMED(name)                                             \
+  ::mmr::ScopedTimer MMR_METRICS_CONCAT(mmr_timed_, __LINE__)(      \
+      ::mmr::metrics_enabled() ? &::mmr::current_metrics().timer(name) \
+                               : nullptr)
+
+#define MMR_COUNT(name, n)                                  \
+  do {                                                      \
+    if (::mmr::metrics_enabled())                           \
+      ::mmr::current_metrics().counter(name).add(           \
+          static_cast<std::uint64_t>(n));                   \
+  } while (0)
+
+#define MMR_GAUGE(name, v)                                  \
+  do {                                                      \
+    if (::mmr::metrics_enabled())                           \
+      ::mmr::current_metrics().gauge(name).set(             \
+          static_cast<double>(v));                          \
+  } while (0)
+
+}  // namespace mmr

@@ -130,6 +130,16 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  MMR_CHECK_MSG(other.lo_ == lo_ && other.hi_ == hi_ &&
+                    other.counts_.size() == counts_.size(),
+                "Histogram::merge requires identical bucket configuration");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 double Histogram::bucket_low(std::size_t i) const {
   MMR_CHECK(i < counts_.size());
   return lo_ + width_ * static_cast<double>(i);

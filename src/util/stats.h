@@ -75,6 +75,9 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x);
+  /// Adds another histogram's counts (parallel reduction). Requires an
+  /// identical [lo, hi) range and bucket count.
+  void merge(const Histogram& other);
   std::size_t bucket_count() const { return counts_.size(); }
   std::uint64_t count_in_bucket(std::size_t i) const { return counts_.at(i); }
   std::uint64_t total() const { return total_; }

@@ -1,0 +1,204 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace mmr {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// Flush threshold so long-lived worker threads do not hoard events.
+constexpr std::size_t kFlushAtEvents = 4096;
+
+struct TracerState {
+  std::mutex mutex;
+  std::vector<TraceEvent> flushed;
+  std::uint32_t next_tid = 1;
+};
+
+TracerState& state() {
+  // Leaked: thread_local buffer destructors may run at process teardown.
+  static TracerState* s = new TracerState();
+  return *s;
+}
+
+struct ThreadBuffer;
+
+/// Nullable view of the calling thread's buffer. exit() destroys the main
+/// thread's thread_locals *before* atexit handlers run, so exit-time code
+/// paths (artifact writers calling snapshot()) must not re-enter the
+/// thread_local — they check this pointer, which the destructor clears.
+thread_local ThreadBuffer* t_buffer = nullptr;
+
+/// Per-thread event buffer; hands its contents to the global tracer when the
+/// thread exits.
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+
+  ~ThreadBuffer() {
+    flush();
+    t_buffer = nullptr;
+  }
+
+  void flush() {
+    if (events.empty()) return;
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::move(events.begin(), events.end(), std::back_inserter(s.flushed));
+    events.clear();
+  }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer buffer;
+  if (buffer.tid == 0) {
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    buffer.tid = s.next_tid++;
+    t_buffer = &buffer;
+  }
+  return buffer;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* t = new Tracer();
+  return *t;
+}
+
+void Tracer::clear() {
+  if (t_buffer != nullptr) t_buffer->events.clear();
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.flushed.clear();
+}
+
+void Tracer::record(TraceEvent&& event) {
+  ThreadBuffer& buffer = thread_buffer();
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+  if (buffer.events.size() >= kFlushAtEvents) flush_current_thread();
+}
+
+void Tracer::flush_current_thread() {
+  // Non-creating: if this thread never recorded (or its buffer was already
+  // destroyed during process teardown), there is nothing to flush.
+  if (t_buffer != nullptr) t_buffer->flush();
+}
+
+std::uint32_t Tracer::current_thread_tid() { return thread_buffer().tid; }
+
+std::vector<TraceEvent> Tracer::snapshot() {
+  flush_current_thread();
+  std::vector<TraceEvent> out;
+  {
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    out = s.flushed;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.tid < b.tid;
+            });
+  return out;
+}
+
+void Tracer::write_events_member(JsonWriter& w,
+                                 const std::vector<TraceEvent>& events) {
+  // Rebase to the earliest span so the viewer timeline starts near zero.
+  const std::uint64_t base = events.empty() ? 0 : events.front().start_ns;
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("cat", "mmr");
+    w.kv("ph", "X");
+    // trace_event timestamps are microseconds (fractions allowed).
+    w.kv("ts", static_cast<double>(e.start_ns - base) / 1000.0);
+    w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", static_cast<std::int64_t>(e.tid));
+    if (!e.args.empty()) {
+      w.key("args").begin_object();
+      for (const auto& [key, raw] : e.args) w.key(key).raw(raw);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void Tracer::write_chrome_json(std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  write_events_member(w, snapshot());
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  os << '\n';
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  name_ = name;
+  start_ns_ = monotonic_now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceEvent e;
+  e.name = name_;
+  e.start_ns = start_ns_;
+  e.dur_ns = monotonic_now_ns() - start_ns_;
+  e.args = std::move(args_);
+  Tracer::instance().record(std::move(e));
+}
+
+TraceSpan& TraceSpan::arg(const char* key, double v) {
+  if (active_) args_.emplace_back(key, json_number(v));
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(const char* key, std::int64_t v) {
+  if (active_) args_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(const char* key, std::uint64_t v) {
+  if (active_) args_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(const char* key, const std::string& v) {
+  if (active_) args_.emplace_back(key, "\"" + json_escape(v) + "\"");
+  return *this;
+}
+
+}  // namespace mmr

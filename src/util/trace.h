@@ -1,0 +1,107 @@
+// Lightweight phase tracer emitting Chrome trace_event JSON (complete
+// events, "ph":"X") so a PARTITION → offload → local-search → restore
+// pipeline run can be opened in chrome://tracing or Perfetto
+// (docs/OBSERVABILITY.md).
+//
+// Disabled by default: MMR_TRACE_SPAN("name") costs one atomic load when
+// tracing is off. When on, span begin/end timestamps and optional key/value
+// args are buffered per thread (no locks on the hot path) and flushed to the
+// global tracer when the thread exits, when a buffer fills, or when the
+// recording thread itself snapshots. Spans nest naturally through RAII.
+//
+//   {
+//     TraceSpan span("offload.round");
+//     span.arg("deficit", deficit);
+//     ...
+//   }  // span ends, event recorded
+//
+// Worker-thread spans become visible to snapshot() once the worker exits or
+// its buffer flushes; harnesses export after their thread pools are torn
+// down, so nothing is lost in practice.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mmr {
+
+class JsonWriter;
+
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// One completed span. Timestamps are nanoseconds on the shared monotonic
+/// clock (util/metrics monotonic_now_ns); arg values are pre-encoded JSON.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer (intentionally leaked, like global_metrics()).
+  static Tracer& instance();
+
+  /// Discards all recorded events, including the calling thread's buffer.
+  void clear();
+
+  /// All flushed events plus the calling thread's buffer, sorted by start
+  /// time. Other threads' unflushed buffers are not visible.
+  std::vector<TraceEvent> snapshot();
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]}. Loads in
+  /// chrome://tracing and Perfetto.
+  void write_chrome_json(std::ostream& os);
+
+  /// Writes the "traceEvents" member into an already-open JSON object, with
+  /// timestamps rebased so the earliest span starts at 0. Lets callers (e.g.
+  /// io/artifacts) attach extra top-level keys such as run_meta.
+  static void write_events_member(JsonWriter& w,
+                                  const std::vector<TraceEvent>& events);
+
+  // Internal API used by TraceSpan and thread teardown.
+  void record(TraceEvent&& event);
+  void flush_current_thread();
+  std::uint32_t current_thread_tid();
+
+ private:
+  Tracer() = default;
+};
+
+/// RAII span; records a TraceEvent on destruction when tracing was enabled
+/// at construction. Cheap no-op otherwise.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+
+  TraceSpan& arg(const char* key, double v);
+  TraceSpan& arg(const char* key, std::int64_t v);
+  TraceSpan& arg(const char* key, std::uint64_t v);
+  TraceSpan& arg(const char* key, const std::string& v);
+
+ private:
+  bool active_ = false;
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+#define MMR_TRACE_CONCAT_INNER(a, b) a##b
+#define MMR_TRACE_CONCAT(a, b) MMR_TRACE_CONCAT_INNER(a, b)
+
+/// Anonymous scope span (use a named TraceSpan when attaching args).
+#define MMR_TRACE_SPAN(name) \
+  ::mmr::TraceSpan MMR_TRACE_CONCAT(mmr_span_, __LINE__)(name)
+
+}  // namespace mmr

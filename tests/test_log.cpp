@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "util/json.h"
+
 namespace mmr {
 namespace {
 
@@ -9,6 +13,11 @@ namespace {
 struct LevelGuard {
   LogLevel saved = log_level();
   ~LevelGuard() { set_log_level(saved); }
+};
+
+/// RAII guard restoring the default (text-to-stderr) sink.
+struct SinkGuard {
+  ~SinkGuard() { set_log_sink(LogSinkFormat::kText, nullptr); }
 };
 
 TEST(Log, LevelRoundTrip) {
@@ -46,6 +55,48 @@ TEST(Log, EmittedAtOrAboveLevel) {
   EXPECT_NE(out.find("hello 42"), std::string::npos);
   EXPECT_NE(out.find("test_log.cpp"), std::string::npos);  // basename only
   EXPECT_EQ(out.find('/'), std::string::npos);
+}
+
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+}
+
+TEST(Log, JsonlSinkEmitsParsableRecords) {
+  LevelGuard level_guard;
+  SinkGuard sink_guard;
+  set_log_level(LogLevel::kInfo);
+  std::ostringstream sink;
+  set_log_sink(LogSinkFormat::kJsonl, &sink);
+  MMR_LOG_WARN << "quote\" and backslash\\ survive " << 7;
+  const int expect_line = __LINE__ - 1;
+
+  const JsonValue record = json_parse(sink.str());
+  EXPECT_EQ(record.at("level").str_v, "WARN");
+  EXPECT_EQ(record.at("file").str_v, "test_log.cpp");
+  EXPECT_DOUBLE_EQ(record.at("line").num_v, expect_line);
+  EXPECT_EQ(record.at("msg").str_v, "quote\" and backslash\\ survive 7");
+  EXPECT_NE(record.at("ts").str_v.find('T'), std::string::npos);
+}
+
+TEST(Log, SinkRestoresToStderrText) {
+  LevelGuard level_guard;
+  set_log_level(LogLevel::kInfo);
+  {
+    SinkGuard sink_guard;
+    std::ostringstream sink;
+    set_log_sink(LogSinkFormat::kJsonl, &sink);
+  }
+  ::testing::internal::CaptureStderr();
+  MMR_LOG_INFO << "back to text";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO"), std::string::npos);
+  EXPECT_NE(out.find("back to text"), std::string::npos);
 }
 
 TEST(Log, StreamArgumentsNotEvaluatedWhenSuppressed) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "test_helpers.h"
+#include "util/metrics.h"
 
 namespace mmr {
 namespace {
@@ -92,6 +93,63 @@ TEST(Runner, ProcessingFractionCapsLoad) {
   const RunOutcome free = run_single(cfg, free_spec, 17);
   // Halved replication headroom cannot make things better.
   EXPECT_GE(constrained.ours_response, free.ours_response - 1e-9);
+}
+
+TEST(Runner, ScenarioPopulatesMetrics) {
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;
+  spec.storage_fraction = 0.6;
+  MetricsRegistry registry;
+  ThreadPool pool(3);
+  {
+    MetricsScope scope(&registry);
+    run_scenario(cfg, spec, &pool);
+  }
+  const MetricsSnapshot s = registry.snapshot();
+  EXPECT_EQ(s.counters.at("runner.runs"), cfg.runs);
+  // 4 simulated placements per run (unconstrained/ours/local/remote) plus
+  // the LRU baseline, all on the same request stream.
+  EXPECT_EQ(s.counters.at("sim.requests"),
+            std::uint64_t{5} * cfg.runs * cfg.workload.num_servers *
+                cfg.sim.requests_per_server);
+  EXPECT_GT(s.timers.at("solver.partition").count, 0u);
+  EXPECT_GT(s.timers.at("solver.partition").total_s, 0.0);
+  // Disabled phases still appear, with zero samples.
+  EXPECT_EQ(s.timers.at("solver.local_search").count, 0u);
+  EXPECT_EQ(s.histograms.at("sim.response_hist.ours").total,
+            std::uint64_t{cfg.runs} * cfg.workload.num_servers *
+                cfg.sim.requests_per_server);
+  EXPECT_EQ(s.gauges.at("runner.response.ours").count, 1u);
+}
+
+TEST(Runner, MetricsCollectionDoesNotChangeResults) {
+  // The determinism guard: instrumentation must never touch an RNG stream,
+  // so results with metrics on and off are bit-identical.
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;
+  spec.storage_fraction = 0.5;
+  MetricsRegistry scratch;
+  RunOutcome with_metrics;
+  {
+    MetricsScope scope(&scratch);
+    with_metrics = run_single(cfg, spec, 23);
+  }
+  EXPECT_FALSE(scratch.snapshot().empty());
+
+  set_metrics_enabled(false);
+  const RunOutcome without_metrics = run_single(cfg, spec, 23);
+  set_metrics_enabled(true);
+
+  EXPECT_DOUBLE_EQ(with_metrics.ours_response, without_metrics.ours_response);
+  EXPECT_DOUBLE_EQ(with_metrics.lru_response, without_metrics.lru_response);
+  EXPECT_DOUBLE_EQ(with_metrics.local_response,
+                   without_metrics.local_response);
+  EXPECT_DOUBLE_EQ(with_metrics.remote_response,
+                   without_metrics.remote_response);
+  EXPECT_DOUBLE_EQ(with_metrics.unconstrained_response,
+                   without_metrics.unconstrained_response);
+  EXPECT_DOUBLE_EQ(with_metrics.ours_objective,
+                   without_metrics.ours_objective);
 }
 
 TEST(Runner, RepoFractionTriggersOffload) {
