@@ -19,60 +19,61 @@ int main(int argc, char** argv) {
     return 0;
   }
   ExperimentConfig cfg = bench::config_from_flags(flags);
-  cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 10));
-  const double storage = flags.get_double("storage", 0.4);
+  return bench::run_measured([&] {
+    cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 10));
+    const double storage = flags.get_double("storage", 0.4);
 
-  std::cout << "Ablation A2: storage-restoration criterion at " << storage * 100
-            << "% storage (" << cfg.runs << " workloads)\n\n";
+    std::cout << "Ablation A2: storage-restoration criterion at " << storage * 100
+              << "% storage (" << cfg.runs << " workloads)\n\n";
 
-  struct Variant {
-    const char* name;
-    StorageRestoreOptions options;
-  };
-  const Variant variants[] = {
-      {"amortized + repartition (paper)", {true, true}},
-      {"raw delta-D + repartition", {false, true}},
-      {"amortized, no repartition", {true, false}},
-      {"raw delta-D, no repartition", {false, false}},
-  };
+    struct Variant {
+      const char* name;
+      StorageRestoreOptions options;
+    };
+    const Variant variants[] = {
+        {"amortized + repartition (paper)", {true, true}},
+        {"raw delta-D + repartition", {false, true}},
+        {"amortized, no repartition", {true, false}},
+        {"raw delta-D, no repartition", {false, false}},
+    };
 
-  const Weights w;
-  RunningStats d[4], sim_mean[4];
-  for (std::uint32_t r = 0; r < cfg.runs; ++r) {
-    WorkloadParams wl;
-    wl.server_proc_capacity = kUnlimited;
-    wl.repo_proc_capacity = kUnlimited;
-    wl.storage_fraction = storage;
-    const SystemModel sys = generate_workload(wl, mix_seed(cfg.base_seed, r));
-    SimParams sp = cfg.sim;
-    sp.requests_per_server =
-        std::min<std::uint32_t>(sp.requests_per_server, 2000);
-    const Simulator sim(sys, sp);
-    const std::uint64_t sim_seed = mix_seed(cfg.base_seed, 0xD0 + r);
+    const Weights w;
+    RunningStats d[4], sim_mean[4];
+    for (std::uint32_t r = 0; r < cfg.runs; ++r) {
+      WorkloadParams wl;
+      wl.server_proc_capacity = kUnlimited;
+      wl.repo_proc_capacity = kUnlimited;
+      wl.storage_fraction = storage;
+      const SystemModel sys = generate_workload(wl, mix_seed(cfg.base_seed, r));
+      SimParams sp = cfg.sim;
+      sp.requests_per_server =
+          std::min<std::uint32_t>(sp.requests_per_server, 2000);
+      const Simulator sim(sys, sp);
+      const std::uint64_t sim_seed = mix_seed(cfg.base_seed, 0xD0 + r);
 
-    for (int v = 0; v < 4; ++v) {
-      Assignment asg(sys);
-      partition_all(sys, asg);
-      restore_storage(sys, asg, w, variants[v].options);
-      d[v].add(objective_total_cached(asg, w));
-      sim_mean[v].add(sim.simulate(asg, sim_seed).page_response.mean());
+      for (int v = 0; v < 4; ++v) {
+        Assignment asg(sys);
+        partition_all(sys, asg);
+        restore_storage(sys, asg, w, variants[v].options);
+        d[v].add(objective_total_cached(asg, w));
+        sim_mean[v].add(sim.simulate(asg, sim_seed).page_response.mean());
+      }
+      std::cout << "." << std::flush;
     }
-    std::cout << "." << std::flush;
-  }
-  std::cout << "\n\n";
+    std::cout << "\n\n";
 
-  TextTable t({"variant", "model D (rel. to paper)", "simulated mean [s]",
-               "sim rel. to paper"});
-  for (int v = 0; v < 4; ++v) {
-    t.begin_row()
-        .add_cell(variants[v].name)
-        .add_percent(d[v].mean() / d[0].mean() - 1.0, 2)
-        .add_cell(sim_mean[v].mean(), 1)
-        .add_percent(sim_mean[v].mean() / sim_mean[0].mean() - 1.0, 2);
-  }
-  t.print(std::cout, "A2 — deallocation criterion ablation");
-  std::cout << "\nReading: both the size amortization and the re-partition "
-               "cascade contribute;\ndropping either degrades the placement "
-               "under tight storage.\n";
-  return 0;
+    TextTable t({"variant", "model D (rel. to paper)", "simulated mean [s]",
+                 "sim rel. to paper"});
+    for (int v = 0; v < 4; ++v) {
+      t.begin_row()
+          .add_cell(variants[v].name)
+          .add_percent(d[v].mean() / d[0].mean() - 1.0, 2)
+          .add_cell(sim_mean[v].mean(), 1)
+          .add_percent(sim_mean[v].mean() / sim_mean[0].mean() - 1.0, 2);
+    }
+    t.print(std::cout, "A2 — deallocation criterion ablation");
+    std::cout << "\nReading: both the size amortization and the re-partition "
+                 "cascade contribute;\ndropping either degrades the placement "
+                 "under tight storage.\n";
+  });
 }

@@ -17,53 +17,54 @@ int main(int argc, char** argv) {
     return 0;
   }
   ExperimentConfig cfg = bench::config_from_flags(flags);
-  cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 8));
+  return bench::run_measured([&] {
+    cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 8));
 
-  std::cout << "Ablation A6: decentralized pipeline vs centralized greedy "
-               "allocation (" << cfg.runs << " workloads per point)\n\n";
+    std::cout << "Ablation A6: decentralized pipeline vs centralized greedy "
+                 "allocation (" << cfg.runs << " workloads per point)\n\n";
 
-  const Weights w;
-  TextTable t({"storage %", "paper pipeline D", "global greedy D",
-               "pipeline sim [s]", "greedy sim [s]", "greedy vs pipeline"});
-  for (double storage : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-    RunningStats d_pipe, d_glob, sim_pipe, sim_glob;
-    for (std::uint32_t r = 0; r < cfg.runs; ++r) {
-      WorkloadParams wl;
-      wl.server_proc_capacity = kUnlimited;
-      wl.repo_proc_capacity = kUnlimited;
-      wl.storage_fraction = storage;
-      const SystemModel sys =
-          generate_workload(wl, mix_seed(cfg.base_seed, r));
+    const Weights w;
+    TextTable t({"storage %", "paper pipeline D", "global greedy D",
+                 "pipeline sim [s]", "greedy sim [s]", "greedy vs pipeline"});
+    for (double storage : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      RunningStats d_pipe, d_glob, sim_pipe, sim_glob;
+      for (std::uint32_t r = 0; r < cfg.runs; ++r) {
+        WorkloadParams wl;
+        wl.server_proc_capacity = kUnlimited;
+        wl.repo_proc_capacity = kUnlimited;
+        wl.storage_fraction = storage;
+        const SystemModel sys =
+            generate_workload(wl, mix_seed(cfg.base_seed, r));
 
-      const PolicyResult pipeline = run_replication_policy(sys);
-      const Assignment global = greedy_global_allocate(sys, w);
-      d_pipe.add(objective_total_cached(pipeline.assignment, w));
-      d_glob.add(objective_total_cached(global, w));
+        const PolicyResult pipeline = run_replication_policy(sys);
+        const Assignment global = greedy_global_allocate(sys, w);
+        d_pipe.add(objective_total_cached(pipeline.assignment, w));
+        d_glob.add(objective_total_cached(global, w));
 
-      SimParams sp = cfg.sim;
-      sp.requests_per_server =
-          std::min<std::uint32_t>(sp.requests_per_server, 1500);
-      const Simulator sim(sys, sp);
-      const std::uint64_t seed = mix_seed(cfg.base_seed, 0xF0 + r);
-      sim_pipe.add(
-          sim.simulate(pipeline.assignment, seed).page_response.mean());
-      sim_glob.add(sim.simulate(global, seed).page_response.mean());
+        SimParams sp = cfg.sim;
+        sp.requests_per_server =
+            std::min<std::uint32_t>(sp.requests_per_server, 1500);
+        const Simulator sim(sys, sp);
+        const std::uint64_t seed = mix_seed(cfg.base_seed, 0xF0 + r);
+        sim_pipe.add(
+            sim.simulate(pipeline.assignment, seed).page_response.mean());
+        sim_glob.add(sim.simulate(global, seed).page_response.mean());
+      }
+      t.begin_row()
+          .add_cell(static_cast<std::int64_t>(storage * 100))
+          .add_cell(d_pipe.mean(), 0)
+          .add_cell(d_glob.mean(), 0)
+          .add_cell(sim_pipe.mean(), 1)
+          .add_cell(sim_glob.mean(), 1)
+          .add_percent(sim_glob.mean() / sim_pipe.mean() - 1.0, 2);
+      std::cout << "." << std::flush;
     }
-    t.begin_row()
-        .add_cell(static_cast<std::int64_t>(storage * 100))
-        .add_cell(d_pipe.mean(), 0)
-        .add_cell(d_glob.mean(), 0)
-        .add_cell(sim_pipe.mean(), 1)
-        .add_cell(sim_glob.mean(), 1)
-        .add_percent(sim_glob.mean() / sim_pipe.mean() - 1.0, 2);
-    std::cout << "." << std::flush;
-  }
-  std::cout << "\n\n";
-  t.print(std::cout, "A6 — construction-order ablation");
-  std::cout << "\nReading: a centralized marginal-gain greedy with global "
-               "information is the natural\nfile-allocation strawman; the "
-               "paper's decentralized pipeline should land close to it\n"
-               "(or beat it — the greedy has no min-max pipeline balancing), "
-               "while needing no\ncentral statistics collection.\n";
-  return 0;
+    std::cout << "\n\n";
+    t.print(std::cout, "A6 — construction-order ablation");
+    std::cout << "\nReading: a centralized marginal-gain greedy with global "
+                 "information is the natural\nfile-allocation strawman; the "
+                 "paper's decentralized pipeline should land close to it\n"
+                 "(or beat it — the greedy has no min-max pipeline balancing), "
+                 "while needing no\ncentral statistics collection.\n";
+  });
 }

@@ -20,76 +20,77 @@ int main(int argc, char** argv) {
     return 0;
   }
   ExperimentConfig cfg = bench::config_from_flags(flags);
-  cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 10));
-  const auto resolution =
-      static_cast<std::uint64_t>(flags.get_int("resolution", 1024));
+  return bench::run_measured([&] {
+    cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 10));
+    const auto resolution =
+        static_cast<std::uint64_t>(flags.get_int("resolution", 1024));
 
-  std::cout << "Ablation A1: greedy vs exact per-page partition (" << cfg.runs
-            << " workloads)\n\n";
+    std::cout << "Ablation A1: greedy vs exact per-page partition (" << cfg.runs
+              << " workloads)\n\n";
 
-  RunningStats d_gap_pct, worst_page_gap_pct, greedy_ms, exact_ms;
-  RunningStats sim_gap_pct;
-  const Weights w;
-  for (std::uint32_t r = 0; r < cfg.runs; ++r) {
-    WorkloadParams wl;  // paper scale
-    wl.server_proc_capacity = kUnlimited;
-    wl.repo_proc_capacity = kUnlimited;
-    const SystemModel sys = generate_workload(wl, mix_seed(cfg.base_seed, r));
+    RunningStats d_gap_pct, worst_page_gap_pct, greedy_ms, exact_ms;
+    RunningStats sim_gap_pct;
+    const Weights w;
+    for (std::uint32_t r = 0; r < cfg.runs; ++r) {
+      WorkloadParams wl;  // paper scale
+      wl.server_proc_capacity = kUnlimited;
+      wl.repo_proc_capacity = kUnlimited;
+      const SystemModel sys = generate_workload(wl, mix_seed(cfg.base_seed, r));
 
-    Assignment greedy(sys), exact(sys);
-    PartitionOptions exact_opt;
-    exact_opt.exact = true;
-    exact_opt.exact_resolution_bytes = resolution;
+      Assignment greedy(sys), exact(sys);
+      PartitionOptions exact_opt;
+      exact_opt.exact = true;
+      exact_opt.exact_resolution_bytes = resolution;
 
-    const auto t0 = std::chrono::steady_clock::now();
-    partition_all(sys, greedy);
-    const auto t1 = std::chrono::steady_clock::now();
-    partition_all(sys, exact, exact_opt);
-    const auto t2 = std::chrono::steady_clock::now();
-    greedy_ms.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
-    exact_ms.add(std::chrono::duration<double, std::milli>(t2 - t1).count());
+      const auto t0 = std::chrono::steady_clock::now();
+      partition_all(sys, greedy);
+      const auto t1 = std::chrono::steady_clock::now();
+      partition_all(sys, exact, exact_opt);
+      const auto t2 = std::chrono::steady_clock::now();
+      greedy_ms.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+      exact_ms.add(std::chrono::duration<double, std::milli>(t2 - t1).count());
 
-    const double dg = objective_total_cached(greedy, w);
-    const double de = objective_total_cached(exact, w);
-    d_gap_pct.add(100.0 * (dg - de) / de);
+      const double dg = objective_total_cached(greedy, w);
+      const double de = objective_total_cached(exact, w);
+      d_gap_pct.add(100.0 * (dg - de) / de);
 
-    double worst = 0;
-    for (PageId j = 0; j < sys.num_pages(); ++j) {
-      const double tg = greedy.page_response_time(j);
-      const double te = exact.page_response_time(j);
-      if (te > 0) worst = std::max(worst, 100.0 * (tg - te) / te);
+      double worst = 0;
+      for (PageId j = 0; j < sys.num_pages(); ++j) {
+        const double tg = greedy.page_response_time(j);
+        const double te = exact.page_response_time(j);
+        if (te > 0) worst = std::max(worst, 100.0 * (tg - te) / te);
+      }
+      worst_page_gap_pct.add(worst);
+
+      SimParams sp = cfg.sim;
+      sp.requests_per_server = std::min<std::uint32_t>(
+          sp.requests_per_server, 2000);
+      const Simulator sim(sys, sp);
+      const std::uint64_t seed = mix_seed(cfg.base_seed, 0xABC + r);
+      const double sg = sim.simulate(greedy, seed).page_response.mean();
+      const double se = sim.simulate(exact, seed).page_response.mean();
+      sim_gap_pct.add(100.0 * (sg - se) / se);
+      std::cout << "." << std::flush;
     }
-    worst_page_gap_pct.add(worst);
+    std::cout << "\n\n";
 
-    SimParams sp = cfg.sim;
-    sp.requests_per_server = std::min<std::uint32_t>(
-        sp.requests_per_server, 2000);
-    const Simulator sim(sys, sp);
-    const std::uint64_t seed = mix_seed(cfg.base_seed, 0xABC + r);
-    const double sg = sim.simulate(greedy, seed).page_response.mean();
-    const double se = sim.simulate(exact, seed).page_response.mean();
-    sim_gap_pct.add(100.0 * (sg - se) / se);
-    std::cout << "." << std::flush;
-  }
-  std::cout << "\n\n";
-
-  TextTable t({"metric", "greedy vs exact"});
-  t.add_row({"model D gap (greedy - exact)/exact",
-             format_double(d_gap_pct.mean(), 3) + "% ± " +
-                 format_double(d_gap_pct.ci95_halfwidth(), 3) + "%"});
-  t.add_row({"worst single-page response gap",
-             format_double(worst_page_gap_pct.mean(), 2) + "%"});
-  t.add_row({"simulated mean response gap",
-             format_double(sim_gap_pct.mean(), 3) + "% ± " +
-                 format_double(sim_gap_pct.ci95_halfwidth(), 3) + "%"});
-  t.add_row({"greedy runtime / workload",
-             format_double(greedy_ms.mean(), 1) + " ms"});
-  t.add_row({"exact DP runtime / workload (res " +
-                 std::to_string(resolution) + " B)",
-             format_double(exact_ms.mean(), 1) + " ms"});
-  t.print(std::cout, "A1 — greedy partition is near-optimal");
-  std::cout << "\nReading: the decreasing-size greedy stays within a fraction "
-               "of a percent of the\nexact min-max split at a tiny fraction "
-               "of its cost — supporting the paper's choice.\n";
-  return 0;
+    TextTable t({"metric", "greedy vs exact"});
+    t.add_row({"model D gap (greedy - exact)/exact",
+               format_double(d_gap_pct.mean(), 3) + "% ± " +
+                   format_double(d_gap_pct.ci95_halfwidth(), 3) + "%"});
+    t.add_row({"worst single-page response gap",
+               format_double(worst_page_gap_pct.mean(), 2) + "%"});
+    t.add_row({"simulated mean response gap",
+               format_double(sim_gap_pct.mean(), 3) + "% ± " +
+                   format_double(sim_gap_pct.ci95_halfwidth(), 3) + "%"});
+    t.add_row({"greedy runtime / workload",
+               format_double(greedy_ms.mean(), 1) + " ms"});
+    t.add_row({"exact DP runtime / workload (res " +
+                   std::to_string(resolution) + " B)",
+               format_double(exact_ms.mean(), 1) + " ms"});
+    t.print(std::cout, "A1 — greedy partition is near-optimal");
+    std::cout << "\nReading: the decreasing-size greedy stays within a fraction "
+                 "of a percent of the\nexact min-max split at a tiny fraction "
+                 "of its cost — supporting the paper's choice.\n";
+  });
 }

@@ -20,46 +20,47 @@ int main(int argc, char** argv) {
     return 0;
   }
   ExperimentConfig cfg = bench::config_from_flags(flags);
-  cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 8));
+  return bench::run_measured([&] {
+    cfg.runs = static_cast<std::uint32_t>(flags.get_int("runs", 8));
 
-  std::cout << "Ablation A7: local-search refinement on top of the pipeline ("
-            << cfg.runs << " workloads per point)\n\n";
+    std::cout << "Ablation A7: local-search refinement on top of the pipeline ("
+              << cfg.runs << " workloads per point)\n\n";
 
-  const Weights w;
-  TextTable t({"storage %", "pipeline D", "refined D", "improvement",
-               "flips", "refine ms"});
-  for (double storage : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-    RunningStats d_before, d_after, flips, ms;
-    for (std::uint32_t r = 0; r < cfg.runs; ++r) {
-      WorkloadParams wl;
-      wl.server_proc_capacity = kUnlimited;
-      wl.repo_proc_capacity = kUnlimited;
-      wl.storage_fraction = storage;
-      const SystemModel sys =
-          generate_workload(wl, mix_seed(cfg.base_seed, r));
-      PolicyResult pipeline = run_replication_policy(sys);
-      const auto t0 = std::chrono::steady_clock::now();
-      const LocalSearchReport report =
-          refine_local_search(sys, pipeline.assignment, w);
-      const auto t1 = std::chrono::steady_clock::now();
-      d_before.add(report.d_before);
-      d_after.add(report.d_after);
-      flips.add(report.flips);
-      ms.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    const Weights w;
+    TextTable t({"storage %", "pipeline D", "refined D", "improvement",
+                 "flips", "refine ms"});
+    for (double storage : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      RunningStats d_before, d_after, flips, ms;
+      for (std::uint32_t r = 0; r < cfg.runs; ++r) {
+        WorkloadParams wl;
+        wl.server_proc_capacity = kUnlimited;
+        wl.repo_proc_capacity = kUnlimited;
+        wl.storage_fraction = storage;
+        const SystemModel sys =
+            generate_workload(wl, mix_seed(cfg.base_seed, r));
+        PolicyResult pipeline = run_replication_policy(sys);
+        const auto t0 = std::chrono::steady_clock::now();
+        const LocalSearchReport report =
+            refine_local_search(sys, pipeline.assignment, w);
+        const auto t1 = std::chrono::steady_clock::now();
+        d_before.add(report.d_before);
+        d_after.add(report.d_after);
+        flips.add(report.flips);
+        ms.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      t.begin_row()
+          .add_cell(static_cast<std::int64_t>(storage * 100))
+          .add_cell(d_before.mean(), 0)
+          .add_cell(d_after.mean(), 0)
+          .add_percent(d_after.mean() / d_before.mean() - 1.0, 3)
+          .add_cell(flips.mean(), 1)
+          .add_cell(ms.mean(), 1);
+      std::cout << "." << std::flush;
     }
-    t.begin_row()
-        .add_cell(static_cast<std::int64_t>(storage * 100))
-        .add_cell(d_before.mean(), 0)
-        .add_cell(d_after.mean(), 0)
-        .add_percent(d_after.mean() / d_before.mean() - 1.0, 3)
-        .add_cell(flips.mean(), 1)
-        .add_cell(ms.mean(), 1);
-    std::cout << "." << std::flush;
-  }
-  std::cout << "\n\n";
-  t.print(std::cout, "A7 — refinement headroom");
-  std::cout << "\nReading: the closer the improvement column is to zero, the "
-               "nearer the paper's\nconstructive pipeline already is to a "
-               "single-flip local optimum.\n";
-  return 0;
+    std::cout << "\n\n";
+    t.print(std::cout, "A7 — refinement headroom");
+    std::cout << "\nReading: the closer the improvement column is to zero, the "
+                 "nearer the paper's\nconstructive pipeline already is to a "
+                 "single-flip local optimum.\n";
+  });
 }

@@ -22,49 +22,50 @@ int main(int argc, char** argv) {
     return 0;
   }
   const ExperimentConfig cfg = bench::config_from_flags(flags);
-  const double storage = flags.get_double("storage", 0.6);
+  return bench::run_measured([&] {
+    const double storage = flags.get_double("storage", 0.6);
 
-  WorkloadParams wl;
-  wl.server_proc_capacity = kUnlimited;
-  wl.repo_proc_capacity = kUnlimited;
-  wl.storage_fraction = storage;
-  const SystemModel sys = generate_workload(wl, cfg.base_seed);
+    WorkloadParams wl;
+    wl.server_proc_capacity = kUnlimited;
+    wl.repo_proc_capacity = kUnlimited;
+    wl.storage_fraction = storage;
+    const SystemModel sys = generate_workload(wl, cfg.base_seed);
 
-  SimParams sp = cfg.sim;
-  sp.requests_per_server =
-      std::min<std::uint32_t>(sp.requests_per_server, 5000);
-  const Simulator sim(sys, sp);
-  const std::uint64_t seed = mix_seed(cfg.base_seed, 0x7123);
+    SimParams sp = cfg.sim;
+    sp.requests_per_server =
+        std::min<std::uint32_t>(sp.requests_per_server, 5000);
+    const Simulator sim(sys, sp);
+    const std::uint64_t seed = mix_seed(cfg.base_seed, 0x7123);
 
-  const PolicyResult ours = run_replication_policy(sys);
-  const double t_ours =
-      sim.simulate(ours.assignment, seed).page_response.mean();
-  const double t_lru = sim.simulate_lru(seed).page_response.mean();
+    const PolicyResult ours = run_replication_policy(sys);
+    const double t_ours =
+        sim.simulate(ours.assignment, seed).page_response.mean();
+    const double t_lru = sim.simulate_lru(seed).page_response.mean();
 
-  std::cout << "Ablation A8: threshold sensitivity at "
-            << format_percent(storage, 0).substr(1) << " storage\n"
-            << "references: ours " << format_double(t_ours, 1)
-            << " s, ideal LRU " << format_double(t_lru, 1) << " s\n\n";
+    std::cout << "Ablation A8: threshold sensitivity at "
+              << format_percent(storage, 0).substr(1) << " storage\n"
+              << "references: ours " << format_double(t_ours, 1)
+              << " s, ideal LRU " << format_double(t_lru, 1) << " s\n\n";
 
-  TextTable t({"replicate_at", "mean response [s]", "vs ours", "replicas",
-               "drops"});
-  for (double threshold : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
-    ThresholdParams tp;
-    tp.replicate_at = threshold;
-    tp.drop_below = threshold / 8.0;
-    const SimMetrics m = sim.simulate_threshold(seed, tp);
-    t.begin_row()
-        .add_cell(threshold, 1)
-        .add_cell(m.page_response.mean(), 1)
-        .add_percent(m.page_response.mean() / t_ours - 1.0)
-        .add_cell(static_cast<std::int64_t>(m.replica_creations))
-        .add_cell(static_cast<std::int64_t>(m.replica_drops));
-    std::cout << "." << std::flush;
-  }
-  std::cout << "\n\n";
-  t.print(std::cout, "A8 — replication-threshold sweep");
-  std::cout << "\nReading: performance swings substantially with the tuning "
-               "knob — the paper's\nargument for a static, workload-aware "
-               "placement over threshold-driven dynamics.\n";
-  return 0;
+    TextTable t({"replicate_at", "mean response [s]", "vs ours", "replicas",
+                 "drops"});
+    for (double threshold : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+      ThresholdParams tp;
+      tp.replicate_at = threshold;
+      tp.drop_below = threshold / 8.0;
+      const SimMetrics m = sim.simulate_threshold(seed, tp);
+      t.begin_row()
+          .add_cell(threshold, 1)
+          .add_cell(m.page_response.mean(), 1)
+          .add_percent(m.page_response.mean() / t_ours - 1.0)
+          .add_cell(static_cast<std::int64_t>(m.replica_creations))
+          .add_cell(static_cast<std::int64_t>(m.replica_drops));
+      std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    t.print(std::cout, "A8 — replication-threshold sweep");
+    std::cout << "\nReading: performance swings substantially with the tuning "
+                 "knob — the paper's\nargument for a static, workload-aware "
+                 "placement over threshold-driven dynamics.\n";
+  });
 }

@@ -1,5 +1,6 @@
 // Shared plumbing for the figure/table bench harnesses: flag parsing into an
-// ExperimentConfig, and consistent result formatting.
+// ExperimentConfig, repeated-measurement support, and consistent result
+// formatting.
 //
 // Every harness accepts:
 //   --runs=N        seeded repetitions averaged per point (paper: 20)
@@ -9,16 +10,26 @@
 //   --quick         shrink to runs=5, requests=2000 for a fast look
 //   --metrics-out=F write metrics.json when the harness exits
 //   --trace-out=F   enable tracing, write trace.json when the harness exits
+//   --bench-out=F   write a BENCH_<name>.json artifact when the harness
+//                   exits (io/benchfmt schema)
+//   --reps=N        measured repetitions of the whole harness body; each rep
+//                   contributes one sample per bench series (default 1)
+//   --warmup=N      extra leading repetitions discarded from bench stats
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <streambuf>
 #include <string>
+#include <utility>
 
 #include "io/artifacts.h"
+#include "io/benchfmt.h"
 #include "sim/runner.h"
+#include "util/check.h"
 #include "util/flags.h"
 #include "util/log.h"
 #include "util/metrics.h"
@@ -33,10 +44,17 @@ namespace detail {
 /// atexit handler on the main thread, after the harness' thread pools have
 /// been torn down — so every worker's trace buffer has already flushed.
 struct ArtifactState {
+  bool initialized = false;
   std::string metrics_path;
   std::string trace_path;
+  std::string bench_path;
+  std::uint32_t reps = 1;
+  std::uint32_t warmup = 0;
   RunMeta meta;
   std::chrono::steady_clock::time_point start;
+  /// Metrics snapshot at the end of the previous repetition, so each rep's
+  /// bench samples are deltas rather than cumulative totals.
+  MetricsSnapshot last_snapshot;
 };
 
 inline ArtifactState& artifact_state() {
@@ -61,20 +79,61 @@ inline void write_artifacts_at_exit() {
     if (!state.trace_path.empty()) {
       write_trace_file(state.trace_path, Tracer::instance(), state.meta);
     }
+    if (!state.bench_path.empty()) {
+      write_bench_file(state.bench_path,
+                       bench_collector().build(state.meta.tool, state.meta,
+                                               state.warmup));
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: failed to write run artifacts: " << e.what() << "\n";
   }
 }
 
+/// Swallows std::cout for its lifetime (repeat measurement reps re-run the
+/// whole harness body; only the first rep should print its tables).
+class CoutSilencer {
+ public:
+  explicit CoutSilencer(bool active) : active_(active) {
+    if (active_) prev_ = std::cout.rdbuf(&null_buf_);
+  }
+  ~CoutSilencer() {
+    if (active_) std::cout.rdbuf(prev_);
+  }
+  CoutSilencer(const CoutSilencer&) = delete;
+  CoutSilencer& operator=(const CoutSilencer&) = delete;
+
+ private:
+  struct NullBuf : std::streambuf {
+    int overflow(int c) override { return c; }
+  };
+  bool active_;
+  NullBuf null_buf_;
+  std::streambuf* prev_ = nullptr;
+};
+
 }  // namespace detail
 
-/// Wires --metrics-out/--trace-out to artifact files written when the
-/// harness exits. Called by config_from_flags; safe to call at most once.
+/// Wires --metrics-out/--trace-out/--bench-out to artifact files written
+/// when the harness exits. Called by config_from_flags exactly once per
+/// process; a second call is a programming error and fails fast instead of
+/// silently re-registering the atexit writer over live ArtifactState.
 inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
   detail::ArtifactState& state = detail::artifact_state();
+  MMR_CHECK_MSG(!state.initialized,
+                "bench::init_artifacts called twice (config_from_flags may "
+                "only run once per process)");
+  state.initialized = true;
   state.metrics_path = flags.get_string("metrics-out", "");
   state.trace_path = flags.get_string("trace-out", "");
-  if (state.metrics_path.empty() && state.trace_path.empty()) return;
+  state.bench_path = flags.get_string("bench-out", "");
+  state.reps =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(1, flags.get_int("reps", 1)));
+  state.warmup =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(0, flags.get_int("warmup", 0)));
+  if (state.metrics_path.empty() && state.trace_path.empty() &&
+      state.bench_path.empty()) {
+    return;
+  }
   if (!state.trace_path.empty()) set_trace_enabled(true);
   state.start = std::chrono::steady_clock::now();
   std::string tool = flags.program_name();
@@ -85,7 +144,9 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
       .add("requests_per_server",
            static_cast<std::uint64_t>(cfg.sim.requests_per_server))
       .add("base_seed", cfg.base_seed)
-      .add("threads", static_cast<std::uint64_t>(cfg.threads));
+      .add("threads", static_cast<std::uint64_t>(cfg.threads))
+      .add("reps", static_cast<std::uint64_t>(state.reps))
+      .add("warmup", static_cast<std::uint64_t>(state.warmup));
   std::atexit(detail::write_artifacts_at_exit);
 }
 
@@ -119,8 +180,47 @@ inline Flags standard_flags(int argc, const char* const* argv) {
       .describe("verbose", "enable info logging")
       .describe("metrics-out", "write metrics.json to this path on exit")
       .describe("trace-out",
-                "enable tracing; write Chrome trace.json to this path on exit");
+                "enable tracing; write Chrome trace.json to this path on exit")
+      .describe("bench-out",
+                "write a BENCH_<name>.json benchmark artifact on exit")
+      .describe("reps",
+                "measured repetitions of the harness body (default 1); "
+                "output prints once, every rep samples the bench series")
+      .describe("warmup",
+                "extra leading repetitions discarded from bench stats");
   return flags;
+}
+
+/// Runs the harness body --warmup + --reps times (default once). Every
+/// repetition samples the process bench series:
+///   harness.wall_s — wall time of the body,
+///   plus per-rep metrics deltas (timer.*, gauge.*, hist.*.pNN) via
+///   record_metrics_delta, which is where solver wall-time, final D and
+///   response-time percentiles enter the BENCH artifact.
+/// Output is printed by the first repetition only. Returns the harness exit
+/// code (always 0; kept as the return value so mains can `return` it).
+template <typename Body>
+inline int run_measured(Body&& body) {
+  detail::ArtifactState& state = detail::artifact_state();
+  const bool collect = !state.bench_path.empty();
+  const std::uint32_t total =
+      collect ? state.warmup + state.reps : 1;
+  if (collect) state.last_snapshot = current_metrics().snapshot();
+  for (std::uint32_t rep = 0; rep < total; ++rep) {
+    detail::CoutSilencer quiet(rep > 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (collect) {
+      bench_collector().record("harness.wall_s", "s", wall);
+      const MetricsSnapshot cur = current_metrics().snapshot();
+      record_metrics_delta(bench_collector(), state.last_snapshot, cur);
+      state.last_snapshot = std::move(cur);
+    }
+  }
+  return 0;
 }
 
 /// "+33.5% ± 2.1%" — mean relative increase with the 95% CI half-width.

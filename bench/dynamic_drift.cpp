@@ -22,57 +22,58 @@ int main(int argc, char** argv) {
     return 0;
   }
   const ExperimentConfig base = bench::config_from_flags(flags);
+  return bench::run_measured([&] {
 
-  WorkloadParams wl;
-  wl.server_proc_capacity = kUnlimited;
-  wl.repo_proc_capacity = kUnlimited;
-  wl.storage_fraction = flags.get_double("storage", 0.4);
-  SystemModel sys = generate_workload(wl, base.base_seed);
+    WorkloadParams wl;
+    wl.server_proc_capacity = kUnlimited;
+    wl.repo_proc_capacity = kUnlimited;
+    wl.storage_fraction = flags.get_double("storage", 0.4);
+    SystemModel sys = generate_workload(wl, base.base_seed);
 
-  DynamicExperimentConfig cfg;
-  cfg.drift.epochs = static_cast<std::uint32_t>(flags.get_int("epochs", 8));
-  cfg.drift.hot_churn = flags.get_double("churn", 0.25);
-  cfg.sim = base.sim;
-  cfg.sim.requests_per_server =
-      std::min<std::uint32_t>(cfg.sim.requests_per_server, 3000);
-  cfg.seed = base.base_seed;
+    DynamicExperimentConfig cfg;
+    cfg.drift.epochs = static_cast<std::uint32_t>(flags.get_int("epochs", 8));
+    cfg.drift.hot_churn = flags.get_double("churn", 0.25);
+    cfg.sim = base.sim;
+    cfg.sim.requests_per_server =
+        std::min<std::uint32_t>(cfg.sim.requests_per_server, 3000);
+    cfg.seed = base.base_seed;
 
-  std::cout << "Dynamic drift: " << cfg.drift.epochs << " epochs, "
-            << format_percent(cfg.drift.hot_churn, 0).substr(1)
-            << " of the hot set churns per epoch, storage at "
-            << format_percent(wl.storage_fraction, 0).substr(1) << ".\n\n";
+    std::cout << "Dynamic drift: " << cfg.drift.epochs << " epochs, "
+              << format_percent(cfg.drift.hot_churn, 0).substr(1)
+              << " of the hot set churns per epoch, storage at "
+              << format_percent(wl.storage_fraction, 0).substr(1) << ".\n\n";
 
-  const DynamicExperimentResult r = run_dynamic_experiment(sys, cfg);
+    const DynamicExperimentResult r = run_dynamic_experiment(sys, cfg);
 
-  TextTable t({"epoch", "static placement [s]", "periodic re-run [s]",
-               "ideal LRU [s]"});
-  for (std::size_t e = 0; e < r.epochs.size(); ++e) {
-    t.begin_row()
-        .add_cell(static_cast<std::int64_t>(e))
-        .add_cell(r.epochs[e].static_response, 1)
-        .add_cell(r.epochs[e].periodic_response, 1)
-        .add_cell(r.epochs[e].lru_response, 1);
-  }
-  t.print(std::cout, "per-epoch mean page response");
+    TextTable t({"epoch", "static placement [s]", "periodic re-run [s]",
+                 "ideal LRU [s]"});
+    for (std::size_t e = 0; e < r.epochs.size(); ++e) {
+      t.begin_row()
+          .add_cell(static_cast<std::int64_t>(e))
+          .add_cell(r.epochs[e].static_response, 1)
+          .add_cell(r.epochs[e].periodic_response, 1)
+          .add_cell(r.epochs[e].lru_response, 1);
+    }
+    t.print(std::cout, "per-epoch mean page response");
 
-  TextTable s({"strategy", "overall mean [s]", "vs periodic"});
-  const double periodic = r.periodic_overall.mean();
-  s.begin_row()
-      .add_cell("periodic re-run (paper's off-peak re-execution)")
-      .add_cell(periodic, 1)
-      .add_cell("+0.0%");
-  s.begin_row()
-      .add_cell("static epoch-0 placement")
-      .add_cell(r.static_overall.mean(), 1)
-      .add_percent(r.static_overall.mean() / periodic - 1.0);
-  s.begin_row()
-      .add_cell("ideal LRU (adaptive)")
-      .add_cell(r.lru_overall.mean(), 1)
-      .add_percent(r.lru_overall.mean() / periodic - 1.0);
-  s.print(std::cout, "overall");
-  std::cout << "\nReading: the frozen placement decays as popularity "
-               "drifts; periodically re-running\nthe algorithm (as the paper "
-               "prescribes for off-peak hours) recovers the gap and\nstays "
-               "ahead of the adaptive LRU baseline.\n";
-  return 0;
+    TextTable s({"strategy", "overall mean [s]", "vs periodic"});
+    const double periodic = r.periodic_overall.mean();
+    s.begin_row()
+        .add_cell("periodic re-run (paper's off-peak re-execution)")
+        .add_cell(periodic, 1)
+        .add_cell("+0.0%");
+    s.begin_row()
+        .add_cell("static epoch-0 placement")
+        .add_cell(r.static_overall.mean(), 1)
+        .add_percent(r.static_overall.mean() / periodic - 1.0);
+    s.begin_row()
+        .add_cell("ideal LRU (adaptive)")
+        .add_cell(r.lru_overall.mean(), 1)
+        .add_percent(r.lru_overall.mean() / periodic - 1.0);
+    s.print(std::cout, "overall");
+    std::cout << "\nReading: the frozen placement decays as popularity "
+                 "drifts; periodically re-running\nthe algorithm (as the paper "
+                 "prescribes for off-peak hours) recovers the gap and\nstays "
+                 "ahead of the adaptive LRU baseline.\n";
+  });
 }

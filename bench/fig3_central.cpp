@@ -18,39 +18,40 @@ int main(int argc, char** argv) {
     return 0;
   }
   const ExperimentConfig cfg = bench::config_from_flags(flags);
-  ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
+  return bench::run_measured([&] {
+    ThreadPool pool(cfg.threads == 0 ? 0 : cfg.threads);
 
-  std::cout << "Figure 3: response time vs local capacity at fixed central "
-               "capacity ("
-            << cfg.runs << " runs x " << cfg.sim.requests_per_server
-            << " requests/server)\n\n";
+    std::cout << "Figure 3: response time vs local capacity at fixed central "
+                 "capacity ("
+              << cfg.runs << " runs x " << cfg.sim.requests_per_server
+              << " requests/server)\n\n";
 
-  const int central_pcts[] = {90, 70, 50};
-  TextTable t({"local %", "central 90%", "central 70%", "central 50%"});
-  for (int local_pct = 50; local_pct <= 100; local_pct += 10) {
-    std::vector<std::string> row;
-    row.push_back(std::to_string(local_pct));
-    for (int central : central_pcts) {
-      ScenarioSpec spec;
-      spec.local_proc_fraction = local_pct / 100.0;
-      spec.repo_capacity_fraction = central / 100.0;
-      spec.run_lru = spec.run_local = spec.run_remote = false;
-      const ScenarioResult r = run_scenario(cfg, spec, &pool);
-      std::string cell = bench::rel_cell(r.ours.rel_increase);
-      if (r.infeasible_runs > 0) {
-        cell += " [" + std::to_string(r.infeasible_runs) + " unrestored]";
+    const int central_pcts[] = {90, 70, 50};
+    TextTable t({"local %", "central 90%", "central 70%", "central 50%"});
+    for (int local_pct = 50; local_pct <= 100; local_pct += 10) {
+      std::vector<std::string> row;
+      row.push_back(std::to_string(local_pct));
+      for (int central : central_pcts) {
+        ScenarioSpec spec;
+        spec.local_proc_fraction = local_pct / 100.0;
+        spec.repo_capacity_fraction = central / 100.0;
+        spec.run_lru = spec.run_local = spec.run_remote = false;
+        const ScenarioResult r = run_scenario(cfg, spec, &pool);
+        std::string cell = bench::rel_cell(r.ours.rel_increase);
+        if (r.infeasible_runs > 0) {
+          cell += " [" + std::to_string(r.infeasible_runs) + " unrestored]";
+        }
+        row.push_back(cell);
+        std::cout << "." << std::flush;
       }
-      row.push_back(cell);
-      std::cout << "." << std::flush;
+      t.add_row(std::move(row));
     }
-    t.add_row(std::move(row));
-  }
-  std::cout << "\n\n";
-  t.print(std::cout,
-          "Figure 3 — relative response time, local x central capacity");
-  std::cout << "\nExpected shape: with local capacity >= 70% even a 50% "
-               "central capacity stays\nacceptable (paper: ~+40%); dropping "
-               "local capacity to 50-60% hurts sharply even at\n90% central "
-               "capacity — local capacity dominates.\n";
-  return 0;
+    std::cout << "\n\n";
+    t.print(std::cout,
+            "Figure 3 — relative response time, local x central capacity");
+    std::cout << "\nExpected shape: with local capacity >= 70% even a 50% "
+                 "central capacity stays\nacceptable (paper: ~+40%); dropping "
+                 "local capacity to 50-60% hurts sharply even at\n90% central "
+                 "capacity — local capacity dominates.\n";
+  });
 }

@@ -1,0 +1,94 @@
+// Shared main() for the google-benchmark micro harnesses (micro_core,
+// micro_structures), so they speak the same artifact dialect as the
+// figure/table benches:
+//
+//   --bench-out=F   write a BENCH_<name>.json artifact (io/benchfmt schema);
+//                   each google-benchmark repetition contributes one sample
+//                   per benchmark, named after the benchmark and measured in
+//                   seconds of real time per iteration
+//   --reps=N        forwarded as --benchmark_repetitions=N
+//   --quick         forwarded as --benchmark_min_time=0.05 (fast CI suite)
+//
+// Unrecognized flags pass through to google-benchmark untouched, so the
+// usual --benchmark_filter etc. keep working.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/artifacts.h"
+#include "io/benchfmt.h"
+
+namespace mmr::bench {
+
+/// Console reporter that also records every per-repetition run into the
+/// process BenchCollector as real seconds per iteration.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.iterations <= 0) {
+        continue;
+      }
+      bench_collector().record(
+          run.benchmark_name(), "s/iter",
+          run.real_accumulated_time / static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body.
+inline int micro_main(int argc, char** argv) {
+  std::string bench_out;
+  std::uint64_t reps = 1;
+  std::vector<char*> passthrough;
+  std::vector<std::string> synthesized;  // backing store for injected flags
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--bench-out=", 0) == 0) {
+      bench_out = arg.substr(12);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::max<std::uint64_t>(1, std::stoull(arg.substr(7)));
+      synthesized.push_back("--benchmark_repetitions=" + arg.substr(7));
+    } else if (arg == "--quick") {
+      synthesized.push_back("--benchmark_min_time=0.05");
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  for (std::string& s : synthesized) passthrough.push_back(s.data());
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!bench_out.empty()) {
+    std::string tool = argv[0];
+    const std::size_t slash = tool.find_last_of('/');
+    if (slash != std::string::npos) tool = tool.substr(slash + 1);
+    RunMeta meta;
+    meta.add("reps", reps);
+    try {
+      write_bench_file(bench_out, bench_collector().build(tool, meta, 0));
+    } catch (const std::exception& e) {
+      std::cerr << "error: failed to write bench artifact: " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace mmr::bench

@@ -1,7 +1,10 @@
 // google-benchmark microbenchmarks for the optimization core: PARTITION
 // throughput, exact-DP cost, delta evaluation, constraint restoration and
-// objective evaluation at paper scale.
+// objective evaluation at paper scale. Accepts --bench-out/--reps/--quick on
+// top of the usual --benchmark_* flags (bench/micro_common.h).
 #include <benchmark/benchmark.h>
+
+#include "micro_common.h"
 
 #include "core/delta.h"
 #include "core/partition.h"
@@ -167,4 +170,4 @@ BENCHMARK(BM_AuditConstraints)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace mmr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return mmr::bench::micro_main(argc, argv); }

@@ -1,7 +1,10 @@
 // google-benchmark microbenchmarks for the supporting data structures:
 // RNG, alias table, LRU cache, event queue, workload generation and the
-// response-time simulator.
+// response-time simulator. Accepts --bench-out/--reps/--quick on top of the
+// usual --benchmark_* flags (bench/micro_common.h).
 #include <benchmark/benchmark.h>
+
+#include "micro_common.h"
 
 #include "baselines/lru_cache.h"
 #include "baselines/static_policies.h"
@@ -117,4 +120,4 @@ BENCHMARK(BM_SimulateLru)->Arg(1000)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace mmr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return mmr::bench::micro_main(argc, argv); }

@@ -21,16 +21,6 @@ std::string json_number(double v) {
   return os.str();
 }
 
-std::string iso8601_utc_now() {
-  const std::time_t now =
-      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
-  std::tm tm_utc{};
-  gmtime_r(&now, &tm_utc);
-  char buf[32];
-  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
-  return buf;
-}
-
 void write_run_meta(JsonWriter& w, const RunMeta& meta) {
   w.key("run_meta").begin_object();
   w.kv("tool", meta.tool);
@@ -78,6 +68,16 @@ RunMeta& RunMeta::add(const std::string& key, double value) {
 RunMeta& RunMeta::add(const std::string& key, bool value) {
   fields.emplace_back(key, value ? "true" : "false");
   return *this;
+}
+
+std::string iso8601_utc_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
 }
 
 std::string build_git_describe() {
@@ -128,6 +128,9 @@ void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot,
     w.kv("lo", h.lo);
     w.kv("hi", h.hi);
     w.kv("total", h.total);
+    w.kv("p50", h.p50);
+    w.kv("p95", h.p95);
+    w.kv("p99", h.p99);
     w.key("bucket_counts").begin_array();
     for (std::uint64_t c : h.counts) w.value(c);
     w.end_array();

@@ -41,6 +41,9 @@ struct RunMeta {
 /// `git describe --always --dirty` of the built source, or "unknown".
 std::string build_git_describe();
 
+/// Current time as "YYYY-MM-DDTHH:MM:SSZ" (UTC), as stamped into run_meta.
+std::string iso8601_utc_now();
+
 void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot,
                         const RunMeta& meta);
 void write_metrics_file(const std::string& path,

@@ -1,0 +1,81 @@
+// Noise-aware comparison of two BENCH artifacts (the engine behind
+// tools/benchdiff and the CI perf gate).
+//
+// A series is flagged only when the mean delta exceeds
+//   max(rel_threshold * |baseline mean|,
+//       stddev_k * max(baseline stddev, candidate stddev),
+//       min_abs)
+// so a 3% wobble on a 2 ms timer with 10% run-to-run noise never pages
+// anyone, while a genuine 30% regression on a stable series does. The
+// series' `direction` decides whether an exceeding delta is a regression or
+// an improvement; "none" series are reported but never flagged.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/benchfmt.h"
+
+namespace mmr {
+
+struct BenchDiffOptions {
+  double rel_threshold = 0.05;  ///< fraction of |baseline mean|
+  double stddev_k = 3.0;        ///< multiples of the noisier stddev
+  double min_abs = 0.0;         ///< absolute floor, in the series' unit
+  /// Only series whose name contains this substring are compared
+  /// (empty = all). The CI gate uses "wall_s" to gate wall time only.
+  std::string filter;
+};
+
+enum class SeriesVerdict {
+  kPass,         ///< delta within noise
+  kImprovement,  ///< delta exceeds threshold in the good direction
+  kRegression,   ///< delta exceeds threshold in the bad direction
+  kNew,          ///< series only in the candidate
+  kMissing,      ///< series only in the baseline
+};
+
+const char* to_string(SeriesVerdict v);
+
+struct SeriesDiff {
+  std::string name;
+  std::string unit;
+  std::string direction;
+  double base_mean = 0;
+  double cand_mean = 0;
+  double base_stddev = 0;
+  double cand_stddev = 0;
+  double delta = 0;      ///< cand_mean - base_mean
+  double rel_delta = 0;  ///< delta / |base_mean|; 0 when base_mean == 0
+  double threshold = 0;  ///< the |delta| bound that was applied
+  SeriesVerdict verdict = SeriesVerdict::kPass;
+};
+
+struct BenchDiffReport {
+  std::vector<SeriesDiff> series;  ///< sorted by name
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t passes = 0;
+  std::size_t unmatched = 0;  ///< kNew + kMissing
+
+  bool ok() const { return regressions == 0; }
+};
+
+BenchDiffReport diff_bench_artifacts(const BenchArtifact& baseline,
+                                     const BenchArtifact& candidate,
+                                     const BenchDiffOptions& options);
+
+/// Human-readable comparison table plus a one-line summary.
+void write_benchdiff_table(std::ostream& os, const BenchDiffReport& report);
+
+/// Machine-readable verdict document:
+///   { "verdict": "pass"|"regression", "thresholds": {...},
+///     "regressions": n, "improvements": n, "passes": n, "unmatched": n,
+///     "series": [ {name, unit, direction, base_mean, cand_mean, delta,
+///                  rel_delta, threshold, verdict} ] }
+void write_benchdiff_json(std::ostream& os, const BenchDiffReport& report,
+                          const BenchDiffOptions& options);
+
+}  // namespace mmr

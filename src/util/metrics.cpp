@@ -130,6 +130,11 @@ HistogramStat MetricHistogram::stat() const {
   s.lo = hist_.bucket_low(0);
   s.hi = hist_.bucket_high(hist_.bucket_count() - 1);
   s.total = hist_.total();
+  if (s.total > 0) {
+    s.p50 = hist_.quantile(0.50);
+    s.p95 = hist_.quantile(0.95);
+    s.p99 = hist_.quantile(0.99);
+  }
   s.counts.reserve(hist_.bucket_count());
   for (std::size_t i = 0; i < hist_.bucket_count(); ++i) {
     s.counts.push_back(hist_.count_in_bucket(i));

@@ -109,11 +109,15 @@ class MetricTimer {
   std::atomic<std::uint64_t> max_ns_{0};
 };
 
-/// Histogram stats as exported to JSON.
+/// Histogram stats as exported to JSON. Percentiles are bucket-interpolated
+/// (Histogram::quantile) and 0 when the histogram is empty.
 struct HistogramStat {
   double lo = 0;
   double hi = 0;
   std::uint64_t total = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
   std::vector<std::uint64_t> counts;
 };
 

@@ -97,15 +97,19 @@ double SampleSet::max() const {
 }
 
 double SampleSet::quantile(double q) const {
-  MMR_CHECK(!samples_.empty());
-  MMR_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q out of range: " << q);
   ensure_sorted();
-  if (samples_.size() == 1) return samples_[0];
-  const double pos = q * static_cast<double>(samples_.size() - 1);
+  return quantile_sorted(samples_, q);
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  MMR_CHECK(!sorted.empty());
+  MMR_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q out of range: " << q);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
@@ -148,6 +152,40 @@ double Histogram::bucket_low(std::size_t i) const {
 double Histogram::bucket_high(std::size_t i) const {
   MMR_CHECK(i < counts_.size());
   return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const {
+  return quantile_from_bucket_counts(lo_, hi_, counts_, q);
+}
+
+double quantile_from_bucket_counts(double lo, double hi,
+                                   const std::vector<std::uint64_t>& counts,
+                                   double q) {
+  MMR_CHECK_MSG(hi > lo && !counts.empty(), "quantile needs a bucket range");
+  MMR_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q out of range: " << q);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  MMR_CHECK_MSG(total > 0, "quantile on an empty histogram");
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  // Rank of the q-th sample under the same convention as SampleSet::quantile
+  // (0 -> first sample, 1 -> last sample).
+  const double rank = q * static_cast<double>(total - 1);
+  double below = 0;  // samples in buckets before i
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket > 0 && rank < below + in_bucket) {
+      // Spread the bucket's samples evenly across its width.
+      const double frac = (rank - below + 0.5) / in_bucket;
+      return lo + (static_cast<double>(i) + frac) * width;
+    }
+    below += in_bucket;
+  }
+  // rank == total-1 landed past the loop due to rounding: last occupied
+  // bucket's upper edge.
+  for (std::size_t i = counts.size(); i-- > 0;) {
+    if (counts[i] > 0) return lo + static_cast<double>(i + 1) * width;
+  }
+  return lo;
 }
 
 std::string Histogram::ascii(std::size_t max_width) const {

@@ -1,0 +1,185 @@
+#include "io/benchdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace mmr {
+namespace {
+
+/// Builds an artifact with one series per (name, mean) pair; every series
+/// gets `noise` as its stddev via three synthetic samples.
+BenchArtifact artifact(
+    const std::vector<std::tuple<std::string, double, double>>& series,
+    const std::string& direction = "lower") {
+  BenchArtifact a;
+  a.tool = "synthetic";
+  a.git_describe = "test";
+  a.timestamp_utc = "2026-08-06T00:00:00Z";
+  for (const auto& [name, mean, noise] : series) {
+    BenchMeasurement m;
+    m.name = name;
+    m.direction = direction;
+    // Three samples around `mean` whose sample stddev is exactly `noise`.
+    m.samples = {mean - noise, mean, mean + noise};
+    a.measurements.push_back(std::move(m));
+  }
+  a.finalize(/*iqr_k=*/100.0);  // keep the synthetic spread intact
+  return a;
+}
+
+TEST(BenchDiff, PassWithinNoise) {
+  // 2% drift on a 5%-threshold series: within noise on both bounds.
+  const BenchArtifact base = artifact({{"wall_s", 10.0, 0.1}});
+  const BenchArtifact cand = artifact({{"wall_s", 10.2, 0.1}});
+  const BenchDiffReport r =
+      diff_bench_artifacts(base, cand, BenchDiffOptions{});
+  ASSERT_EQ(r.series.size(), 1u);
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kPass);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.passes, 1u);
+}
+
+TEST(BenchDiff, RegressionBeyondThreshold) {
+  const BenchArtifact base = artifact({{"wall_s", 10.0, 0.1}});
+  const BenchArtifact cand = artifact({{"wall_s", 13.0, 0.1}});
+  const BenchDiffReport r =
+      diff_bench_artifacts(base, cand, BenchDiffOptions{});
+  ASSERT_EQ(r.series.size(), 1u);
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kRegression);
+  EXPECT_NEAR(r.series[0].rel_delta, 0.30, 1e-9);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.regressions, 1u);
+}
+
+TEST(BenchDiff, ImprovementBeyondThreshold) {
+  const BenchArtifact base = artifact({{"wall_s", 10.0, 0.1}});
+  const BenchArtifact cand = artifact({{"wall_s", 7.0, 0.1}});
+  const BenchDiffReport r =
+      diff_bench_artifacts(base, cand, BenchDiffOptions{});
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kImprovement);
+  EXPECT_TRUE(r.ok());  // improvements never fail the gate
+  EXPECT_EQ(r.improvements, 1u);
+}
+
+TEST(BenchDiff, NoiseWidensTheThreshold) {
+  // A 30% delta, but the candidate's stddev is enormous: 3-sigma bound
+  // swallows the delta and the verdict stays pass.
+  const BenchArtifact base = artifact({{"wall_s", 10.0, 0.1}});
+  const BenchArtifact cand = artifact({{"wall_s", 13.0, 2.0}});
+  const BenchDiffReport r =
+      diff_bench_artifacts(base, cand, BenchDiffOptions{});
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kPass);
+  EXPECT_GT(r.series[0].threshold, 3.0);
+}
+
+TEST(BenchDiff, HigherIsBetterFlipsTheSign) {
+  const BenchArtifact base = artifact({{"throughput", 100.0, 1.0}}, "higher");
+  const BenchArtifact down = artifact({{"throughput", 60.0, 1.0}}, "higher");
+  const BenchArtifact up = artifact({{"throughput", 140.0, 1.0}}, "higher");
+  EXPECT_EQ(diff_bench_artifacts(base, down, BenchDiffOptions{})
+                .series[0]
+                .verdict,
+            SeriesVerdict::kRegression);
+  EXPECT_EQ(diff_bench_artifacts(base, up, BenchDiffOptions{})
+                .series[0]
+                .verdict,
+            SeriesVerdict::kImprovement);
+}
+
+TEST(BenchDiff, DirectionNoneNeverFlags) {
+  const BenchArtifact base = artifact({{"info.count", 10.0, 0.0}}, "none");
+  const BenchArtifact cand = artifact({{"info.count", 99.0, 0.0}}, "none");
+  const BenchDiffReport r =
+      diff_bench_artifacts(base, cand, BenchDiffOptions{});
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kPass);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BenchDiff, MinAbsFloorIgnoresTinyDeltas) {
+  // 50% regression on a microsecond-scale series, but below the absolute
+  // floor the gate does not care.
+  const BenchArtifact base = artifact({{"tiny_s", 1e-6, 0.0}});
+  const BenchArtifact cand = artifact({{"tiny_s", 1.5e-6, 0.0}});
+  BenchDiffOptions opt;
+  opt.min_abs = 1e-3;
+  EXPECT_EQ(diff_bench_artifacts(base, cand, opt).series[0].verdict,
+            SeriesVerdict::kPass);
+  EXPECT_EQ(diff_bench_artifacts(base, cand, BenchDiffOptions{})
+                .series[0]
+                .verdict,
+            SeriesVerdict::kRegression);
+}
+
+TEST(BenchDiff, UnmatchedSeriesAreReportedNotFailed) {
+  const BenchArtifact base =
+      artifact({{"gone_s", 1.0, 0.0}, {"stays_s", 1.0, 0.0}});
+  const BenchArtifact cand =
+      artifact({{"stays_s", 1.0, 0.0}, {"fresh_s", 1.0, 0.0}});
+  const BenchDiffReport r =
+      diff_bench_artifacts(base, cand, BenchDiffOptions{});
+  ASSERT_EQ(r.series.size(), 3u);  // sorted: fresh_s, gone_s, stays_s
+  EXPECT_EQ(r.series[0].name, "fresh_s");
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kNew);
+  EXPECT_EQ(r.series[1].name, "gone_s");
+  EXPECT_EQ(r.series[1].verdict, SeriesVerdict::kMissing);
+  EXPECT_EQ(r.series[2].verdict, SeriesVerdict::kPass);
+  EXPECT_EQ(r.unmatched, 2u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BenchDiff, FilterRestrictsComparedSeries) {
+  const BenchArtifact base =
+      artifact({{"a.wall_s", 1.0, 0.0}, {"a.other", 1.0, 0.0}});
+  const BenchArtifact cand =
+      artifact({{"a.wall_s", 10.0, 0.0}, {"a.other", 10.0, 0.0}});
+  BenchDiffOptions opt;
+  opt.filter = "wall_s";
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  ASSERT_EQ(r.series.size(), 1u);
+  EXPECT_EQ(r.series[0].name, "a.wall_s");
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kRegression);
+}
+
+TEST(BenchDiff, ZeroBaselineMeanDoesNotDivide) {
+  const BenchArtifact base = artifact({{"zero", 0.0, 0.0}});
+  const BenchArtifact cand = artifact({{"zero", 1.0, 0.0}});
+  const BenchDiffReport r =
+      diff_bench_artifacts(base, cand, BenchDiffOptions{});
+  EXPECT_DOUBLE_EQ(r.series[0].rel_delta, 0.0);
+  // rel threshold is 0 at a zero baseline; the delta still trips the gate.
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kRegression);
+}
+
+TEST(BenchDiff, VerdictJsonIsParseable) {
+  const BenchArtifact base = artifact({{"wall_s", 10.0, 0.1}});
+  const BenchArtifact cand = artifact({{"wall_s", 13.0, 0.1}});
+  BenchDiffOptions opt;
+  opt.filter = "wall";
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  std::ostringstream os;
+  write_benchdiff_json(os, r, opt);
+  const JsonValue v = json_parse(os.str());
+  EXPECT_EQ(v.at("verdict").str_v, "regression");
+  EXPECT_EQ(v.at("regressions").num_v, 1.0);
+  EXPECT_EQ(v.at("thresholds").at("filter").str_v, "wall");
+  ASSERT_EQ(v.at("series").arr.size(), 1u);
+  EXPECT_EQ(v.at("series").at(std::size_t{0}).at("verdict").str_v,
+            "regression");
+}
+
+TEST(BenchDiff, HumanTableMentionsEverySeries) {
+  const BenchArtifact base = artifact({{"wall_s", 10.0, 0.1}});
+  const BenchArtifact cand = artifact({{"wall_s", 13.0, 0.1}});
+  const BenchDiffReport r =
+      diff_bench_artifacts(base, cand, BenchDiffOptions{});
+  std::ostringstream os;
+  write_benchdiff_table(os, r);
+  EXPECT_NE(os.str().find("wall_s"), std::string::npos);
+  EXPECT_NE(os.str().find("REGRESSION"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmr

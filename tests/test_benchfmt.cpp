@@ -1,0 +1,239 @@
+#include "io/benchfmt.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/stats.h"
+
+namespace mmr {
+namespace {
+
+BenchArtifact sample_artifact() {
+  BenchArtifact a;
+  a.tool = "test_tool";
+  a.git_describe = "abc123";
+  a.timestamp_utc = "2026-08-06T00:00:00Z";
+  a.meta.emplace_back("base_seed", "42");
+  a.meta.emplace_back("threads", "4");
+  BenchMeasurement wall;
+  wall.name = "harness.wall_s";
+  wall.unit = "s";
+  wall.warmup = 1;
+  wall.samples = {9.0, 1.0, 1.1, 0.9, 1.05, 0.95};
+  BenchMeasurement thr;
+  thr.name = "core.throughput";
+  thr.unit = "items/s";
+  thr.direction = "higher";
+  thr.samples = {100.0, 101.0, 99.0};
+  a.measurements = {wall, thr};
+  a.finalize();
+  return a;
+}
+
+TEST(BenchStats, WarmupDiscard) {
+  // The first sample (a cold-start outlier by construction) never enters
+  // the stats when warmup = 1.
+  const BenchStats s = compute_bench_stats({50.0, 1.0, 1.2, 0.8, 1.0}, 1);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.discarded, 1u);
+  EXPECT_NEAR(s.mean, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max, 1.2);
+}
+
+TEST(BenchStats, IqrOutlierRejection) {
+  // Nine tight samples and one 100x spike: Tukey fences reject the spike.
+  std::vector<double> samples(9, 1.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] += 0.01 * static_cast<double>(i);
+  }
+  samples.push_back(100.0);
+  const BenchStats s = compute_bench_stats(samples, 0);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_EQ(s.discarded, 1u);
+  EXPECT_LT(s.max, 2.0);
+  EXPECT_NEAR(s.mean, 1.04, 1e-9);
+}
+
+TEST(BenchStats, IqrSkippedForTinySeries) {
+  // Fewer than 4 kept samples: no rejection, even with a wild outlier.
+  const BenchStats s = compute_bench_stats({1.0, 1.0, 100.0}, 0);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.discarded, 0u);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(BenchStats, PercentileMath) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  // Keep the IQR step from trimming the uniform ramp's ends.
+  const BenchStats s = compute_bench_stats(samples, 0, /*iqr_k=*/100.0);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-12);   // linear interpolation between 50, 51
+  EXPECT_NEAR(s.p95, 95.05, 1e-12);
+  EXPECT_NEAR(s.p99, 99.01, 1e-12);
+  EXPECT_NEAR(s.mean, 50.5, 1e-12);
+}
+
+TEST(BenchStats, AllSamplesConsumedByWarmup) {
+  const BenchStats s = compute_bench_stats({1.0, 2.0}, 5);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.discarded, 2u);
+}
+
+TEST(BenchFmt, RoundTripIsByteStable) {
+  const BenchArtifact a = sample_artifact();
+  std::ostringstream first;
+  write_bench_json(first, a);
+  const BenchArtifact parsed = parse_bench_json(first.str());
+  std::ostringstream second;
+  write_bench_json(second, parsed);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(BenchFmt, RoundTripPreservesContent) {
+  const BenchArtifact a = sample_artifact();
+  std::ostringstream os;
+  write_bench_json(os, a);
+  const BenchArtifact b = parse_bench_json(os.str());
+  EXPECT_EQ(b.schema_version, kBenchSchemaVersion);
+  EXPECT_EQ(b.tool, "test_tool");
+  EXPECT_EQ(b.git_describe, "abc123");
+  EXPECT_EQ(b.timestamp_utc, "2026-08-06T00:00:00Z");
+  ASSERT_EQ(b.measurements.size(), 2u);
+  const BenchMeasurement* wall = b.find("harness.wall_s");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->warmup, 1u);
+  EXPECT_EQ(wall->samples.size(), 6u);
+  EXPECT_DOUBLE_EQ(wall->samples[0], 9.0);
+  const BenchMeasurement* thr = b.find("core.throughput");
+  ASSERT_NE(thr, nullptr);
+  EXPECT_EQ(thr->direction, "higher");
+  EXPECT_EQ(thr->unit, "items/s");
+  EXPECT_EQ(thr->stats.count, 3u);
+}
+
+TEST(BenchFmt, StableFieldOrdering) {
+  // Measurements come out sorted by name; meta fields sorted by key.
+  const BenchArtifact a = sample_artifact();
+  ASSERT_EQ(a.measurements.size(), 2u);
+  EXPECT_EQ(a.measurements[0].name, "core.throughput");
+  EXPECT_EQ(a.measurements[1].name, "harness.wall_s");
+  std::ostringstream os;
+  write_bench_json(os, a);
+  const std::string text = os.str();
+  EXPECT_LT(text.find("\"base_seed\""), text.find("\"threads\""));
+  EXPECT_LT(text.find("\"schema_version\""), text.find("\"run_meta\""));
+  EXPECT_LT(text.find("\"run_meta\""), text.find("\"measurements\""));
+}
+
+TEST(BenchFmt, RejectsBadSchemaVersion) {
+  EXPECT_THROW(
+      parse_bench_json(
+          R"({"schema_version": 99, "run_meta": {"tool": "t",
+             "git_describe": "g", "timestamp_utc": "z"},
+             "measurements": []})"),
+      CheckError);
+  EXPECT_THROW(parse_bench_json("[]"), CheckError);
+  EXPECT_THROW(parse_bench_json("{"), CheckError);
+}
+
+TEST(BenchFmt, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bench_rt.json";
+  const BenchArtifact a = sample_artifact();
+  write_bench_file(path, a);
+  const BenchArtifact b = read_bench_file(path);
+  EXPECT_EQ(b.tool, a.tool);
+  EXPECT_EQ(b.measurements.size(), a.measurements.size());
+  EXPECT_THROW(read_bench_file(path + ".does-not-exist"), CheckError);
+}
+
+TEST(BenchCollector, RecordsAndBuilds) {
+  BenchCollector c;
+  EXPECT_TRUE(c.empty());
+  c.record("a.wall_s", "s", 1.0);
+  c.record("a.wall_s", "s", 1.1);
+  c.record("b.count", "1", 7.0, "none");
+  EXPECT_EQ(c.series_count(), 2u);
+  RunMeta meta;
+  meta.add("base_seed", std::uint64_t{9});
+  const BenchArtifact a = c.build("tool_x", meta, /*warmup=*/1);
+  ASSERT_EQ(a.measurements.size(), 2u);
+  const BenchMeasurement* wall = a.find("a.wall_s");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->warmup, 1u);
+  EXPECT_EQ(wall->stats.count, 1u);
+  EXPECT_DOUBLE_EQ(wall->stats.mean, 1.1);
+  // Warmup clamps so a series never loses its last sample.
+  const BenchMeasurement* count = a.find("b.count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->direction, "none");
+  EXPECT_EQ(count->stats.count, 1u);
+}
+
+TEST(BenchCollector, MetricsDeltaSeries) {
+  MetricsRegistry reg;
+  reg.timer("solver.total").record_ns(1'000'000'000);  // 1 s
+  reg.gauge("solver.d").set(123.0);
+  MetricHistogram& h = reg.histogram("sim.response", 0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(1.5);
+  const MetricsSnapshot before = reg.snapshot();
+
+  reg.timer("solver.total").record_ns(500'000'000);  // +0.5 s this rep
+  reg.gauge("solver.d").set(100.0);
+  for (int i = 0; i < 100; ++i) h.add(8.5);  // this rep's observations
+
+  BenchCollector c;
+  record_metrics_delta(c, before, reg.snapshot());
+  const BenchArtifact a = c.build("t", RunMeta{}, 0);
+  const BenchMeasurement* timer = a.find("timer.solver.total");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_NEAR(timer->samples.at(0), 0.5, 1e-9);
+  const BenchMeasurement* gauge = a.find("gauge.solver.d");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->samples.at(0), 100.0);
+  // The delta histogram holds only this rep's 100 samples at 8.5: every
+  // percentile lands in the [8, 9) bucket despite the older 1.5s mass.
+  const BenchMeasurement* p50 = a.find("hist.sim.response.p50");
+  ASSERT_NE(p50, nullptr);
+  EXPECT_GE(p50->samples.at(0), 8.0);
+  EXPECT_LT(p50->samples.at(0), 9.0);
+}
+
+TEST(HistogramQuantile, BucketInterpolation) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_THROW(h.quantile(0.5), CheckError);
+  for (int i = 0; i < 1000; ++i) h.add(0.1 * static_cast<double>(i));
+  // Uniform fill: quantiles track the value range within a bucket's width.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(0.0));  // deterministic
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
+TEST(HistogramQuantile, SingleBucketMass) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 42; ++i) h.add(3.5);
+  // All mass in [3, 4): every quantile interpolates inside that bucket.
+  EXPECT_GE(h.quantile(0.01), 3.0);
+  EXPECT_LE(h.quantile(0.99), 4.0);
+}
+
+TEST(HistogramQuantile, MetricHistogramSnapshotPercentiles) {
+  MetricsRegistry reg;
+  MetricHistogram& h = reg.histogram("x", 0.0, 100.0, 100);
+  const MetricsSnapshot empty_snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(empty_snap.histograms.at("x").p50, 0.0);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 100));
+  const HistogramStat s = reg.snapshot().histograms.at("x");
+  EXPECT_NEAR(s.p50, 50.0, 1.5);
+  EXPECT_NEAR(s.p95, 95.0, 1.5);
+  EXPECT_NEAR(s.p99, 99.0, 1.5);
+}
+
+}  // namespace
+}  // namespace mmr

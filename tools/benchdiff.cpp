@@ -1,0 +1,81 @@
+// benchdiff — compare two BENCH_<name>.json artifacts with noise-aware
+// thresholds (docs/OBSERVABILITY.md "Benchmark artifacts & perf gate").
+//
+//   benchdiff <baseline.json> <candidate.json>
+//       [--rel=0.05]      relative threshold, fraction of |baseline mean|
+//       [--k=3]           stddev multiplier (noisier of the two runs)
+//       [--min-abs=0]     absolute delta floor in the series' unit
+//       [--filter=STR]    only compare series whose name contains STR
+//       [--json-out=F]    also write the machine-readable verdict JSON
+//       [--quiet]         suppress the human table (summary line only)
+//
+// Exit codes: 0 = no regressions (improvements are fine), 1 = at least one
+// regression, 2 = usage or I/O error. The CI perf gate runs this against
+// bench/baselines/BENCH_suite.json with --filter=wall_s --rel=0.25.
+#include <fstream>
+#include <iostream>
+
+#include "io/benchdiff.h"
+#include "io/benchfmt.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace mmr;
+  Flags flags = Flags::parse(argc, argv);
+  flags.describe("rel", "relative threshold as a fraction (default 0.05)")
+      .describe("k", "stddev multiplier for the noise bound (default 3)")
+      .describe("min-abs", "absolute delta floor (default 0)")
+      .describe("filter", "substring filter on series names")
+      .describe("json-out", "write verdict JSON to this path")
+      .describe("quiet", "summary line only, no table");
+  if (flags.help_requested()) {
+    std::cout << "usage: benchdiff <baseline.json> <candidate.json> [flags]\n"
+              << flags.help();
+    return 0;
+  }
+  if (flags.positional().size() != 2) {
+    std::cerr << "usage: benchdiff <baseline.json> <candidate.json> [flags]\n";
+    return 2;
+  }
+  try {
+    const BenchArtifact baseline = read_bench_file(flags.positional()[0]);
+    const BenchArtifact candidate = read_bench_file(flags.positional()[1]);
+
+    BenchDiffOptions options;
+    options.rel_threshold = flags.get_double("rel", options.rel_threshold);
+    options.stddev_k = flags.get_double("k", options.stddev_k);
+    options.min_abs = flags.get_double("min-abs", options.min_abs);
+    options.filter = flags.get_string("filter", "");
+
+    const BenchDiffReport report =
+        diff_bench_artifacts(baseline, candidate, options);
+
+    std::cout << "baseline:  " << baseline.tool << " @ "
+              << baseline.git_describe << " (" << baseline.timestamp_utc
+              << ")\ncandidate: " << candidate.tool << " @ "
+              << candidate.git_describe << " (" << candidate.timestamp_utc
+              << ")\n\n";
+    if (flags.get_bool("quiet", false)) {
+      std::cout << "verdict: " << (report.ok() ? "PASS" : "REGRESSION")
+                << " (" << report.regressions << " regressions, "
+                << report.improvements << " improvements, " << report.passes
+                << " within noise, " << report.unmatched << " unmatched)\n";
+    } else {
+      write_benchdiff_table(std::cout, report);
+    }
+
+    const std::string json_out = flags.get_string("json-out", "");
+    if (!json_out.empty()) {
+      std::ofstream os(json_out);
+      if (!os.good()) {
+        std::cerr << "error: cannot open '" << json_out << "' for writing\n";
+        return 2;
+      }
+      write_benchdiff_json(os, report, options);
+    }
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
