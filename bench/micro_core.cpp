@@ -4,6 +4,10 @@
 // top of the usual --benchmark_* flags (bench/micro_common.h).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
 #include "micro_common.h"
 
 #include "core/delta.h"
@@ -49,6 +53,55 @@ void BM_PartitionAllPages(benchmark::State& state) {
                           static_cast<std::int64_t>(sys.num_pages()));
 }
 BENCHMARK(BM_PartitionAllPages);
+
+// Pre-flattening PARTITION, reproduced for comparison: allocates and sorts
+// the slot order and divides by the link rates on every call, exactly like
+// the original slots_by_decreasing_size-based implementation. The ratio
+// BM_PartitionPage / BM_PartitionPageSortBaseline is the flat-cache win.
+void BM_PartitionPageSortBaseline(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  PageId j = 0;
+  for (auto _ : state) {
+    const Page& p = sys.page(j);
+    const Server& s = sys.server(p.host);
+    std::vector<std::uint32_t> order(p.compulsory.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const std::uint64_t sa = sys.object_bytes(p.compulsory[a]);
+                const std::uint64_t sb = sys.object_bytes(p.compulsory[b]);
+                return sa != sb ? sa > sb : a < b;
+              });
+    double local = s.ovhd_local + transfer_seconds(p.html_bytes, s.local_rate);
+    double remote = s.ovhd_repo;
+    for (std::uint32_t idx : order) {
+      const std::uint64_t bytes = sys.object_bytes(p.compulsory[idx]);
+      const double a = transfer_seconds(bytes, s.local_rate);
+      const double b = transfer_seconds(bytes, s.repo_rate);
+      remote += b;
+      local += a;
+      if (remote < local) {
+        local -= a;
+        asg.set_comp_local(j, idx, false);
+      } else {
+        remote -= b;
+        asg.set_comp_local(j, idx, true);
+      }
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      const std::uint64_t bytes = sys.object_bytes(p.optional[idx].object);
+      const double t_local =
+          s.ovhd_local + transfer_seconds(bytes, s.local_rate);
+      const double t_remote =
+          s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
+      asg.set_opt_local(j, idx, t_local <= t_remote);
+    }
+    j = (j + 1) % static_cast<PageId>(sys.num_pages());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartitionPageSortBaseline);
 
 void BM_PartitionPageExact(benchmark::State& state) {
   const SystemModel& sys = paper_system();
@@ -128,6 +181,27 @@ void BM_ObjectiveFromScratch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObjectiveFromScratch);
+
+// The storage cascade's inner loop: re-partition a page within its stored
+// set. Runs against the partitioned assignment with every object allowed,
+// so the candidate equals the current marking and the assignment is never
+// mutated — the measurement is the pure compute path (greedy over the
+// precomputed order plus the evaluation), which is what the cascade pays
+// tens of thousands of times per restoration.
+void BM_RepartitionWithinStore(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  const Weights w;
+  const std::vector<std::uint8_t> allowed(sys.num_objects(), 1);
+  PageId j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repartition_within_store(sys, asg, j, allowed, w));
+    j = (j + 1) % static_cast<PageId>(sys.num_pages());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RepartitionWithinStore);
 
 void BM_StorageRestore(benchmark::State& state) {
   WorkloadParams wl;

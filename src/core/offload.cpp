@@ -179,8 +179,7 @@ class ServerAbsorber {
       double evicted_bytes = 0, lost_workload = 0;
       if (need > 0) {
         std::vector<std::pair<double, ObjectId>> ranked;
-        for (const auto& [k, count] : asg_.mark_counts(server_)) {
-          (void)count;
+        for (ObjectId k : asg_.stored_objects(server_)) {
           double local_workload = 0;
           for (const PageObjectRef& ref :
                sys_.object_refs_on_server(server_, k)) {

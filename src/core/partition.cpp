@@ -1,99 +1,53 @@
 #include "core/partition.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "util/check.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace mmr {
 
 namespace {
 
-/// Compulsory slot indices of page j sorted by decreasing object size
-/// (ties broken by slot index for determinism).
-std::vector<std::uint32_t> slots_by_decreasing_size(const SystemModel& sys,
-                                                    const Page& p) {
-  std::vector<std::uint32_t> order(p.compulsory.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              const std::uint64_t sa = sys.object_bytes(p.compulsory[a]);
-              const std::uint64_t sb = sys.object_bytes(p.compulsory[b]);
-              return sa != sb ? sa > sb : a < b;
-            });
-  return order;
-}
-
-void mark_optional(const SystemModel& sys, Assignment& asg, PageId j,
-                   const PartitionOptions& options,
-                   const std::vector<std::uint8_t>* allowed) {
-  const Page& p = sys.page(j);
-  for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
-    const ObjectId k = p.optional[idx].object;
-    const bool permitted = allowed == nullptr || (*allowed)[k] != 0;
-    const bool wanted =
-        options.store_all_optional || optional_local_beneficial(sys, j, idx);
-    asg.set_opt_local(j, idx, permitted && wanted);
-  }
-}
-
-}  // namespace
-
-bool optional_local_beneficial(const SystemModel& sys, PageId j,
-                               std::uint32_t opt_idx) {
-  const Page& p = sys.page(j);
-  MMR_DCHECK(opt_idx < p.optional.size());
-  const Server& s = sys.server(p.host);
-  const std::uint64_t bytes = sys.object_bytes(p.optional[opt_idx].object);
-  const double t_local = s.ovhd_local + transfer_seconds(bytes, s.local_rate);
-  const double t_remote = s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
-  return t_local <= t_remote;
-}
-
-void partition_page(const SystemModel& sys, Assignment& asg, PageId j,
-                    const PartitionOptions& options) {
-  if (options.exact) {
-    partition_page_exact(sys, asg, j, options);
-    return;
-  }
-  const Page& p = sys.page(j);
-  const Server& s = sys.server(p.host);
-
-  // The paper's greedy, verbatim: keep running totals of both pipelines,
-  // visit objects in decreasing size order, tentatively add each to both and
-  // keep it on the cheaper side.
-  double local = s.ovhd_local + transfer_seconds(p.html_bytes, s.local_rate);
-  double remote = s.ovhd_repo;
-  for (std::uint32_t idx : slots_by_decreasing_size(sys, p)) {
-    const std::uint64_t bytes = sys.object_bytes(p.compulsory[idx]);
-    const double a = transfer_seconds(bytes, s.local_rate);
-    const double b = transfer_seconds(bytes, s.repo_rate);
+/// The paper's greedy, verbatim: keep running totals of both pipelines,
+/// visit objects in decreasing size order (precomputed at finalize),
+/// tentatively add each to both and keep it on the cheaper side. `set` is
+/// called exactly once per compulsory slot with the chosen bit, so the same
+/// arithmetic drives both the cache-maintaining per-page path and the bulk
+/// row-writing path.
+template <typename SetComp>
+void greedy_split(const SystemModel& sys, PageId j, SetComp&& set) {
+  const std::uint32_t n = sys.comp_offset(j + 1) - sys.comp_offset(j);
+  const std::uint32_t* order = sys.comp_order(j);
+  double local = sys.page_base_local_time(j);
+  double remote = sys.page_base_remote_time(j);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t idx = order[i];
+    const double a = sys.comp_local_xfer(j, idx);
+    const double b = sys.comp_remote_xfer(j, idx);
     remote += b;
     local += a;
     if (remote < local) {
       local -= a;  // download from the repository
-      asg.set_comp_local(j, idx, false);
+      set(idx, false);
     } else {
       remote -= b;  // keep a local copy
-      asg.set_comp_local(j, idx, true);
+      set(idx, true);
     }
   }
-  mark_optional(sys, asg, j, options, nullptr);
 }
 
-void partition_page_exact(const SystemModel& sys, Assignment& asg, PageId j,
-                          const PartitionOptions& options) {
+/// Exact min-max split of page j's compulsory objects via subset-sum DP.
+/// Writes the chosen bits into comp_out (slot-aligned, no cache updates).
+void exact_split(const SystemModel& sys, PageId j,
+                 const PartitionOptions& options, std::uint8_t* comp_out) {
   const Page& p = sys.page(j);
   const Server& s = sys.server(p.host);
   const std::size_t n = p.compulsory.size();
   MMR_CHECK_MSG(options.exact_resolution_bytes > 0,
                 "exact_resolution_bytes must be positive");
-
-  if (n == 0) {
-    mark_optional(sys, asg, j, options, nullptr);
-    return;
-  }
+  if (n == 0) return;
 
   // Quantize sizes; both pipelines depend on the subset only through its
   // total size, so subset-sum reachability over quantized totals is enough.
@@ -134,8 +88,7 @@ void partition_page_exact(const SystemModel& sys, Assignment& asg, PageId j,
   }
 
   // Pick the reachable total minimizing the max of the two pipelines.
-  const double l0 = s.ovhd_local + transfer_seconds(p.html_bytes,
-                                                    s.local_rate);
+  const double l0 = sys.page_base_local_time(j);
   const double r0 = s.ovhd_repo;
   double total_bytes = 0;
   for (std::size_t idx = 0; idx < n; ++idx) {
@@ -161,25 +114,104 @@ void partition_page_exact(const SystemModel& sys, Assignment& asg, PageId j,
   // Backtrack: item i was taken iff best_sum was not reachable without it.
   std::uint64_t sum = best_sum;
   for (std::size_t i = n; i-- > 0;) {
-    const bool reachable_without =
-        (dp[i][sum / 64] >> (sum % 64)) & 1;
+    const bool reachable_without = (dp[i][sum / 64] >> (sum % 64)) & 1;
     if (reachable_without) {
-      asg.set_comp_local(j, static_cast<std::uint32_t>(i), false);
+      comp_out[i] = 0;
     } else {
       MMR_DCHECK(sum >= units[i]);
       sum -= units[i];
-      asg.set_comp_local(j, static_cast<std::uint32_t>(i), true);
+      comp_out[i] = 1;
     }
   }
   MMR_DCHECK(sum == 0);
-  mark_optional(sys, asg, j, options, nullptr);
+}
+
+/// Optional bits for page j straight from the precomputed benefit flags.
+template <typename SetOpt>
+void mark_optional(const SystemModel& sys, PageId j,
+                   const PartitionOptions& options,
+                   const std::uint8_t* allowed, SetOpt&& set) {
+  const Page& p = sys.page(j);
+  for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+    const bool permitted =
+        allowed == nullptr || allowed[p.optional[idx].object] != 0;
+    const bool wanted =
+        options.store_all_optional || sys.opt_beneficial(j, idx);
+    set(idx, permitted && wanted);
+  }
+}
+
+/// Bulk path: computes page j's bits directly into its assignment rows
+/// (disjoint per page, so safe from concurrent workers; caches are rebuilt
+/// by the caller afterwards).
+void compute_page_rows(const SystemModel& sys, Assignment& asg, PageId j,
+                       const PartitionOptions& options) {
+  std::uint8_t* comp = asg.comp_row(j);
+  std::uint8_t* opt = asg.opt_row(j);
+  if (options.exact) {
+    exact_split(sys, j, options, comp);
+  } else {
+    greedy_split(sys, j,
+                 [comp](std::uint32_t idx, bool local) { comp[idx] = local; });
+  }
+  mark_optional(sys, j, options, nullptr,
+                [opt](std::uint32_t idx, bool local) { opt[idx] = local; });
+}
+
+}  // namespace
+
+bool optional_local_beneficial(const SystemModel& sys, PageId j,
+                               std::uint32_t opt_idx) {
+  MMR_DCHECK(opt_idx < sys.page(j).optional.size());
+  return sys.opt_beneficial(j, opt_idx);
+}
+
+void partition_page(const SystemModel& sys, Assignment& asg, PageId j,
+                    const PartitionOptions& options) {
+  if (options.exact) {
+    partition_page_exact(sys, asg, j, options);
+    return;
+  }
+  greedy_split(sys, j, [&](std::uint32_t idx, bool local) {
+    asg.set_comp_local(j, idx, local);
+  });
+  mark_optional(sys, j, options, nullptr, [&](std::uint32_t idx, bool local) {
+    asg.set_opt_local(j, idx, local);
+  });
+}
+
+void partition_page_exact(const SystemModel& sys, Assignment& asg, PageId j,
+                          const PartitionOptions& options) {
+  const Page& p = sys.page(j);
+  thread_local std::vector<std::uint8_t> scratch;
+  scratch.assign(p.compulsory.size(), 0);
+  exact_split(sys, j, options, scratch.data());
+  for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+    asg.set_comp_local(j, idx, scratch[idx] != 0);
+  }
+  mark_optional(sys, j, options, nullptr, [&](std::uint32_t idx, bool local) {
+    asg.set_opt_local(j, idx, local);
+  });
 }
 
 void partition_all(const SystemModel& sys, Assignment& asg,
-                   const PartitionOptions& options) {
-  for (PageId j = 0; j < sys.num_pages(); ++j) {
-    partition_page(sys, asg, j, options);
+                   const PartitionOptions& options, ThreadPool* pool) {
+  // Pages own disjoint slot rows, so the decision bits are computed straight
+  // into the assignment from as many workers as the pool has; the caches are
+  // rebuilt once afterwards (per server, also in parallel). Each page's bits
+  // depend only on the model, so the result is identical at any thread
+  // count.
+  const std::size_t pages = sys.num_pages();
+  if (pool != nullptr && pool->thread_count() > 1 && pages > 1) {
+    pool->parallel_for(pages, [&](std::size_t j) {
+      compute_page_rows(sys, asg, static_cast<PageId>(j), options);
+    });
+  } else {
+    for (std::size_t j = 0; j < pages; ++j) {
+      compute_page_rows(sys, asg, static_cast<PageId>(j), options);
+    }
   }
+  asg.recompute_caches(pool);
   MMR_COUNT("solver.partition.pages", sys.num_pages());
   if (options.exact) {
     MMR_COUNT("solver.partition.exact_pages", sys.num_pages());
@@ -198,25 +230,29 @@ bool repartition_within_store(const SystemModel& sys, Assignment& asg,
                               const Weights& w) {
   MMR_DCHECK(allowed.size() == sys.num_objects());
   const Page& p = sys.page(j);
-  const Server& s = sys.server(p.host);
 
   // Compute the candidate marking arithmetically first; the assignment is
   // only touched when the candidate is a strict improvement (this function
-  // runs tens of thousands of times inside storage restoration).
-  std::vector<std::uint8_t> new_comp(p.compulsory.size(), 0);
-  std::vector<std::uint8_t> new_opt(p.optional.size(), 0);
+  // runs tens of thousands of times inside storage restoration, so the
+  // scratch rows are thread_local and every per-slot quantity comes from the
+  // model's precomputed flat caches — no allocation, sort or division here).
+  thread_local std::vector<std::uint8_t> new_comp;
+  thread_local std::vector<std::uint8_t> new_opt;
+  new_comp.assign(p.compulsory.size(), 0);
+  new_opt.assign(p.optional.size(), 0);
 
-  double local = s.ovhd_local + transfer_seconds(p.html_bytes, s.local_rate);
-  double remote = s.ovhd_repo;
-  for (std::uint32_t idx : slots_by_decreasing_size(sys, p)) {
-    const ObjectId k = p.compulsory[idx];
-    const std::uint64_t bytes = sys.object_bytes(k);
-    const double b = transfer_seconds(bytes, s.repo_rate);
-    if (!allowed[k]) {
+  const std::uint32_t n = static_cast<std::uint32_t>(p.compulsory.size());
+  const std::uint32_t* order = sys.comp_order(j);
+  double local = sys.page_base_local_time(j);
+  double remote = sys.page_base_remote_time(j);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t idx = order[i];
+    const double b = sys.comp_remote_xfer(j, idx);
+    if (!allowed[p.compulsory[idx]]) {
       remote += b;
       continue;
     }
-    const double a = transfer_seconds(bytes, s.local_rate);
+    const double a = sys.comp_local_xfer(j, idx);
     remote += b;
     local += a;
     if (remote < local) {
@@ -229,16 +265,11 @@ bool repartition_within_store(const SystemModel& sys, Assignment& asg,
   double optional_time = 0;
   for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
     const OptionalRef& ref = p.optional[idx];
-    const std::uint64_t bytes = sys.object_bytes(ref.object);
-    const double t_local =
-        s.ovhd_local + transfer_seconds(bytes, s.local_rate);
-    const double t_remote =
-        s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
-    if (allowed[ref.object] != 0 && t_local <= t_remote) {
+    if (allowed[ref.object] != 0 && sys.opt_beneficial(j, idx)) {
       new_opt[idx] = 1;
-      optional_time += ref.probability * t_local;
+      optional_time += ref.probability * sys.opt_local_time(j, idx);
     } else {
-      optional_time += ref.probability * t_remote;
+      optional_time += ref.probability * sys.opt_remote_time(j, idx);
     }
   }
   optional_time *= p.optional_scale;

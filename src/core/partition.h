@@ -22,6 +22,8 @@
 
 namespace mmr {
 
+class ThreadPool;
+
 struct PartitionOptions {
   /// If true, mark every optional object local regardless of benefit (the
   /// paper's literal "store all optional objects"); if false, mark an
@@ -52,8 +54,13 @@ void partition_page_exact(const SystemModel& sys, Assignment& asg, PageId j,
                           const PartitionOptions& options = {});
 
 /// Runs the chosen partition for every page (the unconstrained solution).
+/// With a pool, pages are partitioned from all workers (each page's decision
+/// bits depend only on the model and land in its own slot rows) and the
+/// caches are rebuilt once per server afterwards; the resulting assignment
+/// is bit-identical at any thread count.
 void partition_all(const SystemModel& sys, Assignment& asg,
-                   const PartitionOptions& options = {});
+                   const PartitionOptions& options = {},
+                   ThreadPool* pool = nullptr);
 
 /// Re-partitions page j with the restriction that only objects with
 /// allowed[k] != 0 may be marked local (storage-neutral re-optimization used

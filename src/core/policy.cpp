@@ -32,36 +32,50 @@ PolicyResult run_replication_policy(const SystemModel& sys,
   {
     ScopedTimer timed(t_partition);
     MMR_TRACE_SPAN("partition");
-    partition_all(sys, result.assignment, options.partition);
+    partition_all(sys, result.assignment, options.partition, options.pool);
   }
   result.d_after_partition = objective_total_cached(result.assignment, w);
   MMR_GAUGE("solver.d_after_partition", result.d_after_partition);
 
+  // A disabled phase leaves the assignment untouched, so its objective is
+  // carried forward instead of re-summing O(pages) terms for nothing.
   if (options.restore_storage_enabled) {
-    ScopedTimer timed(t_storage);
-    MMR_TRACE_SPAN("storage_restore");
-    result.storage_report =
-        restore_storage(sys, result.assignment, w, options.storage);
+    {
+      ScopedTimer timed(t_storage);
+      MMR_TRACE_SPAN("storage_restore");
+      result.storage_report = restore_storage(sys, result.assignment, w,
+                                              options.storage, options.pool);
+    }
+    result.d_after_storage = objective_total_cached(result.assignment, w);
+  } else {
+    result.d_after_storage = result.d_after_partition;
   }
-  result.d_after_storage = objective_total_cached(result.assignment, w);
   MMR_GAUGE("solver.d_after_storage", result.d_after_storage);
 
   if (options.restore_processing_enabled) {
-    ScopedTimer timed(t_processing);
-    MMR_TRACE_SPAN("processing_restore");
-    result.processing_report =
-        restore_processing(sys, result.assignment, w, options.processing);
+    {
+      ScopedTimer timed(t_processing);
+      MMR_TRACE_SPAN("processing_restore");
+      result.processing_report =
+          restore_processing(sys, result.assignment, w, options.processing);
+    }
+    result.d_after_processing = objective_total_cached(result.assignment, w);
+  } else {
+    result.d_after_processing = result.d_after_storage;
   }
-  result.d_after_processing = objective_total_cached(result.assignment, w);
   MMR_GAUGE("solver.d_after_processing", result.d_after_processing);
 
   if (options.offload_enabled) {
-    ScopedTimer timed(t_offload);
-    MMR_TRACE_SPAN("offload");
-    result.offload_report =
-        offload_repository(sys, result.assignment, w, options.offload);
+    {
+      ScopedTimer timed(t_offload);
+      MMR_TRACE_SPAN("offload");
+      result.offload_report =
+          offload_repository(sys, result.assignment, w, options.offload);
+    }
+    result.d_after_offload = objective_total_cached(result.assignment, w);
+  } else {
+    result.d_after_offload = result.d_after_processing;
   }
-  result.d_after_offload = objective_total_cached(result.assignment, w);
   MMR_GAUGE("solver.d_after_offload", result.d_after_offload);
 
   if (options.refine_enabled) {

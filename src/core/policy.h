@@ -18,6 +18,8 @@
 
 namespace mmr {
 
+class ThreadPool;
+
 struct PolicyOptions {
   Weights weights;                       ///< (alpha1, alpha2) of Eq. 7
   PartitionOptions partition;
@@ -31,6 +33,10 @@ struct PolicyOptions {
   /// bit-flip refinement after the pipeline (see core/local_search.h).
   bool refine_enabled = false;
   LocalSearchOptions refine;
+  /// Worker pool for the parallel phases (PARTITION over pages, storage
+  /// restoration over servers). Not owned; may be null (serial). The solver
+  /// result is bit-identical with or without a pool, at any thread count.
+  ThreadPool* pool = nullptr;
 };
 
 struct PolicyResult {

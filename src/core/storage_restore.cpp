@@ -1,13 +1,13 @@
 #include "core/storage_restore.h"
 
 #include <queue>
-#include <unordered_map>
 
 #include "core/delta.h"
 #include "core/partition.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace mmr {
 
@@ -33,26 +33,26 @@ double criterion_for(const SystemModel& sys, const Assignment& asg,
 
 void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
                     const Weights& w, const StorageRestoreOptions& options,
-                    StorageRestoreReport& report,
-                    std::vector<std::uint8_t>& allowed_scratch) {
+                    StorageRestoreReport& report) {
   const Server& server = sys.server(i);
   if (asg.storage_used(i) <= server.storage_capacity) return;
 
   // Lazy min-heap: entries carry the epoch at push time; a dirtied object
   // (epoch bumped) is re-scored only when it reaches the top, which avoids
-  // eager re-pushes for objects that never become the minimum.
-  std::unordered_map<ObjectId, std::uint64_t> epoch;
+  // eager re-pushes for objects that never become the minimum. Epochs and
+  // the repartition "allowed" bitmap are dense per-object arrays — this
+  // routine may run on a pool worker, so all its scratch is local.
+  std::vector<std::uint64_t> epoch(sys.num_objects(), 0);
+  std::vector<std::uint8_t> allowed(sys.num_objects(), 0);
   MinHeap heap;
   auto push_fresh = [&](ObjectId k) {
     heap.push({criterion_for(sys, asg, i, k, w, options), k, epoch[k]});
   };
-  // Persistent stored-set bitmap (the repartition "allowed" set); updated
-  // incrementally as objects are deallocated or dropped by repartitioning.
-  for (const auto& [k, count] : asg.mark_counts(i)) {
-    (void)count;
-    epoch[k] = 0;
+  // Seed from the stored set in object-id order (deterministic heap ties).
+  for (ObjectId k : sys.objects_referenced(i)) {
+    if (!asg.object_stored(i, k)) continue;
     push_fresh(k);
-    allowed_scratch[k] = 1;
+    allowed[k] = 1;
   }
 
   while (asg.storage_used(i) > server.storage_capacity) {
@@ -85,12 +85,12 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
     ++report.deallocations;
     report.bytes_freed += sys.object_bytes(k);
     MMR_DCHECK(!asg.object_stored(i, k));
-    allowed_scratch[k] = 0;
+    allowed[k] = 0;
 
     if (options.repartition_after_dealloc && !affected.empty()) {
       for (PageId j : affected) {
         ++report.repartitioned_pages;
-        if (repartition_within_store(sys, asg, j, allowed_scratch, w)) {
+        if (repartition_within_store(sys, asg, j, allowed, w)) {
           ++report.repartition_improvements;
         }
       }
@@ -104,27 +104,53 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
       const Page& p = sys.page(j);
       auto refresh = [&](ObjectId obj) {
         const bool stored = asg.object_stored(i, obj);
-        allowed_scratch[obj] = stored && obj != k ? 1 : 0;
+        allowed[obj] = stored && obj != k ? 1 : 0;
         if (stored) ++epoch[obj];
       };
       for (ObjectId obj : p.compulsory) refresh(obj);
       for (const OptionalRef& r : p.optional) refresh(r.object);
     }
   }
-  // Reset the scratch bitmap for the next server.
-  std::fill(allowed_scratch.begin(), allowed_scratch.end(), 0);
+}
+
+void merge_reports(StorageRestoreReport& into,
+                   const StorageRestoreReport& from) {
+  into.deallocations += from.deallocations;
+  into.repartitioned_pages += from.repartitioned_pages;
+  into.repartition_improvements += from.repartition_improvements;
+  into.bytes_freed += from.bytes_freed;
+  into.infeasible_servers.insert(into.infeasible_servers.end(),
+                                 from.infeasible_servers.begin(),
+                                 from.infeasible_servers.end());
 }
 
 }  // namespace
 
 StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
                                      const Weights& w,
-                                     const StorageRestoreOptions& options) {
-  StorageRestoreReport report;
-  std::vector<std::uint8_t> allowed_scratch(sys.num_objects(), 0);
-  for (ServerId i = 0; i < sys.num_servers(); ++i) {
-    restore_server(sys, asg, i, w, options, report, allowed_scratch);
+                                     const StorageRestoreOptions& options,
+                                     ThreadPool* pool) {
+  // Restoration is independent per server: a server's heap, marks, storage
+  // cache and page pipelines are all disjoint from every other server's, and
+  // the assignment keeps the repository load as per-host contributions, so
+  // workers never write a shared location. Reports are collected per server
+  // and merged in fixed server order, making the result (assignment bits,
+  // report, and every cached total) identical at any thread count.
+  const std::size_t servers = sys.num_servers();
+  std::vector<StorageRestoreReport> per_server(servers);
+  if (pool != nullptr && pool->thread_count() > 1 && servers > 1) {
+    pool->parallel_for(servers, [&](std::size_t i) {
+      restore_server(sys, asg, static_cast<ServerId>(i), w, options,
+                     per_server[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < servers; ++i) {
+      restore_server(sys, asg, static_cast<ServerId>(i), w, options,
+                     per_server[i]);
+    }
   }
+  StorageRestoreReport report;
+  for (const StorageRestoreReport& r : per_server) merge_reports(report, r);
   MMR_COUNT("solver.storage.deallocations", report.deallocations);
   MMR_COUNT("solver.storage.repartitioned_pages", report.repartitioned_pages);
   MMR_COUNT("solver.storage.repartition_improvements",

@@ -20,6 +20,8 @@
 
 namespace mmr {
 
+class ThreadPool;
+
 struct StorageRestoreOptions {
   /// Divide delta-D by the object size (paper's amortized criterion). When
   /// false, use raw delta-D (ablation A2).
@@ -39,9 +41,13 @@ struct StorageRestoreReport {
 };
 
 /// Restores Eq. 10 for every server. The assignment is modified in place;
-/// on return every feasible server satisfies its storage constraint.
+/// on return every feasible server satisfies its storage constraint. With a
+/// pool, servers restore concurrently (their heaps, marks and caches are
+/// disjoint and the repository load is kept per host); the resulting
+/// assignment and report are bit-identical at any thread count.
 StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
                                      const Weights& w,
-                                     const StorageRestoreOptions& options = {});
+                                     const StorageRestoreOptions& options = {},
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace mmr

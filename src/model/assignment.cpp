@@ -3,39 +3,36 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace mmr {
 
 Assignment::Assignment(const SystemModel& sys) : sys_(&sys) {
   MMR_CHECK_MSG(sys.finalized(), "Assignment requires a finalized model");
-  comp_local_.resize(sys.num_pages());
-  opt_local_.resize(sys.num_pages());
-  for (std::size_t j = 0; j < sys.num_pages(); ++j) {
-    comp_local_[j].assign(sys.page(static_cast<PageId>(j)).compulsory.size(),
-                          0);
-    opt_local_[j].assign(sys.page(static_cast<PageId>(j)).optional.size(), 0);
-  }
+  comp_local_.assign(sys.total_comp_slots(), 0);
+  opt_local_.assign(sys.total_opt_slots(), 0);
   local_time_.resize(sys.num_pages());
   remote_time_.resize(sys.num_pages());
   optional_time_.resize(sys.num_pages());
   proc_load_.resize(sys.num_servers());
+  repo_load_.resize(sys.num_servers());
   storage_used_.resize(sys.num_servers());
-  marks_.resize(sys.num_servers());
+  marks_.assign(sys.num_servers() * sys.num_objects(), 0);
   num_comp_local_.assign(sys.num_pages(), 0);
   num_opt_local_.assign(sys.num_pages(), 0);
   recompute_caches();
 }
 
 bool Assignment::comp_local(PageId j, std::uint32_t idx) const {
-  MMR_DCHECK(j < comp_local_.size());
-  MMR_DCHECK(idx < comp_local_[j].size());
-  return comp_local_[j][idx] != 0;
+  MMR_DCHECK(j < sys_->num_pages());
+  MMR_DCHECK(sys_->comp_offset(j) + idx < sys_->comp_offset(j + 1));
+  return comp_local_[sys_->comp_offset(j) + idx] != 0;
 }
 
 bool Assignment::opt_local(PageId j, std::uint32_t idx) const {
-  MMR_DCHECK(j < opt_local_.size());
-  MMR_DCHECK(idx < opt_local_[j].size());
-  return opt_local_[j][idx] != 0;
+  MMR_DCHECK(j < sys_->num_pages());
+  MMR_DCHECK(sys_->opt_offset(j) + idx < sys_->opt_offset(j + 1));
+  return opt_local_[sys_->opt_offset(j) + idx] != 0;
 }
 
 bool Assignment::ref_local(const PageObjectRef& ref) const {
@@ -65,132 +62,116 @@ double Assignment::page_response_time(PageId j) const {
   return std::max(local_time_[j], remote_time_[j]);
 }
 
-std::uint32_t Assignment::mark_count(ServerId i, ObjectId k) const {
-  MMR_DCHECK(i < marks_.size());
-  const auto it = marks_[i].find(k);
-  return it == marks_[i].end() ? 0u : it->second;
+double Assignment::repo_proc_load() const {
+  double total = 0;
+  for (const double load : repo_load_) total += load;
+  return total;
 }
 
 std::vector<ObjectId> Assignment::stored_objects(ServerId i) const {
-  MMR_DCHECK(i < marks_.size());
+  MMR_DCHECK(i < sys_->num_servers());
   std::vector<ObjectId> out;
-  out.reserve(marks_[i].size());
-  for (const auto& [k, count] : marks_[i]) {
-    MMR_DCHECK(count > 0);
-    out.push_back(k);
+  for (ObjectId k : sys_->objects_referenced(i)) {
+    if (mark_count(i, k) > 0) out.push_back(k);
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return out;  // objects_referenced is sorted, so out is too
 }
 
 void Assignment::bump_marks(ServerId host, ObjectId k, bool local) {
-  auto& map = marks_[host];
+  std::uint32_t& count =
+      marks_[static_cast<std::size_t>(host) * sys_->num_objects() + k];
   if (local) {
-    const std::uint32_t count = ++map[k];
-    if (count == 1) storage_used_[host] += sys_->object_bytes(k);
+    if (++count == 1) storage_used_[host] += sys_->object_bytes(k);
   } else {
-    const auto it = map.find(k);
-    MMR_DCHECK(it != map.end() && it->second > 0);
-    if (--it->second == 0) {
-      storage_used_[host] -= sys_->object_bytes(k);
-      map.erase(it);
-    }
+    MMR_DCHECK(count > 0);
+    if (--count == 0) storage_used_[host] -= sys_->object_bytes(k);
   }
 }
 
 void Assignment::set_comp_local(PageId j, std::uint32_t idx, bool local) {
-  MMR_DCHECK(j < comp_local_.size());
-  MMR_DCHECK(idx < comp_local_[j].size());
-  if ((comp_local_[j][idx] != 0) == local) return;
-  comp_local_[j][idx] = local ? 1 : 0;
+  MMR_DCHECK(j < sys_->num_pages());
+  MMR_DCHECK(sys_->comp_offset(j) + idx < sys_->comp_offset(j + 1));
+  std::uint8_t& bit = comp_local_[sys_->comp_offset(j) + idx];
+  if ((bit != 0) == local) return;
+  bit = local ? 1 : 0;
 
   const Page& p = sys_->page(j);
-  const Server& s = sys_->server(p.host);
-  const ObjectId k = p.compulsory[idx];
-  const double local_xfer = transfer_seconds(sys_->object_bytes(k),
-                                             s.local_rate);
-  const double remote_xfer = transfer_seconds(sys_->object_bytes(k),
-                                              s.repo_rate);
   const double sign = local ? 1.0 : -1.0;
   // Eq. 3/4: the object moves between the two pipelines.
-  local_time_[j] += sign * local_xfer;
-  remote_time_[j] -= sign * remote_xfer;
+  local_time_[j] += sign * sys_->comp_local_xfer(j, idx);
+  remote_time_[j] -= sign * sys_->comp_remote_xfer(j, idx);
   // Eq. 8/9: one HTTP request per page view moves between S_i and R.
   proc_load_[p.host] += sign * p.frequency;
-  repo_load_ -= sign * p.frequency;
+  repo_load_[p.host] -= sign * p.frequency;
   num_comp_local_[j] += local ? 1u : -1u;
-  bump_marks(p.host, k, local);
+  bump_marks(p.host, p.compulsory[idx], local);
 }
 
 void Assignment::set_opt_local(PageId j, std::uint32_t idx, bool local) {
-  MMR_DCHECK(j < opt_local_.size());
-  MMR_DCHECK(idx < opt_local_[j].size());
-  if ((opt_local_[j][idx] != 0) == local) return;
-  opt_local_[j][idx] = local ? 1 : 0;
+  MMR_DCHECK(j < sys_->num_pages());
+  MMR_DCHECK(sys_->opt_offset(j) + idx < sys_->opt_offset(j + 1));
+  std::uint8_t& bit = opt_local_[sys_->opt_offset(j) + idx];
+  if ((bit != 0) == local) return;
+  bit = local ? 1 : 0;
 
   const Page& p = sys_->page(j);
-  const Server& s = sys_->server(p.host);
   const OptionalRef& ref = p.optional[idx];
-  const std::uint64_t bytes = sys_->object_bytes(ref.object);
-  // Eq. 6: each optional download opens a fresh connection, so the overhead
-  // is paid per object.
-  const double t_local = s.ovhd_local + transfer_seconds(bytes, s.local_rate);
-  const double t_remote = s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
   const double sign = local ? 1.0 : -1.0;
-  optional_time_[j] +=
-      sign * p.optional_scale * ref.probability * (t_local - t_remote);
+  // Eq. 6: each optional download opens a fresh connection, so the overhead
+  // is paid per object (both cached times include it).
+  optional_time_[j] += sign * p.optional_scale * ref.probability *
+                       (sys_->opt_local_time(j, idx) -
+                        sys_->opt_remote_time(j, idx));
   // Eq. 8: expected optional requests served locally.
   proc_load_[p.host] +=
       sign * p.frequency * p.optional_scale * ref.probability;
   // Eq. 9 (as written in the paper, without the f(W_j, M) factor).
-  repo_load_ -= sign * p.frequency * ref.probability;
+  repo_load_[p.host] -= sign * p.frequency * ref.probability;
   num_opt_local_[j] += local ? 1u : -1u;
   bump_marks(p.host, ref.object, local);
 }
 
-void Assignment::recompute_caches() {
+void Assignment::recompute_server(ServerId i) {
   const SystemModel& sys = *sys_;
-  repo_load_ = 0;
-  std::fill(proc_load_.begin(), proc_load_.end(), 0.0);
-  std::fill(storage_used_.begin(), storage_used_.end(), 0ull);
-  for (auto& m : marks_) m.clear();
+  proc_load_[i] = 0;
+  repo_load_[i] = 0;
+  storage_used_[i] = sys.html_bytes_on_server(i);
+  std::uint32_t* marks =
+      marks_.data() + static_cast<std::size_t>(i) * sys.num_objects();
+  std::fill(marks, marks + sys.num_objects(), 0u);
 
-  for (std::size_t i = 0; i < sys.num_servers(); ++i) {
-    storage_used_[i] = sys.html_bytes_on_server(static_cast<ServerId>(i));
-  }
-
-  for (std::size_t jj = 0; jj < sys.num_pages(); ++jj) {
-    const auto j = static_cast<PageId>(jj);
+  for (PageId j : sys.pages_on_server(i)) {
     const Page& p = sys.page(j);
-    const Server& s = sys.server(p.host);
+    const std::uint8_t* comp = comp_row(j);
+    const std::uint8_t* opt = opt_row(j);
 
-    double lt = s.ovhd_local + transfer_seconds(p.html_bytes, s.local_rate);
-    double rt = s.ovhd_repo;
+    double lt = sys.page_base_local_time(j);
+    double rt = sys.page_base_remote_time(j);
     double ot = 0;
+    double opt_local_prob = 0;
     std::uint32_t n_comp_local = 0;
     std::uint32_t n_opt_local = 0;
 
     for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
-      const ObjectId k = p.compulsory[idx];
-      if (comp_local_[j][idx]) {
-        lt += transfer_seconds(sys.object_bytes(k), s.local_rate);
+      if (comp[idx]) {
+        lt += sys.comp_local_xfer(j, idx);
         ++n_comp_local;
-        bump_marks(p.host, k, true);
+        bump_marks(i, p.compulsory[idx], true);
       } else {
-        rt += transfer_seconds(sys.object_bytes(k), s.repo_rate);
+        rt += sys.comp_remote_xfer(j, idx);
       }
     }
     for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
       const OptionalRef& ref = p.optional[idx];
-      const std::uint64_t bytes = sys.object_bytes(ref.object);
       double t;
-      if (opt_local_[j][idx]) {
-        t = s.ovhd_local + transfer_seconds(bytes, s.local_rate);
+      if (opt[idx]) {
+        t = sys.opt_local_time(j, idx);
         ++n_opt_local;
-        bump_marks(p.host, ref.object, true);
+        opt_local_prob += ref.probability;
+        bump_marks(i, ref.object, true);
       } else {
-        t = s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
-        repo_load_ += p.frequency * ref.probability;
+        t = sys.opt_remote_time(j, idx);
+        repo_load_[i] += p.frequency * ref.probability;
       }
       ot += p.optional_scale * ref.probability * t;
     }
@@ -201,19 +182,27 @@ void Assignment::recompute_caches() {
     num_comp_local_[j] = n_comp_local;
     num_opt_local_[j] = n_opt_local;
 
-    proc_load_[p.host] +=
-        p.frequency *
-        (1.0 + static_cast<double>(n_comp_local) +
-         p.optional_scale * [&] {
-           double sum = 0;
-           for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
-             if (opt_local_[j][idx]) sum += p.optional[idx].probability;
-           }
-           return sum;
-         }());
-    repo_load_ +=
-        p.frequency *
-        static_cast<double>(p.compulsory.size() - n_comp_local);
+    proc_load_[i] += p.frequency *
+                     (1.0 + static_cast<double>(n_comp_local) +
+                      p.optional_scale * opt_local_prob);
+    repo_load_[i] += p.frequency *
+                     static_cast<double>(p.compulsory.size() - n_comp_local);
+  }
+}
+
+void Assignment::recompute_caches(ThreadPool* pool) {
+  const std::size_t servers = sys_->num_servers();
+  // Every cache is per-page or per-server and pages have one host, so the
+  // per-server rebuilds are disjoint; the arithmetic per server is identical
+  // whether it runs here or on a worker.
+  if (pool != nullptr && pool->thread_count() > 1 && servers > 1) {
+    pool->parallel_for(servers, [this](std::size_t i) {
+      recompute_server(static_cast<ServerId>(i));
+    });
+  } else {
+    for (std::size_t i = 0; i < servers; ++i) {
+      recompute_server(static_cast<ServerId>(i));
+    }
   }
 }
 

@@ -9,21 +9,33 @@
 // An object is *stored* at a server iff at least one page hosted there marks
 // it local (compulsorily or optionally) — the paper's Eq. 10 set semantics.
 //
+// Storage layout is flat: the decision bits live in two CSR byte arrays
+// indexed by the SystemModel's slot offsets (no per-page vectors), and the
+// per-server mark counts are dense arrays indexed by object id (no hash
+// maps). This keeps the greedy inner loops allocation- and hash-free, and
+// makes rows independently writable: pages never share slots, so bulk
+// writers (the parallel PARTITION) may fill comp_row()/opt_row() of distinct
+// pages from different threads and then call recompute_caches().
+//
 // The class maintains incremental caches of everything the greedy algorithms
 // evaluate in their inner loops: per-page pipeline times (Eq. 3/4/6),
 // per-server storage use and processing load (Eq. 8/10 LHS), and repository
-// load (Eq. 9 LHS). `recompute_caches()` rebuilds them from scratch; tests
-// cross-validate the incremental path against the from-scratch evaluators in
-// cost.h.
+// load (Eq. 9 LHS). The repository load is kept as per-host contributions so
+// per-server solver phases can run in parallel without sharing a scalar;
+// repo_proc_load() reduces them in fixed server order, which makes the total
+// bit-identical at any thread count. `recompute_caches()` rebuilds everything
+// from scratch; tests cross-validate the incremental path against the
+// from-scratch evaluators in cost.h.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "model/system.h"
 
 namespace mmr {
+
+class ThreadPool;
 
 class Assignment {
  public:
@@ -46,6 +58,28 @@ class Assignment {
   /// Number of optional objects of page j marked local.
   std::uint32_t num_opt_local(PageId j) const;
 
+  // ---- bulk row access (parallel writers) ----------------------------------
+  /// Mutable view of page j's compulsory / optional decision bytes. Rows of
+  /// distinct pages are disjoint, so concurrent writers are safe; the caches
+  /// are NOT maintained — callers must recompute_caches() before reading any
+  /// cached quantity.
+  std::uint8_t* comp_row(PageId j) {
+    return comp_local_.data() + sys_->comp_offset(j);
+  }
+  std::uint8_t* opt_row(PageId j) {
+    return opt_local_.data() + sys_->opt_offset(j);
+  }
+  const std::uint8_t* comp_row(PageId j) const {
+    return comp_local_.data() + sys_->comp_offset(j);
+  }
+  const std::uint8_t* opt_row(PageId j) const {
+    return opt_local_.data() + sys_->opt_offset(j);
+  }
+  /// Whole flat bit arrays (CSR over all pages) — for equality checks and
+  /// serialization-style traversals.
+  const std::vector<std::uint8_t>& comp_bits() const { return comp_local_; }
+  const std::vector<std::uint8_t>& opt_bits() const { return opt_local_; }
+
   // ---- cached evaluation (kept incrementally up to date) -------------------
   /// Eq. 3: time for the local pipeline of page j (HTML + local compulsory).
   double page_local_time(PageId j) const { return local_time_[j]; }
@@ -58,42 +92,44 @@ class Assignment {
 
   /// Eq. 8 left-hand side for server i.
   double server_proc_load(ServerId i) const { return proc_load_[i]; }
-  /// Eq. 9 left-hand side.
-  double repo_proc_load() const { return repo_load_; }
+  /// Eq. 9 left-hand side: fixed-order reduction of the per-host
+  /// contributions (bit-identical at any solver thread count).
+  double repo_proc_load() const;
+  /// Repository load imposed by the pages of server i alone.
+  double repo_proc_load_from(ServerId i) const { return repo_load_[i]; }
   /// Eq. 10 left-hand side for server i (HTML + stored objects).
   std::uint64_t storage_used(ServerId i) const { return storage_used_[i]; }
 
-  /// How many local marks object k has across pages of server i.
-  std::uint32_t mark_count(ServerId i, ObjectId k) const;
+  /// How many local marks object k has across pages of server i. O(1).
+  std::uint32_t mark_count(ServerId i, ObjectId k) const {
+    return marks_[static_cast<std::size_t>(i) * sys_->num_objects() + k];
+  }
   bool object_stored(ServerId i, ObjectId k) const {
     return mark_count(i, k) > 0;
   }
   /// Snapshot of the stored object set of server i, sorted by id.
   std::vector<ObjectId> stored_objects(ServerId i) const;
-  /// Live view of (object -> mark count) for server i; entries are erased
-  /// when the count drops to zero, so every key is a stored object.
-  const std::unordered_map<ObjectId, std::uint32_t>& mark_counts(
-      ServerId i) const {
-    return marks_[i];
-  }
 
-  /// Rebuilds every cache from the decision bits (O(total refs)).
-  void recompute_caches();
+  /// Rebuilds every cache from the decision bits (O(total refs)). With a
+  /// pool, servers rebuild concurrently — every cache is either per-page or
+  /// per-server, so the result is identical at any thread count.
+  void recompute_caches(ThreadPool* pool = nullptr);
 
  private:
   void bump_marks(ServerId host, ObjectId k, bool local);
+  void recompute_server(ServerId i);
 
   const SystemModel* sys_;
-  std::vector<std::vector<std::uint8_t>> comp_local_;  // [page][slot]
-  std::vector<std::vector<std::uint8_t>> opt_local_;   // [page][slot]
+  std::vector<std::uint8_t> comp_local_;  // flat CSR [comp_offset(j) + idx]
+  std::vector<std::uint8_t> opt_local_;   // flat CSR [opt_offset(j) + idx]
 
   std::vector<double> local_time_;     // Eq. 3 per page
   std::vector<double> remote_time_;    // Eq. 4 per page
   std::vector<double> optional_time_;  // Eq. 6 per page
   std::vector<double> proc_load_;      // Eq. 8 LHS per server
-  double repo_load_ = 0;               // Eq. 9 LHS
+  std::vector<double> repo_load_;      // Eq. 9 LHS, per host server
   std::vector<std::uint64_t> storage_used_;  // Eq. 10 LHS per server
-  std::vector<std::unordered_map<ObjectId, std::uint32_t>> marks_;
+  std::vector<std::uint32_t> marks_;   // dense [server * num_objects + k]
   std::vector<std::uint32_t> num_comp_local_;  // per page
   std::vector<std::uint32_t> num_opt_local_;   // per page
 };

@@ -102,7 +102,68 @@ void SystemModel::finalize() {
     full_replication_bytes_[i] = bytes;
   }
 
+  comp_offset_.assign(pages_.size() + 1, 0);
+  opt_offset_.assign(pages_.size() + 1, 0);
+  for (std::size_t j = 0; j < pages_.size(); ++j) {
+    comp_offset_[j + 1] =
+        comp_offset_[j] + static_cast<std::uint32_t>(pages_[j].compulsory.size());
+    opt_offset_[j + 1] =
+        opt_offset_[j] + static_cast<std::uint32_t>(pages_[j].optional.size());
+  }
+  comp_order_.resize(comp_offset_.back());
+  for (std::size_t j = 0; j < pages_.size(); ++j) {
+    const Page& p = pages_[j];
+    std::uint32_t* order = comp_order_.data() + comp_offset_[j];
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      order[idx] = idx;
+    }
+    std::sort(order, order + p.compulsory.size(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const std::uint64_t sa = objects_[p.compulsory[a]].bytes;
+                const std::uint64_t sb = objects_[p.compulsory[b]].bytes;
+                return sa != sb ? sa > sb : a < b;
+              });
+  }
+  build_network_caches();
+
   finalized_ = true;
+}
+
+void SystemModel::build_network_caches() {
+  comp_local_xfer_.resize(comp_offset_.back());
+  comp_remote_xfer_.resize(comp_offset_.back());
+  opt_local_time_.resize(opt_offset_.back());
+  opt_remote_time_.resize(opt_offset_.back());
+  opt_beneficial_.resize(opt_offset_.back());
+  page_base_local_.resize(pages_.size());
+  for (std::size_t j = 0; j < pages_.size(); ++j) {
+    const Page& p = pages_[j];
+    const Server& s = servers_[p.host];
+    page_base_local_[j] =
+        s.ovhd_local + transfer_seconds(p.html_bytes, s.local_rate);
+    const std::uint32_t c0 = comp_offset_[j];
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      const std::uint64_t bytes = objects_[p.compulsory[idx]].bytes;
+      comp_local_xfer_[c0 + idx] = transfer_seconds(bytes, s.local_rate);
+      comp_remote_xfer_[c0 + idx] = transfer_seconds(bytes, s.repo_rate);
+    }
+    const std::uint32_t o0 = opt_offset_[j];
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      const std::uint64_t bytes = objects_[p.optional[idx].object].bytes;
+      const double t_local =
+          s.ovhd_local + transfer_seconds(bytes, s.local_rate);
+      const double t_remote =
+          s.ovhd_repo + transfer_seconds(bytes, s.repo_rate);
+      opt_local_time_[o0 + idx] = t_local;
+      opt_remote_time_[o0 + idx] = t_remote;
+      opt_beneficial_[o0 + idx] = t_local <= t_remote ? 1 : 0;
+    }
+  }
+}
+
+void SystemModel::refresh_network_caches() {
+  check_finalized();
+  build_network_caches();
 }
 
 void SystemModel::check_finalized() const {

@@ -1,6 +1,15 @@
 // SystemModel: the immutable problem instance — servers, repository, pages
 // and objects, plus the derived indices the algorithms need (pages per
 // server, object->referencing-pages per server, storage calibration totals).
+//
+// finalize() also builds flat per-slot caches for the solver hot path: CSR
+// offsets over every page's compulsory/optional slot lists, the size-sorted
+// compulsory visit order of the PARTITION greedy, and the local/remote
+// transfer (and optional-download) seconds of every slot. Network rates and
+// overheads are treated as fixed for the lifetime of the instance; callers
+// that mutate them through mutable_server() must call
+// refresh_network_caches() before running any algorithm (capacity fields may
+// change freely — no cache depends on them).
 #pragma once
 
 #include <cstdint>
@@ -76,8 +85,56 @@ class SystemModel {
   /// must call recompute_caches() afterwards.
   void set_page_frequency(PageId j, double frequency);
 
+  // ---- flat per-slot caches (available after finalize) ---------------------
+  // CSR layout: slot (j, idx) lives at flat index comp_offset(j) + idx
+  // (resp. opt_offset(j) + idx). All arrays below are slot-aligned with
+  // Page::compulsory / Page::optional.
+
+  std::uint32_t comp_offset(PageId j) const { return comp_offset_[j]; }
+  std::uint32_t opt_offset(PageId j) const { return opt_offset_[j]; }
+  /// One-past-the-end offsets (== comp_offset(num_pages())).
+  std::uint32_t total_comp_slots() const { return comp_offset_.back(); }
+  std::uint32_t total_opt_slots() const { return opt_offset_.back(); }
+
+  /// Compulsory slot indices of page j sorted by decreasing object size
+  /// (ties broken by slot index) — the PARTITION greedy's visit order.
+  const std::uint32_t* comp_order(PageId j) const {
+    return comp_order_.data() + comp_offset_[j];
+  }
+  /// Seconds to fetch compulsory slot (j, idx) over the local link.
+  double comp_local_xfer(PageId j, std::uint32_t idx) const {
+    return comp_local_xfer_[comp_offset_[j] + idx];
+  }
+  /// Seconds to fetch compulsory slot (j, idx) from the repository.
+  double comp_remote_xfer(PageId j, std::uint32_t idx) const {
+    return comp_remote_xfer_[comp_offset_[j] + idx];
+  }
+  /// Eq. 6 download time of optional slot (j, idx) when local / remote
+  /// (connection overhead included — optional fetches pay it per object).
+  double opt_local_time(PageId j, std::uint32_t idx) const {
+    return opt_local_time_[opt_offset_[j] + idx];
+  }
+  double opt_remote_time(PageId j, std::uint32_t idx) const {
+    return opt_remote_time_[opt_offset_[j] + idx];
+  }
+  /// True iff the local download of optional slot (j, idx) is not slower.
+  bool opt_beneficial(PageId j, std::uint32_t idx) const {
+    return opt_beneficial_[opt_offset_[j] + idx] != 0;
+  }
+  /// Eq. 3 base term of page j: Ovhd(S_i) + HTML transfer time.
+  double page_base_local_time(PageId j) const { return page_base_local_[j]; }
+  /// Eq. 4 base term of page j: Ovhd(R, S_i).
+  double page_base_remote_time(PageId j) const {
+    return servers_[pages_[j].host].ovhd_repo;
+  }
+
+  /// Rebuilds every rate/overhead-derived slot cache. Must be called after
+  /// mutating a server's rates or overheads through mutable_server().
+  void refresh_network_caches();
+
  private:
   void check_finalized() const;
+  void build_network_caches();
 
   std::vector<Server> servers_;
   std::vector<MediaObject> objects_;
@@ -92,6 +149,17 @@ class SystemModel {
   std::vector<std::uint64_t> html_bytes_on_server_;
   std::vector<std::uint64_t> full_replication_bytes_;
   std::vector<double> page_request_rate_;
+
+  // Flat slot caches (see accessors above).
+  std::vector<std::uint32_t> comp_offset_;  // num_pages + 1
+  std::vector<std::uint32_t> opt_offset_;   // num_pages + 1
+  std::vector<std::uint32_t> comp_order_;
+  std::vector<double> comp_local_xfer_;
+  std::vector<double> comp_remote_xfer_;
+  std::vector<double> opt_local_time_;
+  std::vector<double> opt_remote_time_;
+  std::vector<std::uint8_t> opt_beneficial_;
+  std::vector<double> page_base_local_;
 
   static const std::vector<PageObjectRef> kNoRefs;
 };

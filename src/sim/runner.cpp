@@ -98,9 +98,11 @@ RunOutcome run_single(const ExperimentConfig& config, const ScenarioSpec& spec,
   }
   if (spec.run_local) {
     MetricLabelScope label("local");
+    // Reuses the all-local assignment built for calibration above: its
+    // decision bits and cached times are capacity-independent, so the
+    // scenario's capacity changes do not invalidate it.
     out.local_response =
-        simulator.simulate(make_local_assignment(sys), sim_seed)
-            .page_response.mean();
+        simulator.simulate(all_local, sim_seed).page_response.mean();
   }
   if (spec.run_remote) {
     MetricLabelScope label("remote");
@@ -128,6 +130,14 @@ ScenarioResult run_scenario(const ExperimentConfig& config,
   MetricsRegistry* metrics_target =
       metrics_enabled() ? &current_metrics() : nullptr;
 
+  // Seeds are the outer parallelism here: when they run on the pool, the
+  // solver must not re-enter the same pool from a worker (parallel_for is
+  // not reentrant), so the per-run config drops the solver pool.
+  ExperimentConfig run_config = config;
+  if (pool != nullptr && pool->thread_count() > 1) {
+    run_config.policy.pool = nullptr;
+  }
+
   auto one = [&](std::size_t r) {
     const std::uint64_t seed = mix_seed(config.base_seed, 1000 + r);
     MetricsRegistry per_run_metrics;
@@ -135,7 +145,7 @@ ScenarioResult run_scenario(const ExperimentConfig& config,
     {
       MetricsScope scope(metrics_target != nullptr ? &per_run_metrics
                                                    : nullptr);
-      out = run_single(config, spec, seed);
+      out = run_single(run_config, spec, seed);
     }
 
     std::lock_guard<std::mutex> lock(mutex);

@@ -1,0 +1,176 @@
+// Thread-count invariance of the parallel solver phases, plus
+// cross-validation of the flat incremental caches against the from-scratch
+// evaluators in cost.h. The contract under test: the solver's result —
+// every decision bit and every cached quantity — is bit-identical whether
+// the phases run serially or on a pool of any size.
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+#include "core/policy.h"
+#include "core/storage_restore.h"
+#include "model/cost.h"
+#include "test_helpers.h"
+#include "util/thread_pool.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+// Shrunken Table 1 structure with all three constraint families active, so
+// the full pipeline (partition, storage cascade, processing, off-load) runs.
+SystemModel constrained_system(std::uint64_t seed) {
+  WorkloadParams params = testing::small_params();
+  params.storage_fraction = 0.3;
+  params.server_proc_capacity = 50.0;
+  SystemModel sys = generate_workload(params, seed);
+  set_repo_capacity(sys, 100.0, 1.0);
+  return sys;
+}
+
+void expect_same_assignment(const Assignment& a, const Assignment& b) {
+  EXPECT_EQ(a.comp_bits(), b.comp_bits());
+  EXPECT_EQ(a.opt_bits(), b.opt_bits());
+}
+
+TEST(PolicyParallel, BitIdenticalAcrossThreadCounts) {
+  const SystemModel sys = constrained_system(501);
+  PolicyOptions options;
+  const PolicyResult serial = run_replication_policy(sys, options);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    PolicyOptions pooled = options;
+    pooled.pool = &pool;
+    const PolicyResult r = run_replication_policy(sys, pooled);
+    SCOPED_TRACE(threads);
+    expect_same_assignment(serial.assignment, r.assignment);
+    // Exact equality on purpose: same arithmetic in the same order.
+    EXPECT_EQ(serial.d_after_partition, r.d_after_partition);
+    EXPECT_EQ(serial.d_after_storage, r.d_after_storage);
+    EXPECT_EQ(serial.d_after_processing, r.d_after_processing);
+    EXPECT_EQ(serial.d_after_offload, r.d_after_offload);
+    EXPECT_EQ(serial.storage_report.deallocations,
+              r.storage_report.deallocations);
+    EXPECT_EQ(serial.storage_report.repartition_improvements,
+              r.storage_report.repartition_improvements);
+    EXPECT_EQ(serial.storage_report.bytes_freed, r.storage_report.bytes_freed);
+    EXPECT_EQ(serial.feasible, r.feasible);
+  }
+}
+
+TEST(PolicyParallel, PartitionAllPoolMatchesSerial) {
+  const SystemModel sys = generate_workload(testing::small_params(), 502);
+  Assignment serial(sys);
+  partition_all(sys, serial);
+
+  ThreadPool pool(4);
+  Assignment pooled(sys);
+  partition_all(sys, pooled, {}, &pool);
+
+  expect_same_assignment(serial, pooled);
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    EXPECT_EQ(serial.page_response_time(j), pooled.page_response_time(j));
+    EXPECT_EQ(serial.page_optional_time(j), pooled.page_optional_time(j));
+  }
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_EQ(serial.server_proc_load(i), pooled.server_proc_load(i));
+    EXPECT_EQ(serial.storage_used(i), pooled.storage_used(i));
+    EXPECT_EQ(serial.repo_proc_load_from(i), pooled.repo_proc_load_from(i));
+  }
+  EXPECT_EQ(serial.repo_proc_load(), pooled.repo_proc_load());
+}
+
+TEST(PolicyParallel, RestoreStoragePoolMatchesSerial) {
+  const SystemModel sys = constrained_system(503);
+  const Weights w;
+
+  Assignment serial(sys);
+  partition_all(sys, serial);
+  const StorageRestoreReport serial_report =
+      restore_storage(sys, serial, w);
+  ASSERT_GT(serial_report.deallocations, 0u);  // the cascade actually ran
+
+  ThreadPool pool(8);
+  Assignment pooled(sys);
+  partition_all(sys, pooled, {}, &pool);
+  const StorageRestoreReport pooled_report =
+      restore_storage(sys, pooled, w, {}, &pool);
+
+  expect_same_assignment(serial, pooled);
+  EXPECT_EQ(serial_report.deallocations, pooled_report.deallocations);
+  EXPECT_EQ(serial_report.repartitioned_pages,
+            pooled_report.repartitioned_pages);
+  EXPECT_EQ(serial_report.repartition_improvements,
+            pooled_report.repartition_improvements);
+  EXPECT_EQ(serial_report.bytes_freed, pooled_report.bytes_freed);
+  EXPECT_EQ(serial_report.infeasible_servers, pooled_report.infeasible_servers);
+  EXPECT_EQ(objective_total_cached(serial, w),
+            objective_total_cached(pooled, w));
+}
+
+TEST(PolicyParallel, FlatCachesMatchFromScratchEvaluators) {
+  const SystemModel sys = constrained_system(504);
+  ThreadPool pool(4);
+  PolicyOptions options;
+  options.pool = &pool;
+  const PolicyResult r = run_replication_policy(sys, options);
+  const Assignment& asg = r.assignment;
+  const Weights w = options.weights;
+
+  // Objective: incremental flat caches vs the O(refs) from-scratch pass.
+  EXPECT_NEAR(objective_total_cached(asg, w), objective_total(sys, asg, w),
+              1e-6 * std::max(1.0, objective_total(sys, asg, w)));
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    EXPECT_NEAR(asg.page_local_time(j), page_local_time(sys, asg, j), 1e-9);
+    EXPECT_NEAR(asg.page_remote_time(j), page_remote_time(sys, asg, j), 1e-9);
+    EXPECT_NEAR(asg.page_optional_time(j), page_optional_time(sys, asg, j),
+                1e-9);
+  }
+
+  // Constraints: dense marks / per-host repo loads vs the audit.
+  const ConstraintReport audit = audit_constraints(sys, asg);
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_NEAR(asg.server_proc_load(i), audit.server_proc_load[i],
+                1e-6 * std::max(1.0, audit.server_proc_load[i]));
+    EXPECT_EQ(asg.storage_used(i), audit.storage_used[i]);
+  }
+  EXPECT_NEAR(asg.repo_proc_load(), audit.repo_proc_load,
+              1e-6 * std::max(1.0, audit.repo_proc_load));
+}
+
+TEST(PolicyParallel, RecomputeCachesPoolMatchesSerial) {
+  const SystemModel sys = generate_workload(testing::small_params(), 505);
+  ThreadPool pool(3);
+  Assignment asg(sys);
+  partition_all(sys, asg);  // serial recompute of every cache
+
+  Assignment rebuilt(sys);
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    const std::uint8_t* comp = asg.comp_row(j);
+    const std::uint8_t* opt = asg.opt_row(j);
+    std::uint8_t* comp_dst = rebuilt.comp_row(j);
+    std::uint8_t* opt_dst = rebuilt.opt_row(j);
+    const Page& p = sys.page(j);
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      comp_dst[idx] = comp[idx];
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      opt_dst[idx] = opt[idx];
+    }
+  }
+  rebuilt.recompute_caches(&pool);
+
+  for (ServerId i = 0; i < sys.num_servers(); ++i) {
+    EXPECT_EQ(asg.server_proc_load(i), rebuilt.server_proc_load(i));
+    EXPECT_EQ(asg.storage_used(i), rebuilt.storage_used(i));
+    for (ObjectId k : sys.objects_referenced(i)) {
+      EXPECT_EQ(asg.mark_count(i, k), rebuilt.mark_count(i, k));
+    }
+  }
+  EXPECT_EQ(asg.repo_proc_load(), rebuilt.repo_proc_load());
+}
+
+}  // namespace
+}  // namespace mmr
