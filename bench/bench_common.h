@@ -12,6 +12,9 @@
 //   --trace-out=F   enable tracing, write trace.json when the harness exits
 //   --bench-out=F   write a BENCH_<name>.json artifact when the harness
 //                   exits (io/benchfmt schema)
+//   --audit-out=F   enable the solver audit log, write audit JSONL on exit
+//   --flight-out=F  enable the flight recorder, write flight JSONL on exit
+//   --flight-sample=N  record every Nth page arrival (default 100)
 //   --reps=N        measured repetitions of the whole harness body; each rep
 //                   contributes one sample per bench series (default 1)
 //   --warmup=N      extra leading repetitions discarded from bench stats
@@ -28,6 +31,7 @@
 
 #include "io/artifacts.h"
 #include "io/benchfmt.h"
+#include "io/provenance.h"
 #include "sim/runner.h"
 #include "util/check.h"
 #include "util/flags.h"
@@ -48,6 +52,8 @@ struct ArtifactState {
   std::string metrics_path;
   std::string trace_path;
   std::string bench_path;
+  std::string audit_path;
+  std::string flight_path;
   std::uint32_t reps = 1;
   std::uint32_t warmup = 0;
   RunMeta meta;
@@ -83,6 +89,12 @@ inline void write_artifacts_at_exit() {
       write_bench_file(state.bench_path,
                        bench_collector().build(state.meta.tool, state.meta,
                                                state.warmup));
+    }
+    if (!state.audit_path.empty()) {
+      write_audit_file(state.audit_path, global_audit_log(), state.meta);
+    }
+    if (!state.flight_path.empty()) {
+      write_flight_file(state.flight_path, global_flight_log(), state.meta);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: failed to write run artifacts: " << e.what() << "\n";
@@ -126,15 +138,24 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
   state.metrics_path = flags.get_string("metrics-out", "");
   state.trace_path = flags.get_string("trace-out", "");
   state.bench_path = flags.get_string("bench-out", "");
+  state.audit_path = flags.get_string("audit-out", "");
+  state.flight_path = flags.get_string("flight-out", "");
   state.reps =
       static_cast<std::uint32_t>(std::max<std::int64_t>(1, flags.get_int("reps", 1)));
   state.warmup =
       static_cast<std::uint32_t>(std::max<std::int64_t>(0, flags.get_int("warmup", 0)));
   if (state.metrics_path.empty() && state.trace_path.empty() &&
-      state.bench_path.empty()) {
+      state.bench_path.empty() && state.audit_path.empty() &&
+      state.flight_path.empty()) {
     return;
   }
   if (!state.trace_path.empty()) set_trace_enabled(true);
+  if (!state.audit_path.empty()) set_audit_enabled(true);
+  if (!state.flight_path.empty()) {
+    set_flight_enabled(true);
+    set_flight_sample_every(
+        static_cast<std::uint32_t>(flags.get_int("flight-sample", 100)));
+  }
   state.start = std::chrono::steady_clock::now();
   std::string tool = flags.program_name();
   const std::size_t slash = tool.find_last_of('/');
@@ -147,6 +168,10 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
       .add("threads", static_cast<std::uint64_t>(cfg.threads))
       .add("reps", static_cast<std::uint64_t>(state.reps))
       .add("warmup", static_cast<std::uint64_t>(state.warmup));
+  if (!state.flight_path.empty()) {
+    state.meta.add("flight_sample",
+                   static_cast<std::uint64_t>(flight_sample_every()));
+  }
   std::atexit(detail::write_artifacts_at_exit);
 }
 
@@ -183,6 +208,12 @@ inline Flags standard_flags(int argc, const char* const* argv) {
                 "enable tracing; write Chrome trace.json to this path on exit")
       .describe("bench-out",
                 "write a BENCH_<name>.json benchmark artifact on exit")
+      .describe("audit-out",
+                "enable the solver audit log; write audit JSONL on exit")
+      .describe("flight-out",
+                "enable the flight recorder; write flight JSONL on exit")
+      .describe("flight-sample",
+                "flight recorder samples every Nth page arrival (default 100)")
       .describe("reps",
                 "measured repetitions of the harness body (default 1); "
                 "output prints once, every rep samples the bench series")

@@ -14,7 +14,9 @@
 #include "core/partition.h"
 #include "core/policy.h"
 #include "core/storage_restore.h"
+#include "io/provenance.h"
 #include "model/cost.h"
+#include "sim/simulator.h"
 #include "workload/generator.h"
 
 namespace mmr {
@@ -229,6 +231,48 @@ void BM_FullPolicyPipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPolicyPipeline)->Unit(benchmark::kMillisecond);
+
+// Instrumentation-overhead micros: the same work with the provenance
+// recorders on vs. the defaults. The ratio BM_FullPolicyPipelineAudited /
+// BM_FullPolicyPipeline is the price of the full audit trail (decision
+// replay + headroom stamps); the simulate pair prices the flight sampler.
+// These are informational (no harness.wall_s series), so the CI perf gate
+// never flags them.
+void BM_FullPolicyPipelineAudited(benchmark::State& state) {
+  WorkloadParams wl;
+  wl.storage_fraction = 0.5;
+  const SystemModel sys = generate_workload(wl, 42);
+  set_audit_enabled(true);
+  for (auto _ : state) {
+    global_audit_log().clear();  // keep memory flat across iterations
+    benchmark::DoNotOptimize(run_replication_policy(sys).feasible);
+  }
+  set_audit_enabled(false);
+  global_audit_log().clear();
+}
+BENCHMARK(BM_FullPolicyPipelineAudited)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateFlight(benchmark::State& state) {
+  const SystemModel& sys = paper_system();
+  Assignment asg(sys);
+  partition_all(sys, asg);
+  SimParams sp;
+  sp.requests_per_server = 2000;
+  const Simulator sim(sys, sp);
+  const bool flight = state.range(0) != 0;
+  if (flight) {
+    set_flight_enabled(true);
+    set_flight_sample_every(100);
+  }
+  for (auto _ : state) {
+    global_flight_log().clear();
+    benchmark::DoNotOptimize(sim.simulate(asg, 42).page_response.mean());
+  }
+  set_flight_enabled(false);
+  global_flight_log().clear();
+  state.SetLabel(flight ? "flight recorder on (1-in-100)" : "recorder off");
+}
+BENCHMARK(BM_SimulateFlight)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_AuditConstraints(benchmark::State& state) {
   const SystemModel& sys = paper_system();

@@ -12,12 +12,15 @@
 //       Measure response times under the Sec. 5.1 perturbation model.
 //
 // Every command also accepts --metrics-out=<path> / --trace-out=<path> to
-// dump the run's metrics.json / Chrome trace.json (docs/OBSERVABILITY.md).
+// dump the run's metrics.json / Chrome trace.json, plus
+// --audit-out=<path> / --flight-out=<path> [--flight-sample=N] for the
+// solver audit log and per-request flight recorder (docs/OBSERVABILITY.md).
 #include <chrono>
 #include <iostream>
 
 #include "core/policy.h"
 #include "io/artifacts.h"
+#include "io/provenance.h"
 #include "io/serialize.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
@@ -140,7 +143,15 @@ int main(int argc, char** argv) {
   const std::string& cmd = flags.positional()[0];
   const std::string metrics_out = flags.get_string("metrics-out", "");
   const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string audit_out = flags.get_string("audit-out", "");
+  const std::string flight_out = flags.get_string("flight-out", "");
   if (!trace_out.empty()) set_trace_enabled(true);
+  if (!audit_out.empty()) set_audit_enabled(true);
+  if (!flight_out.empty()) {
+    set_flight_enabled(true);
+    set_flight_sample_every(
+        static_cast<std::uint32_t>(flags.get_int("flight-sample", 100)));
+  }
   const auto start = std::chrono::steady_clock::now();
   try {
     int rc;
@@ -158,7 +169,8 @@ int main(int argc, char** argv) {
       std::cerr << "unknown command '" << cmd << "'\n" << usage;
       return 1;
     }
-    if (!metrics_out.empty() || !trace_out.empty()) {
+    if (!metrics_out.empty() || !trace_out.empty() || !audit_out.empty() ||
+        !flight_out.empty()) {
       RunMeta meta;
       meta.tool = "mmrepl_cli";
       meta.add("command", cmd);
@@ -171,6 +183,12 @@ int main(int argc, char** argv) {
       }
       if (!trace_out.empty()) {
         write_trace_file(trace_out, Tracer::instance(), meta);
+      }
+      if (!audit_out.empty()) {
+        write_audit_file(audit_out, global_audit_log(), meta);
+      }
+      if (!flight_out.empty()) {
+        write_flight_file(flight_out, global_flight_log(), meta);
       }
     }
     return rc;

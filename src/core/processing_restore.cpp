@@ -3,6 +3,7 @@
 #include <queue>
 
 #include "core/delta.h"
+#include "io/provenance.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/metrics.h"
@@ -41,6 +42,13 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
   const Server& server = sys.server(i);
   if (within_capacity(asg.server_proc_load(i), server.proc_capacity)) return;
 
+  // Unmark audit events (restoration runs serially, so the thread-locals
+  // are readable in place); batched and appended once per server.
+  const bool audit = audit_enabled();
+  std::vector<UnmarkEvent> audit_batch;
+  const std::uint64_t audit_run = audit ? provenance_run_or_zero() : 0;
+  const std::string audit_policy = audit ? current_metric_label() : "";
+
   std::vector<std::uint64_t> page_epoch(sys.num_pages(), 0);
   MinHeap heap;
   auto push_page_slots = [&](PageId j) {
@@ -65,7 +73,7 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
       MMR_LOG_WARN << "server " << i << " processing unrestorable: mandatory "
                    << "load " << asg.server_proc_load(i) << " > capacity "
                    << server.proc_capacity;
-      return;
+      break;
     }
     const SlotEntry top = heap.top();
     heap.pop();
@@ -76,14 +84,34 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
     const Page& p = sys.page(top.page);
     const ObjectId k = top.compulsory ? p.compulsory[top.index]
                                       : p.optional[top.index].object;
+    const double load_before = asg.server_proc_load(i);
     asg.set_ref_local(ref, false);
     ++report.unmarked_slots;
     if (!asg.object_stored(i, k)) ++report.objects_deallocated;
+
+    if (audit) {
+      UnmarkEvent e;
+      e.run = audit_run;
+      e.policy = audit_policy;
+      e.server = i;
+      e.page = top.page;
+      e.object = k;
+      e.compulsory = top.compulsory;
+      e.step = static_cast<std::uint32_t>(audit_batch.size());
+      e.criterion = top.criterion;
+      e.load_before = load_before;
+      e.load_after = asg.server_proc_load(i);
+      audit_batch.push_back(std::move(e));
+    }
 
     // The page's pipeline times changed, so its remaining slots' deltas are
     // stale; re-push them under a new epoch.
     ++page_epoch[top.page];
     push_page_slots(top.page);
+  }
+
+  if (audit && !audit_batch.empty()) {
+    global_audit_log().add_unmarks(std::move(audit_batch));
   }
 }
 

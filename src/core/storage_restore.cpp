@@ -4,6 +4,7 @@
 
 #include "core/delta.h"
 #include "core/partition.h"
+#include "io/provenance.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/metrics.h"
@@ -31,11 +32,20 @@ double criterion_for(const SystemModel& sys, const Assignment& asg,
   return delta / static_cast<double>(sys.object_bytes(k));
 }
 
+/// `audit_run` / `audit_policy` are captured by restore_storage on the
+/// calling thread (the run tag and metric label are thread-local, so a pool
+/// worker cannot read them itself) and are only meaningful when `audit`.
 void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
                     const Weights& w, const StorageRestoreOptions& options,
-                    StorageRestoreReport& report) {
+                    StorageRestoreReport& report, bool audit,
+                    std::uint64_t audit_run, const std::string& audit_policy) {
   const Server& server = sys.server(i);
   if (asg.storage_used(i) <= server.storage_capacity) return;
+
+  // Eviction audit events, batched locally (this routine may run on a pool
+  // worker); appended to the global log once at the end. The per-server step
+  // sequence makes the batch sortable into a thread-count-independent order.
+  std::vector<EvictionEvent> audit_batch;
 
   // Lazy min-heap: entries carry the epoch at push time; a dirtied object
   // (epoch bumped) is re-scored only when it reaches the top, which avoids
@@ -75,6 +85,7 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
     }
 
     // Deallocate: clear every local mark of k on this server.
+    const std::uint64_t storage_before = asg.storage_used(i);
     std::vector<PageId> affected;
     for (const PageObjectRef& ref : sys.object_refs_on_server(i, k)) {
       if (asg.ref_local(ref)) {
@@ -87,13 +98,34 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
     MMR_DCHECK(!asg.object_stored(i, k));
     allowed[k] = 0;
 
+    std::uint32_t repartitioned = 0;
+    std::uint32_t improved = 0;
     if (options.repartition_after_dealloc && !affected.empty()) {
       for (PageId j : affected) {
         ++report.repartitioned_pages;
+        ++repartitioned;
         if (repartition_within_store(sys, asg, j, allowed, w)) {
           ++report.repartition_improvements;
+          ++improved;
         }
       }
+    }
+
+    if (audit) {
+      EvictionEvent e;
+      e.run = audit_run;
+      e.policy = audit_policy;
+      e.server = i;
+      e.object = k;
+      e.step = static_cast<std::uint32_t>(audit_batch.size());
+      e.criterion = top.criterion;
+      e.bytes = sys.object_bytes(k);
+      e.marks_cleared = static_cast<std::uint32_t>(affected.size());
+      e.repartitioned_pages = repartitioned;
+      e.repartition_improvements = improved;
+      e.storage_before = storage_before;
+      e.storage_after = asg.storage_used(i);
+      audit_batch.push_back(std::move(e));
     }
 
     // Repartitioning only touches the affected pages, so any object dropped
@@ -110,6 +142,10 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
       for (ObjectId obj : p.compulsory) refresh(obj);
       for (const OptionalRef& r : p.optional) refresh(r.object);
     }
+  }
+
+  if (audit && !audit_batch.empty()) {
+    global_audit_log().add_evictions(std::move(audit_batch));
   }
 }
 
@@ -138,15 +174,20 @@ StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
   // report, and every cached total) identical at any thread count.
   const std::size_t servers = sys.num_servers();
   std::vector<StorageRestoreReport> per_server(servers);
+  // Thread-locals (run tag, metric label) read here, on the calling thread,
+  // so events recorded from pool workers carry the right attribution.
+  const bool audit = audit_enabled();
+  const std::uint64_t audit_run = audit ? provenance_run_or_zero() : 0;
+  const std::string audit_policy = audit ? current_metric_label() : "";
   if (pool != nullptr && pool->thread_count() > 1 && servers > 1) {
     pool->parallel_for(servers, [&](std::size_t i) {
       restore_server(sys, asg, static_cast<ServerId>(i), w, options,
-                     per_server[i]);
+                     per_server[i], audit, audit_run, audit_policy);
     });
   } else {
     for (std::size_t i = 0; i < servers; ++i) {
       restore_server(sys, asg, static_cast<ServerId>(i), w, options,
-                     per_server[i]);
+                     per_server[i], audit, audit_run, audit_policy);
     }
   }
   StorageRestoreReport report;

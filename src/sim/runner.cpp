@@ -1,8 +1,10 @@
 #include "sim/runner.h"
 
 #include <mutex>
+#include <optional>
 
 #include "baselines/static_policies.h"
+#include "io/provenance.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -14,6 +16,11 @@ RunOutcome run_single(const ExperimentConfig& config, const ScenarioSpec& spec,
                       std::uint64_t seed) {
   TraceSpan run_span("run_single");
   if (run_span.active()) run_span.arg("seed", seed);
+  // Provenance run tag: a direct caller gets the seed as its tag; under
+  // run_scenario the scope installed in the worker lambda already names this
+  // run, and nesting another scope here would shadow it.
+  std::optional<ProvenanceRunScope> run_scope;
+  if (current_provenance_run() == kProvenanceNoRun) run_scope.emplace(seed);
   // 1. Unconstrained instance: capacities wide open, storage at 100%.
   WorkloadParams wl = config.workload;
   wl.server_proc_capacity = kUnlimited;
@@ -138,7 +145,16 @@ ScenarioResult run_scenario(const ExperimentConfig& config,
     run_config.policy.pool = nullptr;
   }
 
+  // One tag per scenario invocation; each run composes it with its index so
+  // audit/flight rows from different runs (and repeated scenarios) never
+  // collide, at any thread count.
+  const std::uint64_t scenario_tag = next_provenance_scenario();
+
   auto one = [&](std::size_t r) {
+    // Installed inside the worker (the tag is thread-local, so installing it
+    // on the calling thread would be invisible to pool workers).
+    ProvenanceRunScope prov_scope((scenario_tag << 32) |
+                                  static_cast<std::uint32_t>(r));
     const std::uint64_t seed = mix_seed(config.base_seed, 1000 + r);
     MetricsRegistry per_run_metrics;
     RunOutcome out;

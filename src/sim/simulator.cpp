@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "baselines/lru_cache.h"
+#include "io/provenance.h"
 #include "sim/event_queue.h"
 #include "util/check.h"
 #include "util/metrics.h"
@@ -43,6 +44,57 @@ struct SimMetricHandles {
     requests->add(1);
     (t_local >= t_remote ? local_bound : remote_bound)->add(1);
     response_hist->add(response);
+  }
+};
+
+/// Per-simulation flight-recorder context, resolved once like the metric
+/// handles. The sampler is index % N == 0 on the per-server arrival index —
+/// fully deterministic, draws from no RNG stream, and recording reads only
+/// values the simulation computed anyway, so enabling it cannot change a
+/// single response time. Records are batched per server and appended to the
+/// global log in one call.
+struct FlightContext {
+  FlightLog* log = nullptr;
+  std::uint32_t sample_every = 1;
+  std::uint64_t run = 0;
+  std::string policy;
+  FlightMode mode = FlightMode::kStatic;
+  std::vector<FlightRecord> batch;
+
+  static FlightContext acquire(FlightMode mode) {
+    FlightContext ctx;
+    if (!flight_enabled()) return ctx;
+    ctx.log = &global_flight_log();
+    ctx.sample_every = flight_sample_every();
+    ctx.run = provenance_run_or_zero();
+    ctx.policy = current_metric_label();
+    ctx.mode = mode;
+    return ctx;
+  }
+
+  bool sampled(std::uint32_t index) const {
+    return log != nullptr && index % sample_every == 0;
+  }
+
+  FlightRecord make(ServerId server, PageId page, std::uint32_t index,
+                    double t_local, double t_remote, double response) const {
+    FlightRecord r;
+    r.run = run;
+    r.policy = policy;
+    r.mode = mode;
+    r.server = server;
+    r.page = page;
+    r.index = index;
+    r.t_local = t_local;
+    r.t_remote = t_remote;
+    r.response = response;
+    r.remote_bound = t_remote > t_local;
+    return r;
+  }
+
+  void flush() {
+    if (log != nullptr && !batch.empty()) log->add(std::move(batch));
+    batch.clear();
   }
 };
 
@@ -152,6 +204,7 @@ SimMetrics Simulator::simulate(const Assignment& asg,
   metrics.per_server_response.resize(sys.num_servers());
   Rng master(seed);
   SimMetricHandles mh = SimMetricHandles::acquire();
+  FlightContext flight = FlightContext::acquire(FlightMode::kStatic);
   TraceSpan span("simulate");
   if (span.active() && !current_metric_label().empty()) {
     span.arg("policy", current_metric_label());
@@ -194,6 +247,7 @@ SimMetrics Simulator::simulate(const Assignment& asg,
     const std::vector<PageRequest> requests =
         gen_.generate(i, params_.requests_per_server, rng);
 
+    std::uint32_t req_index = 0;
     for (const PageRequest& req : requests) {
       const PageId j = req.page;
       const Page& p = sys.page(j);
@@ -214,9 +268,11 @@ SimMetrics Simulator::simulate(const Assignment& asg,
       const double response = std::max(t_local, t_remote);
 
       double optional_total = 0;
+      std::uint32_t optional_requested = 0;
       if (!p.optional.empty() && rng.bernoulli(params_.p_interested)) {
         const std::uint32_t n_req = optional_request_count(
             p, params_.optional_request_fraction);
+        optional_requested = n_req;
         const auto picks = rng.sample_without_replacement(
             static_cast<std::uint32_t>(p.optional.size()), n_req);
         for (std::uint32_t idx : picks) {
@@ -241,7 +297,19 @@ SimMetrics Simulator::simulate(const Assignment& asg,
       metrics.per_server_response[i].add(response);
       metrics.total_per_request.add(response + optional_total);
       if (params_.capture_samples) metrics.page_samples.add(response);
+
+      if (flight.sampled(req_index)) {
+        FlightRecord r =
+            flight.make(i, j, req_index, t_local, t_remote, response);
+        r.local_stretch = local_slow;
+        r.repo_stretch = repo_slow;
+        r.optional_requested = optional_requested;
+        r.optional_time = optional_total;
+        flight.batch.push_back(std::move(r));
+      }
+      ++req_index;
     }
+    flight.flush();
   }
   return metrics;
 }
@@ -268,6 +336,7 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
   metrics.per_server_response.resize(sys.num_servers());
   Rng master(seed);
   SimMetricHandles mh = SimMetricHandles::acquire();
+  FlightContext flight = FlightContext::acquire(FlightMode::kLru);
   MMR_TRACE_SPAN("simulate_lru");
 
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
@@ -295,6 +364,7 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
         queue.push(r.time, {LruEvent::Kind::kPageArrival, r, {}});
       }
 
+      std::uint32_t arrival_index = 0;
       while (!queue.empty()) {
         auto item = queue.pop();
         const double now = item.time;
@@ -307,18 +377,24 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
           std::uint64_t local_bytes = p.html_bytes;
           std::uint64_t remote_bytes = 0;
           std::uint32_t remote_count = 0;
+          std::uint32_t req_hits = 0;
+          std::uint32_t req_misses = 0;
+          std::uint32_t req_throttled = 0;
           for (ObjectId k : p.compulsory) {
             const std::uint64_t bytes = sys.object_bytes(k);
             if (cache.access(k)) {
+              ++req_hits;
               if (bucket.take(1.0, now)) {
                 local_bytes += bytes;
               } else {
                 // Above C(S_i): served by R with zero redirection overhead.
                 if (measure) ++metrics.throttled_requests;
+                ++req_throttled;
                 remote_bytes += bytes;
                 ++remote_count;
               }
             } else {
+              ++req_misses;
               remote_bytes += bytes;
               ++remote_count;
               cache.insert(k, bytes);
@@ -342,15 +418,30 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
 
           // The user inspects the page, then follows optional links; those
           // fetches hit the shared cache later in true time order.
+          std::uint32_t optional_requested = 0;
           if (!p.optional.empty() && rng.bernoulli(params_.p_interested)) {
             const std::uint32_t n_req = optional_request_count(
                 p, params_.optional_request_fraction);
+            optional_requested = n_req;
             const auto picks = rng.sample_without_replacement(
                 static_cast<std::uint32_t>(p.optional.size()), n_req);
             for (std::uint32_t idx : picks) {
               queue.push(now + response,
                          {LruEvent::Kind::kOptionalFetch, {}, {j, idx}});
             }
+          }
+
+          if (measure) {
+            if (flight.sampled(arrival_index)) {
+              FlightRecord r = flight.make(i, j, arrival_index, t_local,
+                                           t_remote, response);
+              r.optional_requested = optional_requested;
+              r.cache_hits = req_hits;
+              r.cache_misses = req_misses;
+              r.throttled = req_throttled;
+              flight.batch.push_back(std::move(r));
+            }
+            ++arrival_index;
           }
         } else {
           const PageId j = item.event.optional.page;
@@ -372,6 +463,7 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
         }
       }
     }
+    flight.flush();
     metrics.lru_hits += cache.hits();
     metrics.lru_misses += cache.misses();
     metrics.lru_evictions += cache.evictions();
@@ -391,6 +483,7 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
   metrics.per_server_response.resize(sys.num_servers());
   Rng master(seed);
   SimMetricHandles mh = SimMetricHandles::acquire();
+  FlightContext flight = FlightContext::acquire(FlightMode::kThreshold);
   MMR_TRACE_SPAN("simulate_threshold");
 
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
@@ -410,6 +503,7 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
       queue.push(r.time, {LruEvent::Kind::kPageArrival, r, {}});
     }
 
+    std::uint32_t arrival_index = 0;
     while (!queue.empty()) {
       auto item = queue.pop();
       const double now = item.time;
@@ -421,11 +515,15 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
         std::uint64_t local_bytes = p.html_bytes;
         std::uint64_t remote_bytes = 0;
         std::uint32_t remote_count = 0;
+        std::uint32_t req_hits = 0;
+        std::uint32_t req_misses = 0;
         for (ObjectId k : p.compulsory) {
           const std::uint64_t bytes = sys.object_bytes(k);
           if (replicator.access(k, bytes, now)) {
+            ++req_hits;
             local_bytes += bytes;
           } else {
+            ++req_misses;
             remote_bytes += bytes;
             ++remote_count;
           }
@@ -444,9 +542,11 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
         metrics.total_per_request.add(response);
         if (params_.capture_samples) metrics.page_samples.add(response);
 
+        std::uint32_t optional_requested = 0;
         if (!p.optional.empty() && rng.bernoulli(params_.p_interested)) {
           const std::uint32_t n_req = optional_request_count(
               p, params_.optional_request_fraction);
+          optional_requested = n_req;
           const auto picks = rng.sample_without_replacement(
               static_cast<std::uint32_t>(p.optional.size()), n_req);
           for (std::uint32_t idx : picks) {
@@ -454,6 +554,16 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
                        {LruEvent::Kind::kOptionalFetch, {}, {j, idx}});
           }
         }
+
+        if (flight.sampled(arrival_index)) {
+          FlightRecord r =
+              flight.make(i, j, arrival_index, t_local, t_remote, response);
+          r.optional_requested = optional_requested;
+          r.cache_hits = req_hits;
+          r.cache_misses = req_misses;
+          flight.batch.push_back(std::move(r));
+        }
+        ++arrival_index;
       } else {
         const PageId j = item.event.optional.page;
         const std::uint32_t idx = item.event.optional.opt_index;
@@ -468,6 +578,7 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
         if (mh.optional_downloads != nullptr) mh.optional_downloads->add(1);
       }
     }
+    flight.flush();
     metrics.replica_creations += replicator.creations();
     metrics.replica_drops += replicator.drops();
   }

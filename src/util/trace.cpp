@@ -19,9 +19,14 @@ std::atomic<bool> g_trace_enabled{false};
 /// Flush threshold so long-lived worker threads do not hoard events.
 constexpr std::size_t kFlushAtEvents = 4096;
 
+struct ThreadBuffer;
+
 struct TracerState {
   std::mutex mutex;
   std::vector<TraceEvent> flushed;
+  /// Live threads' buffers, so snapshot() can drain spans completed on
+  /// threads that have not exited (e.g. parked ThreadPool workers).
+  std::vector<ThreadBuffer*> live;
   std::uint32_t next_tid = 1;
 };
 
@@ -31,33 +36,41 @@ TracerState& state() {
   return *s;
 }
 
-struct ThreadBuffer;
-
 /// Nullable view of the calling thread's buffer. exit() destroys the main
 /// thread's thread_locals *before* atexit handlers run, so exit-time code
 /// paths (artifact writers calling snapshot()) must not re-enter the
 /// thread_local — they check this pointer, which the destructor clears.
 thread_local ThreadBuffer* t_buffer = nullptr;
 
-/// Per-thread event buffer; hands its contents to the global tracer when the
-/// thread exits.
+/// Per-thread event buffer, registered with the tracer for its lifetime.
+/// Lock ordering is state.mutex before buffer.mutex everywhere both are
+/// held; the recording fast path takes only its own (uncontended) buffer
+/// mutex, contended only while a snapshot/clear drains it.
 struct ThreadBuffer {
+  std::mutex mutex;
   std::vector<TraceEvent> events;
   std::uint32_t tid = 0;
 
   ~ThreadBuffer() {
-    flush();
-    t_buffer = nullptr;
-  }
-
-  void flush() {
-    if (events.empty()) return;
     TracerState& s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    std::lock_guard<std::mutex> state_lock(s.mutex);
+    s.live.erase(std::remove(s.live.begin(), s.live.end(), this),
+                 s.live.end());
+    std::lock_guard<std::mutex> lock(mutex);
     std::move(events.begin(), events.end(), std::back_inserter(s.flushed));
     events.clear();
+    t_buffer = nullptr;
   }
 };
+
+/// Moves a live buffer's events into the flushed list. Caller holds
+/// s.mutex; the buffer's own mutex is taken here (state before buffer).
+void drain_into_flushed(TracerState& s, ThreadBuffer& buffer) {
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  std::move(buffer.events.begin(), buffer.events.end(),
+            std::back_inserter(s.flushed));
+  buffer.events.clear();
+}
 
 ThreadBuffer& thread_buffer() {
   thread_local ThreadBuffer buffer;
@@ -65,6 +78,7 @@ ThreadBuffer& thread_buffer() {
     TracerState& s = state();
     std::lock_guard<std::mutex> lock(s.mutex);
     buffer.tid = s.next_tid++;
+    s.live.push_back(&buffer);
     t_buffer = &buffer;
   }
   return buffer;
@@ -93,33 +107,46 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::clear() {
-  if (t_buffer != nullptr) t_buffer->events.clear();
   TracerState& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
   s.flushed.clear();
+  for (ThreadBuffer* buffer : s.live) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
 }
 
 void Tracer::record(TraceEvent&& event) {
   ThreadBuffer& buffer = thread_buffer();
   event.tid = buffer.tid;
-  buffer.events.push_back(std::move(event));
-  if (buffer.events.size() >= kFlushAtEvents) flush_current_thread();
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(std::move(event));
+    full = buffer.events.size() >= kFlushAtEvents;
+  }
+  if (full) flush_current_thread();
 }
 
 void Tracer::flush_current_thread() {
   // Non-creating: if this thread never recorded (or its buffer was already
   // destroyed during process teardown), there is nothing to flush.
-  if (t_buffer != nullptr) t_buffer->flush();
+  if (t_buffer == nullptr) return;
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  drain_into_flushed(s, *t_buffer);
 }
 
 std::uint32_t Tracer::current_thread_tid() { return thread_buffer().tid; }
 
 std::vector<TraceEvent> Tracer::snapshot() {
-  flush_current_thread();
   std::vector<TraceEvent> out;
   {
     TracerState& s = state();
     std::lock_guard<std::mutex> lock(s.mutex);
+    // Drain every live thread's buffer so spans completed on parked pool
+    // workers are visible without waiting for thread exit.
+    for (ThreadBuffer* buffer : s.live) drain_into_flushed(s, *buffer);
     out = s.flushed;
   }
   std::sort(out.begin(), out.end(),

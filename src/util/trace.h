@@ -5,9 +5,9 @@
 //
 // Disabled by default: MMR_TRACE_SPAN("name") costs one atomic load when
 // tracing is off. When on, span begin/end timestamps and optional key/value
-// args are buffered per thread (no locks on the hot path) and flushed to the
-// global tracer when the thread exits, when a buffer fills, or when the
-// recording thread itself snapshots. Spans nest naturally through RAII.
+// args are buffered per thread (the hot path takes only the buffer's own
+// uncontended mutex) and handed to the global tracer when a buffer fills or
+// the thread exits. Spans nest naturally through RAII.
 //
 //   {
 //     TraceSpan span("offload.round");
@@ -15,9 +15,10 @@
 //     ...
 //   }  // span ends, event recorded
 //
-// Worker-thread spans become visible to snapshot() once the worker exits or
-// its buffer flushes; harnesses export after their thread pools are torn
-// down, so nothing is lost in practice.
+// Every live thread's buffer is registered with the tracer, so snapshot()
+// sees all completed spans immediately — including spans recorded on
+// ThreadPool workers that are still parked in the pool. (Spans still open
+// on another thread are, by definition, not complete and not included.)
 #pragma once
 
 #include <cstdint>
@@ -51,8 +52,9 @@ class Tracer {
   /// Discards all recorded events, including the calling thread's buffer.
   void clear();
 
-  /// All flushed events plus the calling thread's buffer, sorted by start
-  /// time. Other threads' unflushed buffers are not visible.
+  /// Every completed span from every thread — flushed events plus the
+  /// contents of all live threads' buffers (drained under their locks) —
+  /// sorted by start time.
   std::vector<TraceEvent> snapshot();
 
   /// Chrome trace_event JSON: {"traceEvents":[...]}. Loads in

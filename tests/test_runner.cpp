@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "io/provenance.h"
 #include "test_helpers.h"
 #include "util/metrics.h"
 
@@ -150,6 +151,35 @@ TEST(Runner, MetricsCollectionDoesNotChangeResults) {
                    without_metrics.unconstrained_response);
   EXPECT_DOUBLE_EQ(with_metrics.ours_objective,
                    without_metrics.ours_objective);
+}
+
+TEST(Runner, RecordersDoNotChangeResults) {
+  // Same contract as metrics: the audit log replays final bits and the
+  // flight recorder samples computed values, so neither may perturb a
+  // placement or a response time.
+  const ExperimentConfig cfg = fast_config();
+  ScenarioSpec spec;
+  spec.storage_fraction = 0.5;
+  const RunOutcome off = run_single(cfg, spec, 29);
+
+  set_audit_enabled(true);
+  set_flight_enabled(true);
+  set_flight_sample_every(10);
+  const RunOutcome on = run_single(cfg, spec, 29);
+  set_audit_enabled(false);
+  set_flight_enabled(false);
+  set_flight_sample_every(100);
+  EXPECT_GT(global_audit_log().size(), 0u);
+  EXPECT_GT(global_flight_log().size(), 0u);
+  global_audit_log().clear();
+  global_flight_log().clear();
+
+  EXPECT_DOUBLE_EQ(off.ours_response, on.ours_response);
+  EXPECT_DOUBLE_EQ(off.lru_response, on.lru_response);
+  EXPECT_DOUBLE_EQ(off.local_response, on.local_response);
+  EXPECT_DOUBLE_EQ(off.remote_response, on.remote_response);
+  EXPECT_DOUBLE_EQ(off.unconstrained_response, on.unconstrained_response);
+  EXPECT_DOUBLE_EQ(off.ours_objective, on.ours_objective);
 }
 
 TEST(Runner, RepoFractionTriggersOffload) {

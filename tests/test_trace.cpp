@@ -7,6 +7,7 @@
 
 #include "io/artifacts.h"
 #include "util/json.h"
+#include "util/thread_pool.h"
 
 namespace mmr {
 namespace {
@@ -107,6 +108,20 @@ TEST_F(TraceTest, TraceArtifactCarriesRunMeta) {
   EXPECT_EQ(root.at("run_meta").at("tool").str_v, "test_trace");
   EXPECT_DOUBLE_EQ(root.at("run_meta").at("base_seed").num_v, 7.0);
   EXPECT_EQ(root.at("traceEvents").arr.size(), 1u);
+}
+
+TEST_F(TraceTest, SnapshotSeesLiveWorkerSpans) {
+  // A pool worker's buffer only used to drain at thread exit; a snapshot
+  // taken while the pool is alive must still include its completed spans.
+  ThreadPool pool(2);
+  pool.parallel_for(4, [](std::size_t) { MMR_TRACE_SPAN("pool_span"); });
+  const std::vector<TraceEvent> events = Tracer::instance().snapshot();
+  EXPECT_EQ(events.size(), 4u);  // pool threads still parked, nothing lost
+  for (const TraceEvent& e : events) EXPECT_EQ(e.name, "pool_span");
+
+  // The workers' buffers were drained, not duplicated: a second snapshot
+  // returns the same events once.
+  EXPECT_EQ(Tracer::instance().snapshot().size(), 4u);
 }
 
 TEST_F(TraceTest, ClearDiscardsEvents) {

@@ -1,0 +1,637 @@
+// mmr_report — join a run's observability artifacts into one report
+// (docs/OBSERVABILITY.md "Run reports").
+//
+//   mmr_report [--metrics=metrics.json] [--trace=trace.json]
+//              [--audit=audit.jsonl] [--flight=flight.jsonl]
+//       [--policy=ours]    restrict audit/flight sections to one policy
+//                          label; falls back to all events when no event
+//                          carries the label
+//       [--top=10]         rows in the slowest-pages and trace tables
+//       [--format=text]    text (aligned ASCII) or md (pipe tables)
+//       [--out=F]          write the report to a file instead of stdout
+//
+// Sections render only when the corresponding artifact is supplied: run
+// summary and solver phase/objective breakdowns from metrics.json, the
+// per-server Eq. 8/9/10 headroom table, off-loading negotiation and
+// replication-degree distribution from the audit log, the top-k slowest
+// pages with local-vs-repository attribution from the flight log, and the
+// hottest spans from trace.json. Exit codes: 0 = report rendered, 2 = usage
+// or I/O error.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/provenance.h"
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mmr;
+
+// ---------------------------------------------------------------------------
+// Output shim: one code path renders both plain text and Markdown.
+
+class ReportWriter {
+ public:
+  ReportWriter(std::ostream& os, bool markdown) : os_(os), md_(markdown) {}
+
+  void title(const std::string& text) {
+    if (md_) {
+      os_ << "# " << text << "\n\n";
+    } else {
+      os_ << text << '\n' << std::string(text.size(), '=') << "\n\n";
+    }
+  }
+
+  void section(const std::string& text) {
+    if (md_) {
+      os_ << "## " << text << "\n\n";
+    } else {
+      os_ << "-- " << text << " --\n\n";
+    }
+  }
+
+  void para(const std::string& text) { os_ << text << "\n\n"; }
+
+  void table(const std::vector<std::string>& header,
+             const std::vector<std::vector<std::string>>& rows) {
+    if (rows.empty()) {
+      para("(no data)");
+      return;
+    }
+    if (md_) {
+      auto pipe_row = [&](const std::vector<std::string>& cells) {
+        os_ << '|';
+        for (const std::string& c : cells) os_ << ' ' << c << " |";
+        os_ << '\n';
+      };
+      pipe_row(header);
+      os_ << '|';
+      for (std::size_t i = 0; i < header.size(); ++i) os_ << " --- |";
+      os_ << '\n';
+      for (const auto& row : rows) pipe_row(row);
+      os_ << '\n';
+    } else {
+      TextTable t(header);
+      for (const auto& row : rows) t.add_row(row);
+      os_ << t.to_ascii() << '\n';
+    }
+  }
+
+ private:
+  std::ostream& os_;
+  bool md_;
+};
+
+// ---------------------------------------------------------------------------
+// JsonValue field helpers (absent fields get defaults, null-aware).
+
+double num_or(const JsonValue& v, const std::string& key, double dflt) {
+  if (!v.has(key)) return dflt;
+  const JsonValue& f = v.at(key);
+  return f.type == JsonValue::Type::kNumber ? f.num_v : dflt;
+}
+
+std::string str_or(const JsonValue& v, const std::string& key,
+                   const std::string& dflt) {
+  if (!v.has(key)) return dflt;
+  const JsonValue& f = v.at(key);
+  return f.type == JsonValue::Type::kString ? f.str_v : dflt;
+}
+
+bool is_null_field(const JsonValue& v, const std::string& key) {
+  return !v.has(key) || v.at(key).is_null();
+}
+
+/// Renders a parsed JSON scalar back to a short display string.
+std::string scalar_to_string(const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return v.bool_v ? "true" : "false";
+    case JsonValue::Type::kNumber: {
+      if (v.num_v == std::floor(v.num_v) && std::abs(v.num_v) < 1e15) {
+        return std::to_string(static_cast<std::int64_t>(v.num_v));
+      }
+      return format_double(v.num_v, 3);
+    }
+    case JsonValue::Type::kString: return v.str_v;
+    default: return "...";
+  }
+}
+
+std::string server_name(double server) {
+  return server < 0 ? "R" : "S" + std::to_string(static_cast<int>(server));
+}
+
+/// Splits a provenance doc's events by the requested policy label. When no
+/// event carries the label the full set is returned (with a note), so the
+/// report degrades gracefully on artifacts from unlabeled tools.
+std::vector<const JsonValue*> filter_policy(const ProvenanceDoc& doc,
+                                            const std::string& policy,
+                                            ReportWriter& out) {
+  std::vector<const JsonValue*> matched;
+  for (const JsonValue& e : doc.events) {
+    if (str_or(e, "policy", "") == policy) matched.push_back(&e);
+  }
+  if (!matched.empty()) return matched;
+  std::vector<const JsonValue*> all;
+  all.reserve(doc.events.size());
+  for (const JsonValue& e : doc.events) all.push_back(&e);
+  if (!all.empty() && !policy.empty()) {
+    out.para("(no events labeled '" + policy + "'; showing all policies)");
+  }
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// metrics.json sections
+
+void render_run_summary(const JsonValue& metrics, ReportWriter& out) {
+  out.section("Run summary");
+  if (!metrics.has("run_meta")) {
+    out.para("(metrics.json has no run_meta block)");
+    return;
+  }
+  const JsonValue& meta = metrics.at("run_meta");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [key, value] : meta.obj) {
+    rows.push_back({key, scalar_to_string(value)});
+  }
+  out.table({"field", "value"}, rows);
+}
+
+void render_phase_breakdown(const JsonValue& metrics, ReportWriter& out) {
+  out.section("Solver phase times");
+  if (!metrics.has("timers")) {
+    out.para("(metrics.json has no timers block)");
+    return;
+  }
+  const JsonValue& timers = metrics.at("timers");
+  static const char* kPhases[] = {"solver.partition", "solver.storage_restore",
+                                  "solver.processing_restore",
+                                  "solver.offload", "solver.local_search"};
+  double sum = 0;
+  for (const char* name : kPhases) {
+    if (timers.has(name)) sum += num_or(timers.at(name), "total_s", 0);
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const char* name : kPhases) {
+    if (!timers.has(name)) continue;
+    const JsonValue& t = timers.at(name);
+    const double total = num_or(t, "total_s", 0);
+    rows.push_back(
+        {name, std::to_string(static_cast<std::uint64_t>(
+                   num_or(t, "count", 0))),
+         format_double(total, 4), format_double(num_or(t, "mean_s", 0), 6),
+         sum > 0 ? format_percent(total / sum, 1) : "-"});
+  }
+  if (rows.empty()) {
+    out.para("(no solver.* timers recorded)");
+    return;
+  }
+  out.table({"phase", "count", "total [s]", "mean [s]", "share"}, rows);
+}
+
+void render_objective_trajectory(const JsonValue& metrics, ReportWriter& out) {
+  out.section("Objective trajectory (D after each phase)");
+  if (!metrics.has("gauges")) {
+    out.para("(metrics.json has no gauges block)");
+    return;
+  }
+  const JsonValue& gauges = metrics.at("gauges");
+  static const char* kStages[] = {
+      "solver.d_after_partition", "solver.d_after_storage",
+      "solver.d_after_processing", "solver.d_after_offload"};
+  std::vector<std::vector<std::string>> rows;
+  for (const char* name : kStages) {
+    if (!gauges.has(name)) continue;
+    const JsonValue& g = gauges.at(name);
+    rows.push_back({name, format_double(num_or(g, "mean", 0), 2),
+                    format_double(num_or(g, "min", 0), 2),
+                    format_double(num_or(g, "max", 0), 2)});
+  }
+  if (rows.empty()) {
+    out.para("(no solver.d_after_* gauges recorded)");
+    return;
+  }
+  out.table({"stage", "mean", "min", "max"}, rows);
+}
+
+// ---------------------------------------------------------------------------
+// audit sections
+
+/// Per-server Eq. 8/9/10 headroom after the last recorded solver phase of
+/// each run, aggregated across runs (worst case = min headroom).
+void render_headroom(const std::vector<const JsonValue*>& events,
+                     ReportWriter& out) {
+  out.section("Constraint headroom (Eq. 8/9/10, final solver phase)");
+  // phase name -> pipeline position, for "last phase" selection.
+  std::map<std::string, int> phase_rank;
+  for (std::uint8_t p = 0; p < kAuditPhaseCount; ++p) {
+    phase_rank[kAuditPhaseNames[p]] = p;
+  }
+  // (run, policy) -> max phase rank seen.
+  std::map<std::pair<std::uint64_t, std::string>, int> last_phase;
+  for (const JsonValue* e : events) {
+    if (str_or(*e, "type", "") != "headroom") continue;
+    const auto key = std::make_pair(
+        static_cast<std::uint64_t>(num_or(*e, "run", 0)),
+        str_or(*e, "policy", ""));
+    const int rank = phase_rank[str_or(*e, "phase", "")];
+    auto [it, inserted] = last_phase.emplace(key, rank);
+    if (!inserted) it->second = std::max(it->second, rank);
+  }
+  if (last_phase.empty()) {
+    out.para("(no headroom stamps in the audit log)");
+    return;
+  }
+
+  struct Agg {
+    int runs = 0;
+    double proc_load_sum = 0;
+    double proc_headroom_min = kUnlimited;
+    bool proc_limited = false;
+    double storage_used_sum = 0;
+    double storage_headroom_min = kUnlimited;
+    bool has_storage = false;
+  };
+  std::map<double, Agg> by_server;  // -1 = repository
+  for (const JsonValue* e : events) {
+    if (str_or(*e, "type", "") != "headroom") continue;
+    const auto key = std::make_pair(
+        static_cast<std::uint64_t>(num_or(*e, "run", 0)),
+        str_or(*e, "policy", ""));
+    if (phase_rank[str_or(*e, "phase", "")] != last_phase[key]) continue;
+    Agg& a = by_server[num_or(*e, "server", -1)];
+    ++a.runs;
+    a.proc_load_sum += num_or(*e, "proc_load", 0);
+    if (!is_null_field(*e, "proc_headroom")) {
+      a.proc_limited = true;
+      a.proc_headroom_min =
+          std::min(a.proc_headroom_min, num_or(*e, "proc_headroom", 0));
+    }
+    if (e->has("storage_headroom")) {
+      a.has_storage = true;
+      a.storage_used_sum += num_or(*e, "storage_used", 0);
+      a.storage_headroom_min =
+          std::min(a.storage_headroom_min, num_or(*e, "storage_headroom", 0));
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [server, a] : by_server) {
+    const double n = a.runs > 0 ? a.runs : 1;
+    rows.push_back(
+        {server_name(server), std::to_string(a.runs),
+         format_double(a.proc_load_sum / n, 2),
+         a.proc_limited ? format_double(a.proc_headroom_min, 2) : "unlimited",
+         a.has_storage ? format_bytes(a.storage_used_sum / n) : "-",
+         a.has_storage ? format_bytes(a.storage_headroom_min) : "-"});
+  }
+  // Repository row (server "R", sorted first as -1) reads better last.
+  if (!rows.empty() && rows.front()[0] == "R") {
+    std::rotate(rows.begin(), rows.begin() + 1, rows.end());
+  }
+  out.table({"server", "runs", "mean proc load [req/s]",
+             "min proc headroom [req/s]", "mean storage used",
+             "min storage headroom"},
+            rows);
+}
+
+void render_solver_decisions(const std::vector<const JsonValue*>& events,
+                             ReportWriter& out) {
+  out.section("Solver decisions");
+  std::uint64_t partitions = 0, local = 0, evictions = 0, unmarks = 0;
+  double bytes_evicted = 0;
+  for (const JsonValue* e : events) {
+    const std::string type = str_or(*e, "type", "");
+    if (type == "partition") {
+      ++partitions;
+      if (e->has("local") && e->at("local").bool_v) ++local;
+    } else if (type == "evict") {
+      ++evictions;
+      bytes_evicted += num_or(*e, "bytes", 0);
+    } else if (type == "unmark") {
+      ++unmarks;
+    }
+  }
+  std::ostringstream os;
+  os << partitions << " partition decisions";
+  if (partitions > 0) {
+    os << " (" << format_percent(static_cast<double>(local) /
+                                     static_cast<double>(partitions),
+                                 1)
+       << " placed local)";
+  }
+  os << ", " << evictions << " storage evictions ("
+     << format_bytes(bytes_evicted) << " freed), " << unmarks
+     << " processing unmarks.";
+  out.para(os.str());
+}
+
+void render_offload(const std::vector<const JsonValue*>& events,
+                    ReportWriter& out) {
+  out.section("Repository off-loading (Eq. 9 negotiation)");
+  // (run, policy) -> rounds; answers aggregated over everything shown.
+  std::map<std::pair<std::uint64_t, std::string>, int> rounds_per_run;
+  double requested = 0, achieved = 0;
+  std::uint64_t answers = 0, saturated = 0;
+  std::vector<std::vector<std::string>> rows;
+  for (const JsonValue* e : events) {
+    const std::string type = str_or(*e, "type", "");
+    if (type == "offload_round") {
+      const auto key = std::make_pair(
+          static_cast<std::uint64_t>(num_or(*e, "run", 0)),
+          str_or(*e, "policy", ""));
+      ++rounds_per_run[key];
+      if (rows.size() < 20) {
+        rows.push_back(
+            {std::to_string(static_cast<std::uint64_t>(num_or(*e, "run", 0))),
+             std::to_string(static_cast<int>(num_or(*e, "round", 0))),
+             format_double(num_or(*e, "repo_load_before", 0), 2),
+             format_double(num_or(*e, "deficit", 0), 2),
+             std::to_string(static_cast<int>(num_or(*e, "l1", 0))),
+             std::to_string(static_cast<int>(num_or(*e, "l2", 0))),
+             std::to_string(static_cast<int>(num_or(*e, "l3", 0)))});
+      }
+    } else if (type == "offload_answer") {
+      ++answers;
+      requested += num_or(*e, "requested", 0);
+      achieved += num_or(*e, "achieved", 0);
+      if (e->has("moved_to_l3") && e->at("moved_to_l3").bool_v) ++saturated;
+    }
+  }
+  if (rounds_per_run.empty()) {
+    out.para("(off-loading never triggered)");
+    return;
+  }
+  std::ostringstream os;
+  os << rounds_per_run.size() << " run(s) negotiated; " << answers
+     << " server answers absorbed " << format_double(achieved, 2) << " of "
+     << format_double(requested, 2) << " req/s requested, " << saturated
+     << " server(s) saturated into L3.";
+  out.para(os.str());
+  out.table({"run", "round", "repo load", "deficit", "L1", "L2", "L3"}, rows);
+}
+
+void render_replica_degrees(const std::vector<const JsonValue*>& events,
+                            ReportWriter& out) {
+  out.section("Replication degree distribution");
+  // degree -> (objects, bytes); normalized by run·policy groups so the table
+  // reads as "per solve" even when the artifact holds many runs.
+  std::set<std::pair<std::uint64_t, std::string>> groups;
+  std::map<int, std::pair<std::uint64_t, double>> by_degree;
+  for (const JsonValue* e : events) {
+    if (str_or(*e, "type", "") != "replica") continue;
+    groups.emplace(static_cast<std::uint64_t>(num_or(*e, "run", 0)),
+                   str_or(*e, "policy", ""));
+    auto& [count, bytes] = by_degree[static_cast<int>(num_or(*e, "degree", 0))];
+    ++count;
+    bytes += num_or(*e, "bytes", 0);
+  }
+  if (by_degree.empty()) {
+    out.para("(no replica-degree events in the audit log)");
+    return;
+  }
+  const double n = groups.empty() ? 1 : static_cast<double>(groups.size());
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [degree, agg] : by_degree) {
+    rows.push_back({std::to_string(degree),
+                    format_double(static_cast<double>(agg.first) / n, 1),
+                    format_bytes(agg.second / n)});
+  }
+  out.para("Averaged over " +
+           std::to_string(static_cast<std::uint64_t>(n)) +
+           " solve(s); objects with no local copy are not recorded.");
+  out.table({"replicas", "objects (mean/solve)", "bytes (mean/solve)"}, rows);
+}
+
+// ---------------------------------------------------------------------------
+// flight section
+
+void render_slowest_pages(const std::vector<const JsonValue*>& events,
+                          std::size_t top, ReportWriter& out) {
+  out.section("Slowest pages (flight recorder)");
+  struct PageAgg {
+    std::uint64_t samples = 0;
+    double response_sum = 0;
+    double response_max = 0;
+    double t_local_sum = 0;
+    double t_remote_sum = 0;
+    std::uint64_t remote_bound = 0;
+    double server = -1;
+  };
+  std::map<std::pair<std::string, std::uint64_t>, PageAgg> by_page;
+  std::uint64_t total = 0;
+  for (const JsonValue* e : events) {
+    if (str_or(*e, "type", "") != "request") continue;
+    ++total;
+    const auto key = std::make_pair(
+        str_or(*e, "mode", ""),
+        static_cast<std::uint64_t>(num_or(*e, "page", 0)));
+    PageAgg& a = by_page[key];
+    ++a.samples;
+    const double response = num_or(*e, "response", 0);
+    a.response_sum += response;
+    a.response_max = std::max(a.response_max, response);
+    a.t_local_sum += num_or(*e, "t_local", 0);
+    a.t_remote_sum += num_or(*e, "t_remote", 0);
+    if (str_or(*e, "bound", "local") == "remote") ++a.remote_bound;
+    a.server = num_or(*e, "server", -1);
+  }
+  if (by_page.empty()) {
+    out.para("(no request records in the flight log)");
+    return;
+  }
+
+  std::vector<std::pair<std::pair<std::string, std::uint64_t>, PageAgg>>
+      ranked(by_page.begin(), by_page.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    const double ma = a.second.response_sum / a.second.samples;
+    const double mb = b.second.response_sum / b.second.samples;
+    if (ma != mb) return ma > mb;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (ranked.size() > top) ranked.resize(top);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [key, a] : ranked) {
+    const double n = static_cast<double>(a.samples);
+    rows.push_back(
+        {std::to_string(key.second), key.first, server_name(a.server),
+         std::to_string(a.samples), format_double(a.response_sum / n, 3),
+         format_double(a.response_max, 3),
+         format_double(a.t_local_sum / n, 3),
+         format_double(a.t_remote_sum / n, 3),
+         format_percent(static_cast<double>(a.remote_bound) / n, 0)});
+  }
+  out.para(std::to_string(total) + " sampled requests, " +
+           std::to_string(by_page.size()) + " distinct (mode, page) groups.");
+  out.table({"page", "mode", "host", "samples", "mean resp [s]",
+             "max resp [s]", "mean local [s]", "mean repo [s]",
+             "remote-bound"},
+            rows);
+}
+
+// ---------------------------------------------------------------------------
+// trace section
+
+void render_trace(const JsonValue& trace, std::size_t top, ReportWriter& out) {
+  out.section("Hottest trace spans");
+  if (!trace.has("traceEvents")) {
+    out.para("(trace.json has no traceEvents array)");
+    return;
+  }
+  struct SpanAgg {
+    std::uint64_t count = 0;
+    double total_us = 0;
+  };
+  std::map<std::string, SpanAgg> by_name;
+  for (const JsonValue& e : trace.at("traceEvents").arr) {
+    SpanAgg& a = by_name[str_or(e, "name", "?")];
+    ++a.count;
+    a.total_us += num_or(e, "dur", 0);
+  }
+  if (by_name.empty()) {
+    out.para("(no spans recorded)");
+    return;
+  }
+  std::vector<std::pair<std::string, SpanAgg>> ranked(by_name.begin(),
+                                                      by_name.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_us != b.second.total_us) {
+      return a.second.total_us > b.second.total_us;
+    }
+    return a.first < b.first;
+  });
+  if (ranked.size() > top) ranked.resize(top);
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [name, a] : ranked) {
+    rows.push_back({name, std::to_string(a.count),
+                    format_double(a.total_us / 1000.0, 2),
+                    format_double(a.total_us / 1000.0 /
+                                      static_cast<double>(a.count),
+                                  3)});
+  }
+  out.table({"span", "count", "total [ms]", "mean [ms]"}, rows);
+}
+
+JsonValue read_json_file(const std::string& path) {
+  std::ifstream is(path);
+  MMR_CHECK_MSG(is.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return json_parse(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmr;
+  Flags flags = Flags::parse(argc, argv);
+  flags.describe("metrics", "metrics.json path")
+      .describe("trace", "Chrome trace.json path")
+      .describe("audit", "solver audit JSONL path")
+      .describe("flight", "flight recorder JSONL path")
+      .describe("policy", "policy label for audit/flight sections "
+                          "(default 'ours')")
+      .describe("top", "rows in the slowest-pages / trace tables (default 10)")
+      .describe("format", "'text' (default) or 'md'")
+      .describe("out", "write the report to this path instead of stdout");
+  const std::string usage =
+      "usage: mmr_report [--metrics=F] [--trace=F] [--audit=F] [--flight=F] "
+      "[--policy=ours] [--top=10] [--format=text|md] [--out=F]\n";
+  if (flags.help_requested()) {
+    std::cout << usage << flags.help();
+    return 0;
+  }
+
+  const std::string metrics_path = flags.get_string("metrics", "");
+  const std::string trace_path = flags.get_string("trace", "");
+  const std::string audit_path = flags.get_string("audit", "");
+  const std::string flight_path = flags.get_string("flight", "");
+  if (metrics_path.empty() && trace_path.empty() && audit_path.empty() &&
+      flight_path.empty()) {
+    std::cerr << "error: no artifacts given\n" << usage;
+    return 2;
+  }
+  const std::string format = flags.get_string("format", "text");
+  if (format != "text" && format != "md") {
+    std::cerr << "error: unknown --format '" << format << "'\n" << usage;
+    return 2;
+  }
+  const std::string policy = flags.get_string("policy", "ours");
+  const std::size_t top = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("top", 10)));
+
+  try {
+    std::ostringstream body;
+    ReportWriter out(body, format == "md");
+    out.title("mmrepl run report");
+
+    if (!metrics_path.empty()) {
+      const JsonValue metrics = read_json_file(metrics_path);
+      render_run_summary(metrics, out);
+      render_phase_breakdown(metrics, out);
+      render_objective_trajectory(metrics, out);
+    }
+    if (!audit_path.empty()) {
+      const ProvenanceDoc doc = read_provenance_file(audit_path);
+      MMR_CHECK_MSG(doc.schema == "mmr-audit",
+                    "'" + audit_path + "' is a " + doc.schema +
+                        " artifact, expected mmr-audit");
+      if (doc.declared_dropped > 0) {
+        out.para("NOTE: the audit log dropped " +
+                 std::to_string(doc.declared_dropped) +
+                 " events at its cap; sections below undercount.");
+      }
+      const auto events = filter_policy(doc, policy, out);
+      render_headroom(events, out);
+      render_solver_decisions(events, out);
+      render_offload(events, out);
+      render_replica_degrees(events, out);
+    }
+    if (!flight_path.empty()) {
+      const ProvenanceDoc doc = read_provenance_file(flight_path);
+      MMR_CHECK_MSG(doc.schema == "mmr-flight",
+                    "'" + flight_path + "' is a " + doc.schema +
+                        " artifact, expected mmr-flight");
+      if (doc.declared_dropped > 0) {
+        out.para("NOTE: the flight log dropped " +
+                 std::to_string(doc.declared_dropped) +
+                 " records at its cap; the table below undercounts.");
+      }
+      const auto events = filter_policy(doc, policy, out);
+      render_slowest_pages(events, top, out);
+    }
+    if (!trace_path.empty()) {
+      render_trace(read_json_file(trace_path), top, out);
+    }
+
+    const std::string out_path = flags.get_string("out", "");
+    if (out_path.empty()) {
+      std::cout << body.str();
+    } else {
+      std::ofstream os(out_path);
+      if (!os.good()) {
+        std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+        return 2;
+      }
+      os << body.str();
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
