@@ -15,6 +15,11 @@
 //   --audit-out=F   enable the solver audit log, write audit JSONL on exit
 //   --flight-out=F  enable the flight recorder, write flight JSONL on exit
 //   --flight-sample=N  record every Nth page arrival (default 100)
+//   --timeline-out=F   start the background resource sampler, write the
+//                      mmr-timeline JSONL artifact on exit
+//   --timeline-interval-ms=N  sampler tick interval (default 100)
+//   --progress      single-line stderr progress/ETA for the solver phases
+//   --mem-budget=N  fail fast (MemBudgetError) when tracked bytes exceed N
 //   --reps=N        measured repetitions of the whole harness body; each rep
 //                   contributes one sample per bench series (default 1)
 //   --warmup=N      extra leading repetitions discarded from bench stats
@@ -36,8 +41,10 @@
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/log.h"
+#include "util/memacct.h"
 #include "util/metrics.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace mmr::bench {
@@ -54,6 +61,7 @@ struct ArtifactState {
   std::string bench_path;
   std::string audit_path;
   std::string flight_path;
+  std::string timeline_path;
   std::uint32_t reps = 1;
   std::uint32_t warmup = 0;
   RunMeta meta;
@@ -95,6 +103,13 @@ inline void write_artifacts_at_exit() {
     }
     if (!state.flight_path.empty()) {
       write_flight_file(state.flight_path, global_flight_log(), state.meta);
+    }
+    if (!state.timeline_path.empty()) {
+      TimelineSampler& sampler = global_timeline_sampler();
+      const std::uint64_t dropped = sampler.dropped();
+      sampler.stop();
+      write_timeline_file(state.timeline_path, sampler.snapshot(), dropped,
+                          state.meta);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: failed to write run artifacts: " << e.what() << "\n";
@@ -140,13 +155,20 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
   state.bench_path = flags.get_string("bench-out", "");
   state.audit_path = flags.get_string("audit-out", "");
   state.flight_path = flags.get_string("flight-out", "");
+  state.timeline_path = flags.get_string("timeline-out", "");
   state.reps =
       static_cast<std::uint32_t>(std::max<std::int64_t>(1, flags.get_int("reps", 1)));
   state.warmup =
       static_cast<std::uint32_t>(std::max<std::int64_t>(0, flags.get_int("warmup", 0)));
+  // Telemetry knobs that work with or without artifact outputs.
+  set_progress_enabled(flags.get_bool("progress", false));
+  const std::int64_t budget = flags.get_int("mem-budget", 0);
+  if (budget > 0) {
+    memacct::set_budget_bytes(static_cast<std::uint64_t>(budget));
+  }
   if (state.metrics_path.empty() && state.trace_path.empty() &&
       state.bench_path.empty() && state.audit_path.empty() &&
-      state.flight_path.empty()) {
+      state.flight_path.empty() && state.timeline_path.empty()) {
     return;
   }
   if (!state.trace_path.empty()) set_trace_enabled(true);
@@ -155,6 +177,12 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
     set_flight_enabled(true);
     set_flight_sample_every(
         static_cast<std::uint32_t>(flags.get_int("flight-sample", 100)));
+  }
+  if (!state.timeline_path.empty()) {
+    TimelineOptions topt;
+    topt.interval_ms = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(1, flags.get_int("timeline-interval-ms", 100)));
+    global_timeline_sampler().start(topt);
   }
   state.start = std::chrono::steady_clock::now();
   std::string tool = flags.program_name();
@@ -171,6 +199,9 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
   if (!state.flight_path.empty()) {
     state.meta.add("flight_sample",
                    static_cast<std::uint64_t>(flight_sample_every()));
+  }
+  if (budget > 0) {
+    state.meta.add("mem_budget", static_cast<std::uint64_t>(budget));
   }
   std::atexit(detail::write_artifacts_at_exit);
 }
@@ -214,6 +245,13 @@ inline Flags standard_flags(int argc, const char* const* argv) {
                 "enable the flight recorder; write flight JSONL on exit")
       .describe("flight-sample",
                 "flight recorder samples every Nth page arrival (default 100)")
+      .describe("timeline-out",
+                "start the resource sampler; write mmr-timeline JSONL on exit")
+      .describe("timeline-interval-ms",
+                "resource sampler tick interval (default 100)")
+      .describe("progress", "single-line stderr progress/ETA per solver phase")
+      .describe("mem-budget",
+                "abort (exit 3) when tracked memory exceeds this many bytes")
       .describe("reps",
                 "measured repetitions of the harness body (default 1); "
                 "output prints once, every rep samples the bench series")
@@ -225,6 +263,8 @@ inline Flags standard_flags(int argc, const char* const* argv) {
 /// Runs the harness body --warmup + --reps times (default once). Every
 /// repetition samples the process bench series:
 ///   harness.wall_s — wall time of the body,
+///   harness.cpu_user_s / harness.cpu_sys_s — rusage CPU-time deltas,
+///   harness.peak_rss_bytes — process high-water RSS after the rep,
 ///   plus per-rep metrics deltas (timer.*, gauge.*, hist.*.pNN) via
 ///   record_metrics_delta, which is where solver wall-time, final D and
 ///   response-time percentiles enter the BENCH artifact.
@@ -239,13 +279,23 @@ inline int run_measured(Body&& body) {
   if (collect) state.last_snapshot = current_metrics().snapshot();
   for (std::uint32_t rep = 0; rep < total; ++rep) {
     detail::CoutSilencer quiet(rep > 0);
+    const CpuTimes cpu0 = process_cpu_times();
     const auto t0 = std::chrono::steady_clock::now();
     body();
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    const CpuTimes cpu1 = process_cpu_times();
     if (collect) {
       bench_collector().record("harness.wall_s", "s", wall);
+      bench_collector().record("harness.cpu_user_s", "s",
+                               cpu1.user_s - cpu0.user_s);
+      bench_collector().record("harness.cpu_sys_s", "s",
+                               cpu1.sys_s - cpu0.sys_s);
+      // High-water mark, not a delta: rusage peaks never decrease, so the
+      // series is flat across reps once the footprint is established.
+      bench_collector().record("harness.peak_rss_bytes", "B",
+                               static_cast<double>(peak_rss_bytes()));
       const MetricsSnapshot cur = current_metrics().snapshot();
       record_metrics_delta(bench_collector(), state.last_snapshot, cur);
       state.last_snapshot = std::move(cur);

@@ -15,6 +15,14 @@
 // dump the run's metrics.json / Chrome trace.json, plus
 // --audit-out=<path> / --flight-out=<path> [--flight-sample=N] for the
 // solver audit log and per-request flight recorder (docs/OBSERVABILITY.md).
+//
+// Resource telemetry (docs/OBSERVABILITY.md "Watching a long solve"):
+//   --timeline-out=<path> [--timeline-interval-ms=100]
+//       background RSS/memacct/phase sampler, mmr-timeline JSONL on exit
+//   --progress         single-line stderr progress/ETA per solver phase
+//   --mem-budget=<bytes>
+//       fail fast (exit 3) before tracked allocations exceed the budget
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 
@@ -24,7 +32,9 @@
 #include "io/serialize.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
+#include "util/memacct.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/table.h"
 #include "util/trace.h"
 #include "workload/generator.h"
@@ -64,6 +74,11 @@ int cmd_solve(const Flags& flags) {
   MMR_CHECK_MSG(!sys_path.empty() && !out.empty(),
                 "solve requires --system=<path> --out=<path>");
   const SystemModel sys = load_system_file(sys_path);
+  // Pre-flight: the assignment's bit-tables are the largest solver
+  // allocation; fail before thrashing when a --mem-budget is set.
+  memacct::check_headroom(Assignment::estimate_bits_bytes(sys) +
+                              Assignment::estimate_caches_bytes(sys),
+                          "assignment tables");
   PolicyOptions options;
   options.offload_enabled = !flags.get_bool("no-offload", false);
   options.weights.alpha1 = flags.get_double("alpha1", 2.0);
@@ -145,12 +160,24 @@ int main(int argc, char** argv) {
   const std::string trace_out = flags.get_string("trace-out", "");
   const std::string audit_out = flags.get_string("audit-out", "");
   const std::string flight_out = flags.get_string("flight-out", "");
+  const std::string timeline_out = flags.get_string("timeline-out", "");
   if (!trace_out.empty()) set_trace_enabled(true);
   if (!audit_out.empty()) set_audit_enabled(true);
   if (!flight_out.empty()) {
     set_flight_enabled(true);
     set_flight_sample_every(
         static_cast<std::uint32_t>(flags.get_int("flight-sample", 100)));
+  }
+  set_progress_enabled(flags.get_bool("progress", false));
+  const std::int64_t budget = flags.get_int("mem-budget", 0);
+  if (budget > 0) {
+    memacct::set_budget_bytes(static_cast<std::uint64_t>(budget));
+  }
+  if (!timeline_out.empty()) {
+    TimelineOptions topt;
+    topt.interval_ms = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(1, flags.get_int("timeline-interval-ms", 100)));
+    global_timeline_sampler().start(topt);
   }
   const auto start = std::chrono::steady_clock::now();
   try {
@@ -170,7 +197,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!metrics_out.empty() || !trace_out.empty() || !audit_out.empty() ||
-        !flight_out.empty()) {
+        !flight_out.empty() || !timeline_out.empty()) {
       RunMeta meta;
       meta.tool = "mmrepl_cli";
       meta.add("command", cmd);
@@ -190,8 +217,17 @@ int main(int argc, char** argv) {
       if (!flight_out.empty()) {
         write_flight_file(flight_out, global_flight_log(), meta);
       }
+      if (!timeline_out.empty()) {
+        TimelineSampler& sampler = global_timeline_sampler();
+        const std::uint64_t dropped = sampler.dropped();
+        sampler.stop();
+        write_timeline_file(timeline_out, sampler.snapshot(), dropped, meta);
+      }
     }
     return rc;
+  } catch (const memacct::MemBudgetError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return memacct::kMemBudgetExitCode;
   } catch (const CheckError& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

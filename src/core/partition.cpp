@@ -5,6 +5,7 @@
 #include "io/provenance.h"
 #include "util/check.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace mmr {
@@ -253,13 +254,16 @@ void partition_all(const SystemModel& sys, Assignment& asg,
   // depend only on the model, so the result is identical at any thread
   // count.
   const std::size_t pages = sys.num_pages();
+  ProgressReporter progress("partition", pages);
   if (pool != nullptr && pool->thread_count() > 1 && pages > 1) {
     pool->parallel_for(pages, [&](std::size_t j) {
       compute_page_rows(sys, asg, static_cast<PageId>(j), options);
+      progress.tick();
     });
   } else {
     for (std::size_t j = 0; j < pages; ++j) {
       compute_page_rows(sys, asg, static_cast<PageId>(j), options);
+      progress.tick();
     }
   }
   asg.recompute_caches(pool);

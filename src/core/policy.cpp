@@ -5,6 +5,7 @@
 
 #include "io/provenance.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/table.h"
 #include "util/trace.h"
 
@@ -159,6 +160,7 @@ PolicyResult run_replication_policy(const SystemModel& sys,
   {
     ScopedTimer timed(t_partition);
     MMR_TRACE_SPAN("partition");
+    TelemetryPhaseScope phase_scope("partition");
     partition_all(sys, result.assignment, options.partition, options.pool);
   }
   result.d_after_partition = objective_total_cached(result.assignment, w);
@@ -174,6 +176,7 @@ PolicyResult run_replication_policy(const SystemModel& sys,
     {
       ScopedTimer timed(t_storage);
       MMR_TRACE_SPAN("storage_restore");
+      TelemetryPhaseScope phase_scope("storage_restore");
       result.storage_report = restore_storage(sys, result.assignment, w,
                                               options.storage, options.pool);
     }
@@ -191,6 +194,7 @@ PolicyResult run_replication_policy(const SystemModel& sys,
     {
       ScopedTimer timed(t_processing);
       MMR_TRACE_SPAN("processing_restore");
+      TelemetryPhaseScope phase_scope("processing_restore");
       result.processing_report =
           restore_processing(sys, result.assignment, w, options.processing);
     }
@@ -208,6 +212,7 @@ PolicyResult run_replication_policy(const SystemModel& sys,
     {
       ScopedTimer timed(t_offload);
       MMR_TRACE_SPAN("offload");
+      TelemetryPhaseScope phase_scope("offload");
       result.offload_report =
           offload_repository(sys, result.assignment, w, options.offload);
     }
@@ -225,6 +230,7 @@ PolicyResult run_replication_policy(const SystemModel& sys,
   if (options.refine_enabled) {
     ScopedTimer timed(t_refine);
     MMR_TRACE_SPAN("local_search");
+    TelemetryPhaseScope phase_scope("local_search");
     result.refine_report =
         refine_local_search(sys, result.assignment, w, options.refine);
   }

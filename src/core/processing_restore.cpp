@@ -6,7 +6,9 @@
 #include "io/provenance.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/memacct.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 
 namespace mmr {
 
@@ -49,6 +51,9 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
   const std::uint64_t audit_run = audit ? provenance_run_or_zero() : 0;
   const std::string audit_policy = audit ? current_metric_label() : "";
 
+  const memacct::Charge scratch_charge(memacct::Category::kSolverScratch,
+                                       sys.num_pages() *
+                                           sizeof(std::uint64_t));
   std::vector<std::uint64_t> page_epoch(sys.num_pages(), 0);
   MinHeap heap;
   auto push_page_slots = [&](PageId j) {
@@ -121,8 +126,10 @@ ProcessingRestoreReport restore_processing(
     const SystemModel& sys, Assignment& asg, const Weights& w,
     const ProcessingRestoreOptions& options) {
   ProcessingRestoreReport report;
+  ProgressReporter progress("processing_restore", sys.num_servers());
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
     restore_server(sys, asg, i, w, options, report);
+    progress.tick();
   }
   MMR_COUNT("solver.processing.unmarked_slots", report.unmarked_slots);
   MMR_COUNT("solver.processing.objects_deallocated",

@@ -7,7 +7,9 @@
 #include "io/provenance.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/memacct.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace mmr {
@@ -52,6 +54,10 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
   // eager re-pushes for objects that never become the minimum. Epochs and
   // the repartition "allowed" bitmap are dense per-object arrays — this
   // routine may run on a pool worker, so all its scratch is local.
+  const memacct::Charge scratch_charge(
+      memacct::Category::kSolverScratch,
+      sys.num_objects() *
+          (sizeof(std::uint64_t) + sizeof(std::uint8_t)));
   std::vector<std::uint64_t> epoch(sys.num_objects(), 0);
   std::vector<std::uint8_t> allowed(sys.num_objects(), 0);
   MinHeap heap;
@@ -179,15 +185,23 @@ StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
   const bool audit = audit_enabled();
   const std::uint64_t audit_run = audit ? provenance_run_or_zero() : 0;
   const std::string audit_policy = audit ? current_metric_label() : "";
+  // Deterministic per-server scratch footprint, observed once per call on
+  // the calling thread (pool workers have no per-run metrics scope).
+  const std::uint64_t scratch_bytes =
+      sys.num_objects() * (sizeof(std::uint64_t) + sizeof(std::uint8_t));
+  MMR_GAUGE("memory.solver.scratch", static_cast<double>(scratch_bytes));
+  ProgressReporter progress("storage_restore", servers);
   if (pool != nullptr && pool->thread_count() > 1 && servers > 1) {
     pool->parallel_for(servers, [&](std::size_t i) {
       restore_server(sys, asg, static_cast<ServerId>(i), w, options,
                      per_server[i], audit, audit_run, audit_policy);
+      progress.tick();
     });
   } else {
     for (std::size_t i = 0; i < servers; ++i) {
       restore_server(sys, asg, static_cast<ServerId>(i), w, options,
                      per_server[i], audit, audit_run, audit_policy);
+      progress.tick();
     }
   }
   StorageRestoreReport report;

@@ -165,4 +165,159 @@ void write_trace_file(const std::string& path, Tracer& tracer,
                 [&](std::ostream& os) { write_trace_json(os, tracer, meta); });
 }
 
+namespace {
+
+void write_counter_values(JsonWriter& w, const PerfCounterValues& v) {
+  w.kv("cycles", v.cycles);
+  w.kv("instructions", v.instructions);
+  w.kv("cache_misses", v.cache_misses);
+  w.kv("branch_misses", v.branch_misses);
+}
+
+}  // namespace
+
+void write_timeline_jsonl(std::ostream& os, const TimelineSnapshot& snapshot,
+                          std::uint64_t dropped, const RunMeta& meta) {
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "mmr-timeline");
+    w.kv("version", std::int64_t{1});
+    w.kv("interval_ms", static_cast<std::uint64_t>(snapshot.interval_ms));
+    w.kv("counters",
+         snapshot.counters_available ? "available" : "unavailable");
+    write_run_meta(w, meta);
+    w.end_object();
+    os << '\n';
+  }
+  for (const TimelineSample& s : snapshot.samples) {
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("type", "sample");
+    w.kv("t_ms", s.t_ms);
+    w.kv("phase", s.phase);
+    w.kv("rss_bytes", s.rss_bytes);
+    w.kv("peak_rss_bytes", s.peak_rss_bytes);
+    // Every category appears on every line — byte-stable schema.
+    w.key("mem").begin_object();
+    for (std::size_t c = 0; c < memacct::kCategoryCount; ++c) {
+      w.kv(memacct::category_name(static_cast<memacct::Category>(c)),
+           s.mem_current[c]);
+    }
+    w.end_object();
+    w.key("mem_peak").begin_object();
+    for (std::size_t c = 0; c < memacct::kCategoryCount; ++c) {
+      w.kv(memacct::category_name(static_cast<memacct::Category>(c)),
+           s.mem_peak[c]);
+    }
+    w.end_object();
+    if (s.counters_valid) {
+      w.key("counters").begin_object();
+      write_counter_values(w, s.counters);
+      w.end_object();
+    }
+    if (!s.metric_deltas.empty()) {
+      w.key("metrics").begin_object();
+      for (const auto& [name, delta] : s.metric_deltas) w.kv(name, delta);
+      w.end_object();
+    }
+    w.end_object();
+    os << '\n';
+  }
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("type", "summary");
+    w.kv("samples", static_cast<std::uint64_t>(snapshot.samples.size()));
+    w.kv("dropped", dropped);
+    w.key("phase_perf").begin_object();
+    for (const auto& [phase, totals] : snapshot.phase_perf) {
+      w.key(phase).begin_object();
+      w.kv("entries", totals.entries);
+      write_counter_values(w, totals.values);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    os << '\n';
+  }
+}
+
+void write_timeline_file(const std::string& path,
+                         const TimelineSnapshot& snapshot,
+                         std::uint64_t dropped, const RunMeta& meta) {
+  write_to_file(path, [&](std::ostream& os) {
+    write_timeline_jsonl(os, snapshot, dropped, meta);
+  });
+}
+
+TimelineDoc parse_timeline_jsonl(const std::string& text) {
+  TimelineDoc doc;
+  std::istringstream is(text);
+  std::string line;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue v = json_parse(line);
+    MMR_CHECK_MSG(v.is_object(), "timeline line " + std::to_string(line_no) +
+                                     " is not a JSON object");
+    if (!have_header) {
+      MMR_CHECK_MSG(v.has("schema"),
+                    "timeline header line lacks a 'schema' field");
+      MMR_CHECK_MSG(v.at("schema").str_v == "mmr-timeline",
+                    "unknown timeline schema '" + v.at("schema").str_v + "'");
+      doc.version = static_cast<int>(v.at("version").num_v);
+      doc.interval_ms =
+          static_cast<std::uint32_t>(v.at("interval_ms").num_v);
+      const std::string& counters = v.at("counters").str_v;
+      MMR_CHECK_MSG(counters == "available" || counters == "unavailable",
+                    "timeline 'counters' must be available|unavailable, got '" +
+                        counters + "'");
+      doc.counters_available = counters == "available";
+      doc.header = std::move(v);
+      have_header = true;
+      continue;
+    }
+    MMR_CHECK_MSG(v.has("type"), "timeline line " + std::to_string(line_no) +
+                                     " lacks a 'type' field");
+    const std::string& type = v.at("type").str_v;
+    if (type == "summary") {
+      MMR_CHECK_MSG(!doc.has_summary, "duplicate timeline summary line");
+      doc.has_summary = true;
+      doc.declared_samples =
+          static_cast<std::uint64_t>(v.at("samples").num_v);
+      doc.declared_dropped =
+          static_cast<std::uint64_t>(v.at("dropped").num_v);
+      if (v.has("phase_perf")) doc.phase_perf = v.at("phase_perf");
+      continue;
+    }
+    MMR_CHECK_MSG(type == "sample", "timeline line " +
+                                        std::to_string(line_no) +
+                                        " has unknown type '" + type + "'");
+    MMR_CHECK_MSG(!doc.has_summary,
+                  "timeline sample line after the summary line");
+    MMR_CHECK_MSG(v.has("t_ms") && v.has("phase") && v.has("mem"),
+                  "timeline sample line " + std::to_string(line_no) +
+                      " lacks t_ms/phase/mem");
+    doc.samples.push_back(std::move(v));
+  }
+  MMR_CHECK_MSG(have_header, "timeline document has no header line");
+  MMR_CHECK_MSG(doc.has_summary, "timeline document has no summary line");
+  MMR_CHECK_MSG(doc.declared_samples == doc.samples.size(),
+                "timeline summary declares " +
+                    std::to_string(doc.declared_samples) + " samples but " +
+                    std::to_string(doc.samples.size()) + " are present");
+  return doc;
+}
+
+TimelineDoc read_timeline_file(const std::string& path) {
+  std::ifstream is(path);
+  MMR_CHECK_MSG(is.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_timeline_jsonl(buf.str());
+}
+
 }  // namespace mmr

@@ -4,7 +4,14 @@
 //                  plus a run_meta block,
 //   trace.json   — Chrome trace_event JSON with the same run_meta block
 //                  attached under a top-level "run_meta" key (ignored by
-//                  trace viewers).
+//                  trace viewers),
+//   mmr-timeline — JSONL resource timeline from the background sampler
+//                  (util/telemetry.h): a header line, one "sample" line per
+//                  tick (RSS, memacct categories, phase, perf counters,
+//                  metric deltas), and a trailing "summary" line with the
+//                  per-phase perf totals. Schema in docs/FORMATS.md. The
+//                  schema is byte-stable; the recorded values are wall-clock
+//                  and inherently non-deterministic (like trace.json).
 //
 // run_meta records how the numbers were produced: tool name, seed/config
 // fields supplied by the harness, the source revision (git describe, baked
@@ -19,7 +26,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/json.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace mmr {
@@ -52,5 +61,31 @@ void write_metrics_file(const std::string& path,
 void write_trace_json(std::ostream& os, Tracer& tracer, const RunMeta& meta);
 void write_trace_file(const std::string& path, Tracer& tracer,
                       const RunMeta& meta);
+
+/// Writes the `mmr-timeline` JSONL artifact from a sampler snapshot.
+/// `dropped` is the sampler's over-cap tick count (TimelineSampler::dropped).
+void write_timeline_jsonl(std::ostream& os, const TimelineSnapshot& snapshot,
+                          std::uint64_t dropped, const RunMeta& meta);
+void write_timeline_file(const std::string& path,
+                         const TimelineSnapshot& snapshot,
+                         std::uint64_t dropped, const RunMeta& meta);
+
+/// Parsed mmr-timeline artifact (tools + round-trip tests).
+struct TimelineDoc {
+  JsonValue header;
+  int version = 0;
+  std::uint32_t interval_ms = 0;
+  bool counters_available = false;
+  std::vector<JsonValue> samples;  ///< the "sample" lines, in file order
+  bool has_summary = false;
+  std::uint64_t declared_samples = 0;
+  std::uint64_t declared_dropped = 0;
+  JsonValue phase_perf;  ///< summary "phase_perf" object; null if absent
+};
+
+/// Parses an mmr-timeline JSONL document. Throws CheckError on a malformed
+/// document or when the summary's sample count disagrees with the lines.
+TimelineDoc parse_timeline_jsonl(const std::string& text);
+TimelineDoc read_timeline_file(const std::string& path);
 
 }  // namespace mmr

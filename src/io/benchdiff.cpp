@@ -30,8 +30,11 @@ BenchDiffReport diff_bench_artifacts(const BenchArtifact& baseline,
                                      const BenchArtifact& candidate,
                                      const BenchDiffOptions& options) {
   const auto matches = [&](const std::string& name) {
-    return options.filter.empty() ||
-           name.find(options.filter) != std::string::npos;
+    if (options.filters.empty()) return true;
+    for (const std::string& f : options.filters) {
+      if (name.find(f) != std::string::npos) return true;
+    }
+    return false;
   };
   std::map<std::string, const BenchMeasurement*> base, cand;
   for (const BenchMeasurement& m : baseline.measurements) {
@@ -61,8 +64,11 @@ BenchDiffReport diff_bench_artifacts(const BenchArtifact& baseline,
     d.cand_stddev = cm->stats.stddev;
     d.delta = d.cand_mean - d.base_mean;
     d.rel_delta = d.base_mean == 0 ? 0.0 : d.delta / std::fabs(d.base_mean);
+    const double rel = d.unit == "B" && options.mem_rel_threshold >= 0
+                           ? options.mem_rel_threshold
+                           : options.rel_threshold;
     d.threshold = std::max(
-        {options.rel_threshold * std::fabs(d.base_mean),
+        {rel * std::fabs(d.base_mean),
          options.stddev_k * std::max(d.base_stddev, d.cand_stddev),
          options.min_abs});
     const bool exceeds = std::fabs(d.delta) > d.threshold;
@@ -131,9 +137,12 @@ void write_benchdiff_json(std::ostream& os, const BenchDiffReport& report,
   w.kv("verdict", report.ok() ? "pass" : "regression");
   w.key("thresholds").begin_object();
   w.kv("rel_threshold", options.rel_threshold);
+  w.kv("mem_rel_threshold", options.mem_rel_threshold);
   w.kv("stddev_k", options.stddev_k);
   w.kv("min_abs", options.min_abs);
-  w.kv("filter", options.filter);
+  w.key("filters").begin_array();
+  for (const std::string& f : options.filters) w.value(f);
+  w.end_array();
   w.end_object();
   w.kv("regressions", static_cast<std::uint64_t>(report.regressions));
   w.kv("improvements", static_cast<std::uint64_t>(report.improvements));

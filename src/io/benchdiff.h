@@ -24,9 +24,15 @@ struct BenchDiffOptions {
   double rel_threshold = 0.05;  ///< fraction of |baseline mean|
   double stddev_k = 3.0;        ///< multiples of the noisier stddev
   double min_abs = 0.0;         ///< absolute floor, in the series' unit
-  /// Only series whose name contains this substring are compared
-  /// (empty = all). The CI gate uses "wall_s" to gate wall time only.
-  std::string filter;
+  /// Series whose name contains ANY of these substrings are compared
+  /// (empty = all). Repeated --filter flags accumulate here, so one CI
+  /// invocation can gate wall_s AND peak_rss_bytes.
+  std::vector<std::string> filters;
+  /// Relative threshold applied instead of rel_threshold to byte-unit
+  /// ("B") series. RSS is noisier than wall time (allocator reuse, page
+  /// cache), so memory gates typically want a looser bound. Negative
+  /// (default) means "use rel_threshold".
+  double mem_rel_threshold = -1.0;
 };
 
 enum class SeriesVerdict {

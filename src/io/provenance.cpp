@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "util/check.h"
+#include "util/memacct.h"
 
 namespace mmr {
 
@@ -127,6 +128,7 @@ struct AuditLog::Impl {
   std::size_t total = 0;
   std::uint64_t dropped = 0;
   std::size_t max_events = 1'000'000;
+  std::uint64_t held_bytes = 0;  ///< memacct provenance.buffers charge
 
   /// Appends as much of `batch` as the cap admits; the remainder is counted
   /// as dropped. Caller holds the mutex.
@@ -135,6 +137,9 @@ struct AuditLog::Impl {
     const std::size_t room =
         max_events > total ? max_events - total : 0;
     const std::size_t take = std::min(room, batch.size());
+    const std::uint64_t bytes = take * sizeof(T);
+    memacct::charge(memacct::Category::kProvenanceBuffers, bytes);
+    held_bytes += bytes;
     into.insert(into.end(), std::make_move_iterator(batch.begin()),
                 std::make_move_iterator(batch.begin() + take));
     total += take;
@@ -198,6 +203,8 @@ void AuditLog::clear() {
   s.replicas.clear();
   s.total = 0;
   s.dropped = 0;
+  memacct::release(memacct::Category::kProvenanceBuffers, s.held_bytes);
+  s.held_bytes = 0;
 }
 
 std::size_t AuditLog::size() const {
@@ -295,6 +302,7 @@ struct FlightLog::Impl {
   std::vector<FlightRecord> records;
   std::uint64_t dropped = 0;
   std::size_t max_records = 1'000'000;
+  std::uint64_t held_bytes = 0;  ///< memacct provenance.buffers charge
 };
 
 FlightLog::Impl& FlightLog::impl() const {
@@ -309,6 +317,9 @@ void FlightLog::add(std::vector<FlightRecord>&& batch) {
                                ? s.max_records - s.records.size()
                                : 0;
   const std::size_t take = std::min(room, batch.size());
+  const std::uint64_t bytes = take * sizeof(FlightRecord);
+  memacct::charge(memacct::Category::kProvenanceBuffers, bytes);
+  s.held_bytes += bytes;
   s.records.insert(s.records.end(), std::make_move_iterator(batch.begin()),
                    std::make_move_iterator(batch.begin() + take));
   s.dropped += batch.size() - take;
@@ -319,6 +330,8 @@ void FlightLog::clear() {
   std::lock_guard<std::mutex> lock(s.mutex);
   s.records.clear();
   s.dropped = 0;
+  memacct::release(memacct::Category::kProvenanceBuffers, s.held_bytes);
+  s.held_bytes = 0;
 }
 
 std::size_t FlightLog::size() const {

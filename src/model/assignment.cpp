@@ -3,12 +3,36 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace mmr {
 
+std::uint64_t Assignment::estimate_bits_bytes(const SystemModel& sys) {
+  return static_cast<std::uint64_t>(sys.total_comp_slots()) +
+         sys.total_opt_slots();
+}
+
+std::uint64_t Assignment::estimate_caches_bytes(const SystemModel& sys) {
+  const std::uint64_t pages = sys.num_pages();
+  const std::uint64_t servers = sys.num_servers();
+  return pages * 3 * sizeof(double) +             // local/remote/optional time
+         servers * 2 * sizeof(double) +           // proc_load, repo_load
+         servers * sizeof(std::uint64_t) +        // storage_used
+         servers * sys.num_objects() * sizeof(std::uint32_t) +  // marks
+         pages * 2 * sizeof(std::uint32_t);       // num_{comp,opt}_local
+}
+
 Assignment::Assignment(const SystemModel& sys) : sys_(&sys) {
   MMR_CHECK_MSG(sys.finalized(), "Assignment requires a finalized model");
+  // Charge before the containers allocate: with --mem-budget set, an
+  // oversized assignment throws here instead of thrashing mid-resize.
+  const std::uint64_t bits_bytes = estimate_bits_bytes(sys);
+  const std::uint64_t caches_bytes = estimate_caches_bytes(sys);
+  mem_bits_charge_.reset(memacct::Category::kAssignmentBits, bits_bytes);
+  mem_caches_charge_.reset(memacct::Category::kAssignmentCaches, caches_bytes);
+  MMR_GAUGE("memory.assignment.bits", static_cast<double>(bits_bytes));
+  MMR_GAUGE("memory.assignment.caches", static_cast<double>(caches_bytes));
   comp_local_.assign(sys.total_comp_slots(), 0);
   opt_local_.assign(sys.total_opt_slots(), 0);
   local_time_.resize(sys.num_pages());

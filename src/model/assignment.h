@@ -42,6 +42,13 @@ class Assignment {
   /// All-remote assignment (X = X' = 0): every object comes from R.
   explicit Assignment(const SystemModel& sys);
 
+  /// Deterministic byte sizes of the containers the constructor builds
+  /// (decision-bit CSR arrays resp. the incremental caches incl. the dense
+  /// marks array). Used for the --mem-budget pre-flight check and guaranteed
+  /// equal to the memacct charges the constructor makes (test_telemetry).
+  static std::uint64_t estimate_bits_bytes(const SystemModel& sys);
+  static std::uint64_t estimate_caches_bytes(const SystemModel& sys);
+
   const SystemModel& system() const { return *sys_; }
 
   // ---- decision variables --------------------------------------------------
@@ -132,6 +139,11 @@ class Assignment {
   std::vector<std::uint32_t> marks_;   // dense [server * num_objects + k]
   std::vector<std::uint32_t> num_comp_local_;  // per page
   std::vector<std::uint32_t> num_opt_local_;   // per page
+
+  // memacct charges for the containers above (copies re-charge; a budget
+  // overrun throws before the containers allocate).
+  memacct::Charge mem_bits_charge_;
+  memacct::Charge mem_caches_charge_;
 };
 
 }  // namespace mmr

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace mmr {
 
@@ -125,6 +126,31 @@ void SystemModel::finalize() {
               });
   }
   build_network_caches();
+
+  // Byte-account the finalized containers (docs/OBSERVABILITY.md). Element
+  // counts — not capacities — so the charges and gauges are a pure function
+  // of the instance, bit-identical at any thread count.
+  std::uint64_t csr_bytes =
+      (comp_offset_.size() + opt_offset_.size() + comp_order_.size()) *
+          sizeof(std::uint32_t) +
+      (comp_local_xfer_.size() + comp_remote_xfer_.size() +
+       opt_local_time_.size() + opt_remote_time_.size() +
+       page_base_local_.size()) *
+          sizeof(double) +
+      opt_beneficial_.size() * sizeof(std::uint8_t);
+  std::uint64_t index_bytes =
+      servers_.size() * (2 * sizeof(std::uint64_t) + sizeof(double));
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    index_bytes += pages_on_server_[i].size() * sizeof(PageId) +
+                   objects_referenced_[i].size() * sizeof(ObjectId);
+    for (const auto& [obj, refs] : refs_on_server_[i]) {
+      index_bytes += sizeof(obj) + refs.size() * sizeof(PageObjectRef);
+    }
+  }
+  mem_csr_charge_.reset(memacct::Category::kModelCsr, csr_bytes);
+  mem_index_charge_.reset(memacct::Category::kModelIndex, index_bytes);
+  MMR_GAUGE("memory.model.csr", static_cast<double>(csr_bytes));
+  MMR_GAUGE("memory.model.index", static_cast<double>(index_bytes));
 
   finalized_ = true;
 }

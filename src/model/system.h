@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "model/entities.h"
+#include "util/memacct.h"
 
 namespace mmr {
 
@@ -160,6 +161,12 @@ class SystemModel {
   std::vector<double> opt_remote_time_;
   std::vector<std::uint8_t> opt_beneficial_;
   std::vector<double> page_base_local_;
+
+  // memacct charges for the containers above, set by finalize(); element
+  // counts are a pure function of the instance, so the charged sizes are
+  // deterministic (copies of the model re-charge via Charge's copy ctor).
+  memacct::Charge mem_csr_charge_;
+  memacct::Charge mem_index_charge_;
 
   static const std::vector<PageObjectRef> kNoRefs;
 };

@@ -7,7 +7,9 @@
 #include "io/provenance.h"
 #include "sim/event_queue.h"
 #include "util/check.h"
+#include "util/memacct.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace mmr {
@@ -196,6 +198,24 @@ class TokenBucket {
 
 }  // namespace
 
+namespace {
+
+/// Byte-accounts the per-request capture buffer (sim.events) at the end of a
+/// simulation. The charge is transient — ownership stays with the returned
+/// SimMetrics — but it lands in the category peak, honors --mem-budget, and
+/// sets the deterministic memory.sim.events gauge (sample count is a pure
+/// function of the instance + seed).
+void account_sim_samples(const SimMetrics& metrics) {
+  const std::uint64_t bytes =
+      metrics.page_samples.samples().size() * sizeof(double);
+  if (bytes == 0) return;
+  memacct::charge(memacct::Category::kSimEvents, bytes);
+  memacct::release(memacct::Category::kSimEvents, bytes);
+  MMR_GAUGE("memory.sim.events", static_cast<double>(bytes));
+}
+
+}  // namespace
+
 SimMetrics Simulator::simulate(const Assignment& asg,
                                std::uint64_t seed) const {
   MMR_CHECK(&asg.system() == sys_);
@@ -205,6 +225,7 @@ SimMetrics Simulator::simulate(const Assignment& asg,
   Rng master(seed);
   SimMetricHandles mh = SimMetricHandles::acquire();
   FlightContext flight = FlightContext::acquire(FlightMode::kStatic);
+  TelemetryPhaseScope phase_scope("simulate");
   TraceSpan span("simulate");
   if (span.active() && !current_metric_label().empty()) {
     span.arg("policy", current_metric_label());
@@ -311,6 +332,7 @@ SimMetrics Simulator::simulate(const Assignment& asg,
     }
     flight.flush();
   }
+  account_sim_samples(metrics);
   return metrics;
 }
 
@@ -337,6 +359,7 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
   Rng master(seed);
   SimMetricHandles mh = SimMetricHandles::acquire();
   FlightContext flight = FlightContext::acquire(FlightMode::kLru);
+  TelemetryPhaseScope phase_scope("simulate_lru");
   MMR_TRACE_SPAN("simulate_lru");
 
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
@@ -472,6 +495,7 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
   MMR_COUNT("sim.lru.misses", metrics.lru_misses);
   MMR_COUNT("sim.lru.evictions", metrics.lru_evictions);
   MMR_COUNT("sim.throttled_requests", metrics.throttled_requests);
+  account_sim_samples(metrics);
   return metrics;
 }
 
@@ -484,6 +508,7 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
   Rng master(seed);
   SimMetricHandles mh = SimMetricHandles::acquire();
   FlightContext flight = FlightContext::acquire(FlightMode::kThreshold);
+  TelemetryPhaseScope phase_scope("simulate_threshold");
   MMR_TRACE_SPAN("simulate_threshold");
 
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
@@ -584,6 +609,7 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
   }
   MMR_COUNT("sim.replica_creations", metrics.replica_creations);
   MMR_COUNT("sim.replica_drops", metrics.replica_drops);
+  account_sim_samples(metrics);
   return metrics;
 }
 

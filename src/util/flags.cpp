@@ -18,14 +18,21 @@ Flags Flags::parse(int argc, const char* const* argv, bool allow_unknown) {
       continue;
     }
     arg = arg.substr(2);
+    std::string name;
+    std::string value;
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags.values_[arg] = argv[++i];
+      name = arg;
+      value = argv[++i];
     } else {
-      flags.values_[arg] = "true";  // bare boolean flag
+      name = arg;
+      value = "true";  // bare boolean flag
     }
+    flags.values_[name] = value;
+    flags.occurrences_.emplace_back(std::move(name), std::move(value));
   }
   return flags;
 }
@@ -48,6 +55,15 @@ std::optional<std::string> Flags::raw(const std::string& name) const {
 std::string Flags::get_string(const std::string& name,
                               const std::string& default_value) const {
   return raw(name).value_or(default_value);
+}
+
+std::vector<std::string> Flags::get_string_list(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : occurrences_) {
+    if (key == name) out.push_back(value);
+  }
+  return out;
 }
 
 std::int64_t Flags::get_int(const std::string& name,

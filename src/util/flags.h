@@ -25,6 +25,9 @@ class Flags {
   bool has(const std::string& name) const;
   std::string get_string(const std::string& name,
                          const std::string& default_value) const;
+  /// Every occurrence of a repeated flag, in command-line order (the typed
+  /// getters above see only the last one). Empty when the flag is absent.
+  std::vector<std::string> get_string_list(const std::string& name) const;
   std::int64_t get_int(const std::string& name,
                        std::int64_t default_value) const;
   double get_double(const std::string& name, double default_value) const;
@@ -41,7 +44,8 @@ class Flags {
   std::optional<std::string> raw(const std::string& name) const;
 
   std::string program_name_;
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> values_;  ///< last occurrence wins
+  std::vector<std::pair<std::string, std::string>> occurrences_;  ///< all, ordered
   std::vector<std::string> positional_;
   std::vector<std::pair<std::string, std::string>> descriptions_;
 };

@@ -1,0 +1,149 @@
+#include "util/memacct.h"
+
+#include <atomic>
+#include <sstream>
+
+namespace mmr::memacct {
+
+namespace {
+
+struct CategorySlot {
+  std::atomic<std::uint64_t> current{0};
+  std::atomic<std::uint64_t> peak{0};
+};
+
+struct Registry {
+  CategorySlot slots[kCategoryCount];
+  std::atomic<std::uint64_t> total_current{0};
+  std::atomic<std::uint64_t> total_peak{0};
+  std::atomic<std::uint64_t> budget{0};
+};
+
+/// Intentionally leaked (like global_metrics()): safe from atexit handlers
+/// and destructors of other statics.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+void raise_peak(std::atomic<std::uint64_t>& peak, std::uint64_t observed) {
+  std::uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (cur < observed &&
+         !peak.compare_exchange_weak(cur, observed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+[[noreturn]] void budget_exceeded(std::uint64_t needed, std::uint64_t budget,
+                                  const char* what) {
+  std::ostringstream os;
+  os << "memory budget exceeded: " << what << " needs " << needed
+     << " tracked bytes but --mem-budget is " << budget;
+  throw MemBudgetError(os.str());
+}
+
+}  // namespace
+
+const char* category_name(Category cat) {
+  switch (cat) {
+    case Category::kModelCsr:
+      return "model.csr";
+    case Category::kModelIndex:
+      return "model.index";
+    case Category::kAssignmentBits:
+      return "assignment.bits";
+    case Category::kAssignmentCaches:
+      return "assignment.caches";
+    case Category::kSolverScratch:
+      return "solver.scratch";
+    case Category::kProvenanceBuffers:
+      return "provenance.buffers";
+    case Category::kSimEvents:
+      return "sim.events";
+  }
+  return "?";
+}
+
+void charge(Category cat, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  Registry& r = registry();
+  const std::uint64_t budget = r.budget.load(std::memory_order_relaxed);
+  if (budget != 0) {
+    const std::uint64_t held = r.total_current.load(std::memory_order_relaxed);
+    if (held + bytes > budget) {
+      budget_exceeded(held + bytes, budget, category_name(cat));
+    }
+  }
+  CategorySlot& slot = r.slots[static_cast<std::size_t>(cat)];
+  const std::uint64_t cur =
+      slot.current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_peak(slot.peak, cur);
+  const std::uint64_t total =
+      r.total_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_peak(r.total_peak, total);
+}
+
+void release(Category cat, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  Registry& r = registry();
+  CategorySlot& slot = r.slots[static_cast<std::size_t>(cat)];
+  // Clamp-to-zero on underflow: a mismatched release is a site bug, but
+  // wrapping to 2^64 bytes would poison every later sample.
+  std::uint64_t cur = slot.current.load(std::memory_order_relaxed);
+  while (!slot.current.compare_exchange_weak(
+      cur, cur >= bytes ? cur - bytes : 0, std::memory_order_relaxed)) {
+  }
+  std::uint64_t total = r.total_current.load(std::memory_order_relaxed);
+  while (!r.total_current.compare_exchange_weak(
+      total, total >= bytes ? total - bytes : 0, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t current_bytes(Category cat) {
+  return registry()
+      .slots[static_cast<std::size_t>(cat)]
+      .current.load(std::memory_order_relaxed);
+}
+
+std::uint64_t peak_bytes(Category cat) {
+  return registry()
+      .slots[static_cast<std::size_t>(cat)]
+      .peak.load(std::memory_order_relaxed);
+}
+
+std::uint64_t total_current_bytes() {
+  return registry().total_current.load(std::memory_order_relaxed);
+}
+
+std::uint64_t total_peak_bytes() {
+  return registry().total_peak.load(std::memory_order_relaxed);
+}
+
+void set_budget_bytes(std::uint64_t bytes) {
+  registry().budget.store(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t budget_bytes() {
+  return registry().budget.load(std::memory_order_relaxed);
+}
+
+void check_headroom(std::uint64_t extra_bytes, const char* what) {
+  const std::uint64_t budget = budget_bytes();
+  if (budget == 0) return;
+  const std::uint64_t held = total_current_bytes();
+  if (held + extra_bytes > budget) {
+    budget_exceeded(held + extra_bytes, budget, what);
+  }
+}
+
+void reset_for_test() {
+  Registry& r = registry();
+  for (CategorySlot& slot : r.slots) {
+    slot.current.store(0, std::memory_order_relaxed);
+    slot.peak.store(0, std::memory_order_relaxed);
+  }
+  r.total_current.store(0, std::memory_order_relaxed);
+  r.total_peak.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mmr::memacct

@@ -136,11 +136,48 @@ TEST(BenchDiff, FilterRestrictsComparedSeries) {
   const BenchArtifact cand =
       artifact({{"a.wall_s", 10.0, 0.0}, {"a.other", 10.0, 0.0}});
   BenchDiffOptions opt;
-  opt.filter = "wall_s";
+  opt.filters = {"wall_s"};
   const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
   ASSERT_EQ(r.series.size(), 1u);
   EXPECT_EQ(r.series[0].name, "a.wall_s");
   EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kRegression);
+}
+
+TEST(BenchDiff, RepeatedFiltersMatchAnySubstring) {
+  const BenchArtifact base = artifact(
+      {{"a.wall_s", 1.0, 0.0}, {"a.peak_rss_bytes", 1.0, 0.0},
+       {"a.other", 1.0, 0.0}});
+  const BenchArtifact cand = artifact(
+      {{"a.wall_s", 10.0, 0.0}, {"a.peak_rss_bytes", 10.0, 0.0},
+       {"a.other", 10.0, 0.0}});
+  BenchDiffOptions opt;
+  opt.filters = {"wall_s", "peak_rss_bytes"};
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  ASSERT_EQ(r.series.size(), 2u);
+  EXPECT_EQ(r.series[0].name, "a.peak_rss_bytes");
+  EXPECT_EQ(r.series[1].name, "a.wall_s");
+}
+
+TEST(BenchDiff, MemRelThresholdAppliesToByteSeries) {
+  // 20% growth on both series; --rel=0.05 flags the timer, --mem-rel=0.35
+  // tolerates the bytes.
+  BenchArtifact base =
+      artifact({{"wall_s", 10.0, 0.0}, {"peak_rss_bytes", 1000.0, 0.0}});
+  BenchArtifact cand =
+      artifact({{"wall_s", 12.0, 0.0}, {"peak_rss_bytes", 1200.0, 0.0}});
+  for (BenchArtifact* a : {&base, &cand}) {
+    for (BenchMeasurement& m : a->measurements) {
+      if (m.name == "peak_rss_bytes") m.unit = "B";
+    }
+  }
+  BenchDiffOptions opt;
+  opt.mem_rel_threshold = 0.35;
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  ASSERT_EQ(r.series.size(), 2u);
+  EXPECT_EQ(r.series[0].name, "peak_rss_bytes");
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kPass);
+  EXPECT_EQ(r.series[1].name, "wall_s");
+  EXPECT_EQ(r.series[1].verdict, SeriesVerdict::kRegression);
 }
 
 TEST(BenchDiff, ZeroBaselineMeanDoesNotDivide) {
@@ -157,14 +194,15 @@ TEST(BenchDiff, VerdictJsonIsParseable) {
   const BenchArtifact base = artifact({{"wall_s", 10.0, 0.1}});
   const BenchArtifact cand = artifact({{"wall_s", 13.0, 0.1}});
   BenchDiffOptions opt;
-  opt.filter = "wall";
+  opt.filters = {"wall"};
   const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
   std::ostringstream os;
   write_benchdiff_json(os, r, opt);
   const JsonValue v = json_parse(os.str());
   EXPECT_EQ(v.at("verdict").str_v, "regression");
   EXPECT_EQ(v.at("regressions").num_v, 1.0);
-  EXPECT_EQ(v.at("thresholds").at("filter").str_v, "wall");
+  ASSERT_EQ(v.at("thresholds").at("filters").arr.size(), 1u);
+  EXPECT_EQ(v.at("thresholds").at("filters").at(std::size_t{0}).str_v, "wall");
   ASSERT_EQ(v.at("series").arr.size(), 1u);
   EXPECT_EQ(v.at("series").at(std::size_t{0}).at("verdict").str_v,
             "regression");

@@ -80,5 +80,18 @@ TEST(Flags, LastValueWins) {
   EXPECT_EQ(f.get_int("n", 0), 2);
 }
 
+TEST(Flags, GetStringListReturnsEveryOccurrenceInOrder) {
+  // Repeatable flags (benchdiff --filter) see all values; the typed
+  // getters keep their last-wins behavior on the same flag.
+  const Flags f =
+      parse({"prog", "--filter=wall_s", "--other=x", "--filter", "rss"});
+  const std::vector<std::string> filters = f.get_string_list("filter");
+  ASSERT_EQ(filters.size(), 2u);
+  EXPECT_EQ(filters[0], "wall_s");
+  EXPECT_EQ(filters[1], "rss");
+  EXPECT_EQ(f.get_string("filter", ""), "rss");
+  EXPECT_TRUE(f.get_string_list("absent").empty());
+}
+
 }  // namespace
 }  // namespace mmr

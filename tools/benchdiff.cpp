@@ -3,15 +3,19 @@
 //
 //   benchdiff <baseline.json> <candidate.json>
 //       [--rel=0.05]      relative threshold, fraction of |baseline mean|
+//       [--mem-rel=-1]    relative threshold for byte-unit series (RSS);
+//                         negative = use --rel
 //       [--k=3]           stddev multiplier (noisier of the two runs)
 //       [--min-abs=0]     absolute delta floor in the series' unit
-//       [--filter=STR]    only compare series whose name contains STR
+//       [--filter=STR]    only compare series whose name contains STR;
+//                         repeatable — a series matching ANY filter is kept
 //       [--json-out=F]    also write the machine-readable verdict JSON
 //       [--quiet]         suppress the human table (summary line only)
 //
 // Exit codes: 0 = no regressions (improvements are fine), 1 = at least one
 // regression, 2 = usage or I/O error. The CI perf gate runs this against
-// bench/baselines/BENCH_suite.json with --filter=wall_s --rel=0.25.
+// bench/baselines/BENCH_suite.json with
+// --filter=wall_s --filter=peak_rss_bytes --rel=0.25 --mem-rel=0.35.
 #include <fstream>
 #include <iostream>
 
@@ -23,9 +27,11 @@ int main(int argc, char** argv) {
   using namespace mmr;
   Flags flags = Flags::parse(argc, argv);
   flags.describe("rel", "relative threshold as a fraction (default 0.05)")
+      .describe("mem-rel",
+                "relative threshold for byte-unit series (negative = --rel)")
       .describe("k", "stddev multiplier for the noise bound (default 3)")
       .describe("min-abs", "absolute delta floor (default 0)")
-      .describe("filter", "substring filter on series names")
+      .describe("filter", "substring filter on series names (repeatable)")
       .describe("json-out", "write verdict JSON to this path")
       .describe("quiet", "summary line only, no table");
   if (flags.help_requested()) {
@@ -45,7 +51,9 @@ int main(int argc, char** argv) {
     options.rel_threshold = flags.get_double("rel", options.rel_threshold);
     options.stddev_k = flags.get_double("k", options.stddev_k);
     options.min_abs = flags.get_double("min-abs", options.min_abs);
-    options.filter = flags.get_string("filter", "");
+    options.mem_rel_threshold =
+        flags.get_double("mem-rel", options.mem_rel_threshold);
+    options.filters = flags.get_string_list("filter");
 
     const BenchDiffReport report =
         diff_bench_artifacts(baseline, candidate, options);

@@ -3,6 +3,7 @@
 //
 //   mmr_report [--metrics=metrics.json] [--trace=trace.json]
 //              [--audit=audit.jsonl] [--flight=flight.jsonl]
+//              [--timeline=timeline.jsonl]
 //       [--policy=ours]    restrict audit/flight sections to one policy
 //                          label; falls back to all events when no event
 //                          carries the label
@@ -14,9 +15,11 @@
 // summary and solver phase/objective breakdowns from metrics.json, the
 // per-server Eq. 8/9/10 headroom table, off-loading negotiation and
 // replication-degree distribution from the audit log, the top-k slowest
-// pages with local-vs-repository attribution from the flight log, and the
-// hottest spans from trace.json. Exit codes: 0 = report rendered, 2 = usage
-// or I/O error.
+// pages with local-vs-repository attribution from the flight log, the
+// hottest spans from trace.json, and the resource timeline (RSS trajectory,
+// tracked-memory peaks, phase occupancy, hardware counters) from the
+// mmr-timeline artifact. Exit codes: 0 = report rendered, 2 = usage or I/O
+// error.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -28,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "io/artifacts.h"
 #include "io/provenance.h"
 #include "util/check.h"
 #include "util/flags.h"
@@ -225,6 +229,114 @@ void render_objective_trajectory(const JsonValue& metrics, ReportWriter& out) {
     return;
   }
   out.table({"stage", "mean", "min", "max"}, rows);
+}
+
+void render_memory_gauges(const JsonValue& metrics, ReportWriter& out) {
+  out.section("Tracked memory (memory.* gauges)");
+  if (!metrics.has("gauges")) {
+    out.para("(metrics.json has no gauges block)");
+    return;
+  }
+  const JsonValue& gauges = metrics.at("gauges");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [name, g] : gauges.obj) {
+    if (name.rfind("memory.", 0) != 0) continue;
+    rows.push_back({name,
+                    std::to_string(static_cast<std::uint64_t>(
+                        num_or(g, "count", 0))),
+                    format_bytes(num_or(g, "mean", 0)),
+                    format_bytes(num_or(g, "max", 0))});
+  }
+  if (rows.empty()) {
+    out.para("(no memory.* gauges recorded)");
+    return;
+  }
+  out.table({"category", "observations", "mean", "max"}, rows);
+}
+
+// ---------------------------------------------------------------------------
+// timeline section
+
+void render_timeline(const TimelineDoc& doc, ReportWriter& out) {
+  out.section("Resource timeline");
+  if (doc.samples.empty()) {
+    out.para("(timeline has no samples)");
+    return;
+  }
+  const JsonValue& first = doc.samples.front();
+  const JsonValue& last = doc.samples.back();
+  const double span_ms = num_or(last, "t_ms", 0) - num_or(first, "t_ms", 0);
+  double rss_peak = 0;
+  for (const JsonValue& smp : doc.samples) {
+    rss_peak = std::max(rss_peak, num_or(smp, "rss_bytes", 0));
+  }
+  std::ostringstream head;
+  head << doc.samples.size() << " samples over "
+       << format_double(span_ms / 1000.0, 2) << " s (interval "
+       << doc.interval_ms << " ms";
+  if (doc.declared_dropped > 0) {
+    head << ", " << doc.declared_dropped << " dropped at the cap";
+  }
+  head << "). RSS " << format_bytes(num_or(first, "rss_bytes", 0)) << " -> "
+       << format_bytes(rss_peak) << " peak -> "
+       << format_bytes(num_or(last, "rss_bytes", 0))
+       << " end; process high-water "
+       << format_bytes(num_or(last, "peak_rss_bytes", 0)) << ".";
+  out.para(head.str());
+
+  // Tracked-category peaks come from the final sample's mem_peak stanza
+  // (monotone, so the last sample holds the run-wide high-water marks).
+  if (last.has("mem_peak")) {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [cat, v] : last.at("mem_peak").obj) {
+      const double cur =
+          last.has("mem") ? num_or(last.at("mem"), cat, 0) : 0;
+      rows.push_back({cat, format_bytes(cur),
+                      v.type == JsonValue::Type::kNumber
+                          ? format_bytes(v.num_v)
+                          : "-"});
+    }
+    out.table({"tracked category", "final", "peak"}, rows);
+  }
+
+  // Phase occupancy: share of samples caught inside each phase.
+  std::map<std::string, std::uint64_t> phase_samples;
+  for (const JsonValue& smp : doc.samples) {
+    ++phase_samples[str_or(smp, "phase", "idle")];
+  }
+  std::vector<std::vector<std::string>> prow;
+  for (const auto& [phase, n] : phase_samples) {
+    prow.push_back({phase, std::to_string(n),
+                    format_percent(static_cast<double>(n) /
+                                       static_cast<double>(doc.samples.size()),
+                                   1)});
+  }
+  out.table({"phase", "samples", "occupancy"}, prow);
+
+  if (!doc.counters_available) {
+    out.para("(hardware perf counters unavailable in this environment)");
+    return;
+  }
+  if (doc.phase_perf.type != JsonValue::Type::kObject ||
+      doc.phase_perf.obj.empty()) {
+    out.para("(no per-phase counter totals in the summary)");
+    return;
+  }
+  std::vector<std::vector<std::string>> crow;
+  for (const auto& [phase, v] : doc.phase_perf.obj) {
+    const double cycles = num_or(v, "cycles", 0);
+    const double instr = num_or(v, "instructions", 0);
+    crow.push_back(
+        {phase,
+         std::to_string(static_cast<std::uint64_t>(num_or(v, "entries", 0))),
+         format_double(cycles / 1e6, 1), format_double(instr / 1e6, 1),
+         cycles > 0 ? format_double(instr / cycles, 2) : "-",
+         format_double(num_or(v, "cache_misses", 0) / 1e3, 1),
+         format_double(num_or(v, "branch_misses", 0) / 1e3, 1)});
+  }
+  out.table({"phase", "entries", "cycles [M]", "instructions [M]", "IPC",
+             "cache miss [k]", "branch miss [k]"},
+            crow);
 }
 
 // ---------------------------------------------------------------------------
@@ -543,6 +655,7 @@ int main(int argc, char** argv) {
       .describe("trace", "Chrome trace.json path")
       .describe("audit", "solver audit JSONL path")
       .describe("flight", "flight recorder JSONL path")
+      .describe("timeline", "mmr-timeline resource sampler JSONL path")
       .describe("policy", "policy label for audit/flight sections "
                           "(default 'ours')")
       .describe("top", "rows in the slowest-pages / trace tables (default 10)")
@@ -550,7 +663,8 @@ int main(int argc, char** argv) {
       .describe("out", "write the report to this path instead of stdout");
   const std::string usage =
       "usage: mmr_report [--metrics=F] [--trace=F] [--audit=F] [--flight=F] "
-      "[--policy=ours] [--top=10] [--format=text|md] [--out=F]\n";
+      "[--timeline=F] [--policy=ours] [--top=10] [--format=text|md] "
+      "[--out=F]\n";
   if (flags.help_requested()) {
     std::cout << usage << flags.help();
     return 0;
@@ -560,8 +674,9 @@ int main(int argc, char** argv) {
   const std::string trace_path = flags.get_string("trace", "");
   const std::string audit_path = flags.get_string("audit", "");
   const std::string flight_path = flags.get_string("flight", "");
+  const std::string timeline_path = flags.get_string("timeline", "");
   if (metrics_path.empty() && trace_path.empty() && audit_path.empty() &&
-      flight_path.empty()) {
+      flight_path.empty() && timeline_path.empty()) {
     std::cerr << "error: no artifacts given\n" << usage;
     return 2;
   }
@@ -584,6 +699,7 @@ int main(int argc, char** argv) {
       render_run_summary(metrics, out);
       render_phase_breakdown(metrics, out);
       render_objective_trajectory(metrics, out);
+      render_memory_gauges(metrics, out);
     }
     if (!audit_path.empty()) {
       const ProvenanceDoc doc = read_provenance_file(audit_path);
@@ -616,6 +732,9 @@ int main(int argc, char** argv) {
     }
     if (!trace_path.empty()) {
       render_trace(read_json_file(trace_path), top, out);
+    }
+    if (!timeline_path.empty()) {
+      render_timeline(read_timeline_file(timeline_path), out);
     }
 
     const std::string out_path = flags.get_string("out", "");
