@@ -23,6 +23,13 @@
 //   --reps=N        measured repetitions of the whole harness body; each rep
 //                   contributes one sample per bench series (default 1)
 //   --warmup=N      extra leading repetitions discarded from bench stats
+//   --sketch-out=F  enable streaming telemetry, write the mmr-sketch JSONL
+//                   artifact (quantile sketches, hot set, windowed SLO)
+//   --obs           enable streaming telemetry without writing the artifact
+//                   (obs.* gauges + sketch-derived bench series only)
+//   --window=N      SLO window width in virtual seconds (default 60)
+//   --slo=R,S,T     SLO spec: response threshold [s], stretch threshold,
+//                   attainment target (default 2.0,1.5,0.99)
 #pragma once
 
 #include <algorithm>
@@ -37,6 +44,8 @@
 #include "io/artifacts.h"
 #include "io/benchfmt.h"
 #include "io/provenance.h"
+#include "obs/obs.h"
+#include "obs/sketch_artifact.h"
 #include "sim/runner.h"
 #include "util/check.h"
 #include "util/flags.h"
@@ -62,6 +71,7 @@ struct ArtifactState {
   std::string audit_path;
   std::string flight_path;
   std::string timeline_path;
+  std::string sketch_path;
   std::uint32_t reps = 1;
   std::uint32_t warmup = 0;
   RunMeta meta;
@@ -111,6 +121,9 @@ inline void write_artifacts_at_exit() {
       write_timeline_file(state.timeline_path, sampler.snapshot(), dropped,
                           state.meta);
     }
+    if (!state.sketch_path.empty()) {
+      write_sketch_file(state.sketch_path, global_obs_log(), state.meta);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: failed to write run artifacts: " << e.what() << "\n";
   }
@@ -156,6 +169,7 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
   state.audit_path = flags.get_string("audit-out", "");
   state.flight_path = flags.get_string("flight-out", "");
   state.timeline_path = flags.get_string("timeline-out", "");
+  state.sketch_path = flags.get_string("sketch-out", "");
   state.reps =
       static_cast<std::uint32_t>(std::max<std::int64_t>(1, flags.get_int("reps", 1)));
   state.warmup =
@@ -166,9 +180,20 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
   if (budget > 0) {
     memacct::set_budget_bytes(static_cast<std::uint64_t>(budget));
   }
+  // Streaming telemetry: config must be in place BEFORE the first simulate
+  // call creates a shard. --obs turns ingestion on without the artifact.
+  if (!state.sketch_path.empty() || flags.get_bool("obs", false)) {
+    ObsConfig ocfg = obs_config();
+    ocfg.window_s = flags.get_double("window", ocfg.window_s);
+    const std::string slo_spec = flags.get_string("slo", "");
+    if (!slo_spec.empty()) ocfg.slo = parse_slo_spec(slo_spec);
+    set_obs_config(ocfg);
+    set_obs_enabled(true);
+  }
   if (state.metrics_path.empty() && state.trace_path.empty() &&
       state.bench_path.empty() && state.audit_path.empty() &&
-      state.flight_path.empty() && state.timeline_path.empty()) {
+      state.flight_path.empty() && state.timeline_path.empty() &&
+      state.sketch_path.empty()) {
     return;
   }
   if (!state.trace_path.empty()) set_trace_enabled(true);
@@ -199,6 +224,11 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
   if (!state.flight_path.empty()) {
     state.meta.add("flight_sample",
                    static_cast<std::uint64_t>(flight_sample_every()));
+  }
+  if (!state.sketch_path.empty()) {
+    const ObsConfig ocfg = obs_config();
+    state.meta.add("sketch_alpha", ocfg.alpha)
+        .add("sketch_window_s", ocfg.window_s);
   }
   if (budget > 0) {
     state.meta.add("mem_budget", static_cast<std::uint64_t>(budget));
@@ -256,7 +286,14 @@ inline Flags standard_flags(int argc, const char* const* argv) {
                 "measured repetitions of the harness body (default 1); "
                 "output prints once, every rep samples the bench series")
       .describe("warmup",
-                "extra leading repetitions discarded from bench stats");
+                "extra leading repetitions discarded from bench stats")
+      .describe("sketch-out",
+                "enable streaming telemetry; write mmr-sketch JSONL on exit")
+      .describe("obs",
+                "enable streaming telemetry without writing the artifact")
+      .describe("window", "SLO window width in virtual seconds (default 60)")
+      .describe("slo",
+                "SLO spec RESP_S,STRETCH_X,TARGET (default 2.0,1.5,0.99)");
   return flags;
 }
 
@@ -286,6 +323,10 @@ inline int run_measured(Body&& body) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     const CpuTimes cpu1 = process_cpu_times();
+    // Main-thread only, before the snapshot: the sketch-derived obs.*
+    // gauges must land in this rep's metrics delta deterministically
+    // (gauge merge order is thread-dependent for worker-set gauges).
+    if (obs_enabled()) set_obs_gauges();
     if (collect) {
       bench_collector().record("harness.wall_s", "s", wall);
       bench_collector().record("harness.cpu_user_s", "s",

@@ -10,7 +10,8 @@
 //   micro_core        --quick      (google-benchmark, s/iter series)
 //   micro_structures  --quick
 //   fig1_storage      --quick      (solver + simulator end to end)
-//   dist_response     --quick      (response-time distribution tails)
+//   dist_response     --quick --obs  (response-time distribution tails,
+//                                     sketch gauges for the p99 gate)
 // Suite series are the component series prefixed "<component>.". Exit code
 // is 0 when every component ran and its artifact parsed, 1 otherwise.
 #include <cstdio>
@@ -34,7 +35,7 @@ constexpr Component kComponents[] = {
     {"micro_core", "micro_core", "--quick"},
     {"micro_structures", "micro_structures", "--quick"},
     {"fig1_storage", "fig1_storage", "--quick --runs=2 --requests=500"},
-    {"dist_response", "dist_response", "--quick --requests=1000"},
+    {"dist_response", "dist_response", "--quick --requests=1000 --obs"},
 };
 
 std::string shell_quote(const std::string& s) {

@@ -1,13 +1,17 @@
 // google-benchmark microbenchmarks for the supporting data structures:
-// RNG, alias table, LRU cache, event queue, workload generation and the
-// response-time simulator. Accepts --bench-out/--reps/--quick on top of the
-// usual --benchmark_* flags (bench/micro_common.h).
+// RNG, alias table, LRU cache, event queue, workload generation, the
+// response-time simulator, and the streaming-telemetry sketches. Accepts
+// --bench-out/--reps/--quick on top of the usual --benchmark_* flags
+// (bench/micro_common.h).
 #include <benchmark/benchmark.h>
 
 #include "micro_common.h"
 
 #include "baselines/lru_cache.h"
 #include "baselines/static_policies.h"
+#include "obs/heavy_hitters.h"
+#include "obs/obs.h"
+#include "obs/sketch.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -116,6 +120,77 @@ void BM_SimulateLru(benchmark::State& state) {
                           static_cast<std::int64_t>(sys.num_servers()));
 }
 BENCHMARK(BM_SimulateLru)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// Per-observation cost of the streaming telemetry path: one sketch add is
+// what every simulated request pays when --obs is on, so this series is the
+// "ingest overhead <5%" evidence next to BM_SimulateStatic.
+void BM_SketchIngest(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> values(4096);
+  for (double& v : values) v = 0.05 + rng.uniform() * 12.0;
+  QuantileSketch sketch(0.01, 2048);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.add(values[i]);
+    i = (i + 1) & (values.size() - 1);
+    benchmark::DoNotOptimize(sketch.count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchIngest);
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<std::uint64_t> keys(4096);
+  for (std::uint64_t& k : keys) {
+    k = pack_hot_key(static_cast<PageId>(rng() % 600),
+                     static_cast<ServerId>(rng() % 10));
+  }
+  SpaceSavingTracker tracker(64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    tracker.add(keys[i], 0.25);
+    i = (i + 1) & (keys.size() - 1);
+    benchmark::DoNotOptimize(tracker.total());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingAdd);
+
+// The full per-request telemetry path — both global sketches, the hot-set
+// tracker, and the windowed SLO cell — exactly what the simulator calls
+// per completed request when --obs is on.
+void BM_ObsIngest(benchmark::State& state) {
+  Rng rng(13);
+  struct Obs {
+    PageId page;
+    ServerId server;
+    double t, response, stretch, miss_cost;
+  };
+  std::vector<Obs> observations(4096);
+  double t = 0.0;
+  for (Obs& o : observations) {
+    t += rng.uniform() * 0.4;
+    const double ideal = 0.05 + rng.uniform() * 2.0;
+    const double stretch = 1.0 + rng.uniform() * 3.0;
+    o = Obs{static_cast<PageId>(rng() % 600),
+            static_cast<ServerId>(rng() % 10),
+            t,
+            ideal * stretch,
+            stretch,
+            rng.uniform() * 0.5};
+  }
+  ObsShard shard{ObsConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Obs& o = observations[i];
+    shard.observe(o.page, o.server, o.t, o.response, o.stretch, o.miss_cost);
+    i = (i + 1) & (observations.size() - 1);
+  }
+  benchmark::DoNotOptimize(shard.requests);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsIngest);
 
 }  // namespace
 }  // namespace mmr

@@ -10,6 +10,10 @@
 //       Re-check Eq. 8/9/10 and print the objective.
 //   mmrepl_cli simulate --system=sys.txt --placement=placement.txt
 //       Measure response times under the Sec. 5.1 perturbation model.
+//       Quantiles come from streaming sketches (src/obs/), so memory stays
+//       bounded at any --requests count. [--slo=R,S,T] [--window=N] tune
+//       the SLO evaluation; --sketch-out=<path> (any command that
+//       simulates) writes the mmr-sketch JSONL artifact.
 //
 // Every command also accepts --metrics-out=<path> / --trace-out=<path> to
 // dump the run's metrics.json / Chrome trace.json, plus
@@ -30,6 +34,8 @@
 #include "io/artifacts.h"
 #include "io/provenance.h"
 #include "io/serialize.h"
+#include "obs/obs.h"
+#include "obs/sketch_artifact.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
 #include "util/memacct.h"
@@ -124,16 +130,32 @@ int cmd_simulate(const Flags& flags) {
   SimParams params;
   params.requests_per_server =
       static_cast<std::uint32_t>(flags.get_int("requests", 10000));
-  params.capture_samples = true;
+  // Quantiles come from the streaming sketch instead of a per-request
+  // sample vector: bounded memory at any request count, values within the
+  // sketch's relative-error bound of the exact sample quantiles.
+  set_obs_enabled(true);
   const Simulator sim(sys, params);
   const SimMetrics m = sim.simulate(
       asg, static_cast<std::uint64_t>(flags.get_int("seed", 1)));
-  TextTable t({"metric", "value [s]"});
-  t.add_row({"mean page response", format_double(m.page_response.mean(), 2)});
-  t.add_row({"p50", format_double(m.page_samples.quantile(0.5), 2)});
-  t.add_row({"p90", format_double(m.page_samples.quantile(0.9), 2)});
-  t.add_row({"p99", format_double(m.page_samples.quantile(0.99), 2)});
-  t.add_row({"mean optional download",
+  set_obs_gauges();
+  const std::vector<ObsShard> groups = global_obs_log().snapshot();
+  const ObsConfig ocfg = obs_config();
+  QuantileSketch response(ocfg.alpha, ocfg.max_buckets);
+  QuantileSketch stretch(ocfg.alpha, ocfg.max_buckets);
+  MMR_CHECK_MSG(merge_obs_groups(groups, &response, &stretch),
+                "simulation produced no telemetry");
+  TextTable t({"metric", "value"});
+  t.add_row({"mean page response [s]",
+             format_double(m.page_response.mean(), 2)});
+  t.add_row({"p50 [s]", format_double(response.quantile(0.5), 2)});
+  t.add_row({"p90 [s]", format_double(response.quantile(0.9), 2)});
+  t.add_row({"p99 [s]", format_double(response.quantile(0.99), 2)});
+  t.add_row({"p99.9 [s]", format_double(response.quantile(0.999), 2)});
+  t.add_row({"p99 stretch", format_double(stretch.quantile(0.99), 2)});
+  const SloReport slo = groups.front().windows.evaluate();
+  t.add_row({"SLO attainment", format_percent(slo.attainment)});
+  t.add_row({"worst window burn", format_double(slo.worst_burn_1, 2)});
+  t.add_row({"mean optional download [s]",
              m.optional_time.empty()
                  ? "-"
                  : format_double(m.optional_time.mean(), 2)});
@@ -161,6 +183,16 @@ int main(int argc, char** argv) {
   const std::string audit_out = flags.get_string("audit-out", "");
   const std::string flight_out = flags.get_string("flight-out", "");
   const std::string timeline_out = flags.get_string("timeline-out", "");
+  const std::string sketch_out = flags.get_string("sketch-out", "");
+  {
+    // SLO/window config must be set before any simulate creates a shard.
+    ObsConfig ocfg = obs_config();
+    ocfg.window_s = flags.get_double("window", ocfg.window_s);
+    const std::string slo_spec = flags.get_string("slo", "");
+    if (!slo_spec.empty()) ocfg.slo = parse_slo_spec(slo_spec);
+    set_obs_config(ocfg);
+  }
+  if (!sketch_out.empty()) set_obs_enabled(true);
   if (!trace_out.empty()) set_trace_enabled(true);
   if (!audit_out.empty()) set_audit_enabled(true);
   if (!flight_out.empty()) {
@@ -197,7 +229,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!metrics_out.empty() || !trace_out.empty() || !audit_out.empty() ||
-        !flight_out.empty() || !timeline_out.empty()) {
+        !flight_out.empty() || !timeline_out.empty() || !sketch_out.empty()) {
       RunMeta meta;
       meta.tool = "mmrepl_cli";
       meta.add("command", cmd);
@@ -222,6 +254,9 @@ int main(int argc, char** argv) {
         const std::uint64_t dropped = sampler.dropped();
         sampler.stop();
         write_timeline_file(timeline_out, sampler.snapshot(), dropped, meta);
+      }
+      if (!sketch_out.empty()) {
+        write_sketch_file(sketch_out, global_obs_log(), meta);
       }
     }
     return rc;

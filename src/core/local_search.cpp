@@ -3,6 +3,7 @@
 #include "core/delta.h"
 #include "util/check.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 
 namespace mmr {
 
@@ -54,7 +55,11 @@ LocalSearchReport refine_local_search(const SystemModel& sys, Assignment& asg,
   std::uint64_t moves_evaluated = 0;
   std::uint64_t rejected_infeasible = 0;
 
+  // Pass budget as the total: convergence usually stops the loop early, so
+  // the ETA is an upper bound, like the offload rounds.
+  ProgressReporter progress("local_search", options.max_passes);
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    progress.tick();
     ++report.passes;
     bool improved = false;
     for (PageId j = 0; j < sys.num_pages(); ++j) {

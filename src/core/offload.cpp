@@ -9,6 +9,7 @@
 #include "util/check.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/table.h"
 #include "util/trace.h"
 
@@ -264,7 +265,11 @@ OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
   }
   std::vector<bool> in_l3(sys.num_servers(), false);
 
+  // The round count is an upper bound (the loop usually converges early),
+  // so the ETA is pessimistic; the bar still shows liveness per round.
+  ProgressReporter progress("offload", options.max_rounds);
   for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    progress.tick();
     const double repo_load = asg.repo_proc_load();
     if (within_capacity(repo_load, capacity)) break;
 

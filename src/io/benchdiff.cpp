@@ -64,9 +64,13 @@ BenchDiffReport diff_bench_artifacts(const BenchArtifact& baseline,
     d.cand_stddev = cm->stats.stddev;
     d.delta = d.cand_mean - d.base_mean;
     d.rel_delta = d.base_mean == 0 ? 0.0 : d.delta / std::fabs(d.base_mean);
-    const double rel = d.unit == "B" && options.mem_rel_threshold >= 0
-                           ? options.mem_rel_threshold
-                           : options.rel_threshold;
+    double rel = options.rel_threshold;
+    if (d.unit == "B" && options.mem_rel_threshold >= 0) {
+      rel = options.mem_rel_threshold;
+    } else if (options.tail_rel_threshold >= 0 &&
+               name.find("p99") != std::string::npos) {
+      rel = options.tail_rel_threshold;
+    }
     d.threshold = std::max(
         {rel * std::fabs(d.base_mean),
          options.stddev_k * std::max(d.base_stddev, d.cand_stddev),
@@ -138,6 +142,7 @@ void write_benchdiff_json(std::ostream& os, const BenchDiffReport& report,
   w.key("thresholds").begin_object();
   w.kv("rel_threshold", options.rel_threshold);
   w.kv("mem_rel_threshold", options.mem_rel_threshold);
+  w.kv("tail_rel_threshold", options.tail_rel_threshold);
   w.kv("stddev_k", options.stddev_k);
   w.kv("min_abs", options.min_abs);
   w.key("filters").begin_array();

@@ -33,6 +33,12 @@ struct BenchDiffOptions {
   /// cache), so memory gates typically want a looser bound. Negative
   /// (default) means "use rel_threshold".
   double mem_rel_threshold = -1.0;
+  /// Relative threshold applied instead of rel_threshold to tail series —
+  /// any series whose name contains "p99" (which also matches p999).
+  /// Sketch-derived tails are deterministic per seed but move more than
+  /// means when the workload shifts, so the tail gate usually wants its
+  /// own bound. Negative (default) means "use rel_threshold".
+  double tail_rel_threshold = -1.0;
 };
 
 enum class SeriesVerdict {

@@ -1,0 +1,184 @@
+#include "obs/heavy_hitters.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mmr {
+
+namespace {
+
+// Eviction / ranking order: lower count first, then larger key, so the
+// victim is the (min count, smallest key) entry and top() is its mirror.
+bool weaker(const SpaceSavingTracker::Entry& a,
+            const SpaceSavingTracker::Entry& b) {
+  if (a.count != b.count) return a.count < b.count;
+  return a.key < b.key;
+}
+
+}  // namespace
+
+SpaceSavingTracker::SpaceSavingTracker(std::uint32_t capacity)
+    : capacity_(capacity) {
+  MMR_CHECK_MSG(capacity > 0, "heavy-hitter tracker needs capacity > 0");
+  std::uint32_t table = 4;
+  while (table < capacity_ * 4) table <<= 1;
+  table_mask_ = table - 1;
+  table_keys_.assign(table, 0);
+  table_slots_.assign(table, kEmptySlot);
+  slots_.reserve(capacity_);
+  min_set_.reserve(capacity_);
+}
+
+std::uint32_t SpaceSavingTracker::find_table_pos(std::uint64_t key) const {
+  std::uint32_t pos =
+      static_cast<std::uint32_t>(hash_key(key)) & table_mask_;
+  while (table_slots_[pos] != kEmptySlot && table_keys_[pos] != key) {
+    pos = (pos + 1) & table_mask_;
+  }
+  return pos;  // either holds `key` or is the free cell to insert into
+}
+
+std::uint32_t SpaceSavingTracker::pop_victim(std::uint32_t* cell) {
+  for (;;) {
+    while (min_cursor_ < min_set_.size()) {
+      const std::uint64_t key = min_set_[min_cursor_++];
+      const std::uint32_t pos = find_table_pos(key);
+      if (table_slots_[pos] == kEmptySlot) continue;
+      const std::uint32_t slot = table_slots_[pos];
+      // Still at the scanned minimum: counts never decrease, so the
+      // smallest still-valid snapshot key is the global (min count,
+      // smallest key) entry. A key whose count grew since the rescan is
+      // stale — skip it.
+      if (slots_[slot].count == min_scan_) {
+        *cell = pos;
+        return slot;
+      }
+    }
+    // Snapshot exhausted — rescan. Every slot now sits at or above the old
+    // minimum, so the new minimum is exact and the fresh snapshot serves
+    // the next batch of evictions.
+    min_scan_ = std::numeric_limits<std::uint64_t>::max();
+    for (const Entry& e : slots_) min_scan_ = std::min(min_scan_, e.count);
+    min_set_.clear();
+    for (const Entry& e : slots_) {
+      if (e.count == min_scan_) min_set_.push_back(e.key);
+    }
+    std::sort(min_set_.begin(), min_set_.end());
+    min_cursor_ = 0;
+  }
+}
+
+void SpaceSavingTracker::add_miss(std::uint64_t key, double weight,
+                                  std::uint64_t n, std::uint32_t pos) {
+  if (slots_.size() < capacity_) {
+    const auto slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Entry{key, n, 0, weight});
+    table_keys_[pos] = key;
+    table_slots_[pos] = slot;
+    return;
+  }
+  // Evict the weakest monitored entry; the newcomer inherits its count as
+  // the classic SpaceSaving overestimate. Insert the new key into the
+  // free cell add()'s probe already found — still free, and removing the
+  // victim's cell afterwards only ever shifts cells toward their home.
+  std::uint32_t hole = 0;
+  const std::uint32_t slot = pop_victim(&hole);
+  Entry& e = slots_[slot];
+  table_keys_[pos] = key;
+  table_slots_[pos] = slot;
+  // Backward-shift removal of the victim's key from the probe table.
+  std::uint32_t next = (hole + 1) & table_mask_;
+  while (table_slots_[next] != kEmptySlot) {
+    const std::uint32_t home =
+        static_cast<std::uint32_t>(hash_key(table_keys_[next])) &
+        table_mask_;
+    if (((next - home) & table_mask_) >= ((next - hole) & table_mask_)) {
+      table_keys_[hole] = table_keys_[next];
+      table_slots_[hole] = table_slots_[next];
+      hole = next;
+    }
+    next = (next + 1) & table_mask_;
+  }
+  table_slots_[hole] = kEmptySlot;
+
+  e = Entry{key, e.count + n, e.count, e.weight + weight};
+}
+
+std::uint64_t SpaceSavingTracker::min_count() const {
+  if (slots_.size() < capacity_) return 0;
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max();
+  for (const Entry& e : slots_) lo = std::min(lo, e.count);
+  return lo;
+}
+
+void SpaceSavingTracker::merge(const SpaceSavingTracker& other) {
+  MMR_CHECK_MSG(capacity_ == other.capacity_,
+                "cannot merge trackers with different capacity");
+  const std::uint64_t floor_a = min_count();
+  const std::uint64_t floor_b = other.min_count();
+
+  std::vector<Entry> merged;
+  merged.reserve(slots_.size() + other.slots_.size());
+  for (const Entry& e : slots_) {
+    Entry m = e;
+    const std::uint32_t pos = other.find_table_pos(e.key);
+    if (other.table_slots_[pos] != kEmptySlot) {
+      const Entry& o = other.slots_[other.table_slots_[pos]];
+      m.count += o.count;
+      m.error += o.error;
+      m.weight += o.weight;
+    } else {
+      m.count += floor_b;
+      m.error += floor_b;
+    }
+    merged.push_back(m);
+  }
+  for (const Entry& e : other.slots_) {
+    const std::uint32_t pos = find_table_pos(e.key);
+    if (table_slots_[pos] != kEmptySlot) continue;  // already merged above
+    Entry m = e;
+    m.count += floor_a;
+    m.error += floor_a;
+    merged.push_back(m);
+  }
+
+  // Rank (count desc, key asc), truncate, and rebuild every structure in
+  // that deterministic order.
+  std::sort(merged.begin(), merged.end(),
+            [](const Entry& a, const Entry& b) { return weaker(b, a); });
+  if (merged.size() > capacity_) merged.resize(capacity_);
+  total_ += other.total_;
+  rebuild_from(std::move(merged));
+}
+
+void SpaceSavingTracker::rebuild_from(std::vector<Entry>&& ranked) {
+  slots_ = std::move(ranked);
+  std::fill(table_slots_.begin(), table_slots_.end(), kEmptySlot);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    const std::uint32_t pos = find_table_pos(slots_[i].key);
+    table_keys_[pos] = slots_[i].key;
+    table_slots_[pos] = i;
+  }
+  // Invalidate the min-set snapshot; the next eviction rescans.
+  min_set_.clear();
+  min_cursor_ = 0;
+  min_scan_ = 0;
+}
+
+std::vector<SpaceSavingTracker::Entry> SpaceSavingTracker::top() const {
+  std::vector<Entry> out = slots_;
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return weaker(b, a); });
+  return out;
+}
+
+std::size_t SpaceSavingTracker::approx_bytes() const {
+  return sizeof(*this) + slots_.capacity() * sizeof(Entry) +
+         table_keys_.capacity() * sizeof(std::uint64_t) +
+         table_slots_.capacity() * sizeof(std::uint32_t) +
+         min_set_.capacity() * sizeof(std::uint64_t);
+}
+
+}  // namespace mmr

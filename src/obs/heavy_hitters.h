@@ -1,0 +1,136 @@
+// SpaceSaving heavy-hitter tracker (Metwally et al.) with deterministic
+// tie-breaking and a mergeable-summaries merge (Agarwal et al.).
+//
+// Tracks at most `capacity` keys. A monitored key's `count` overestimates
+// its true frequency by at most `error`; any key with true frequency above
+// total() / capacity is guaranteed to be monitored. Ties during eviction
+// and ranking are broken on the smallest key so every run — and every
+// merge order over the canonical shard ordering — produces identical
+// output bytes.
+//
+// Each increment may carry a `weight` (here: seconds of remote miss cost),
+// accumulated per key so the report can rank hot objects by both request
+// count and the download time they cost.
+//
+// This sits on the simulator's per-request path, so add() avoids
+// per-increment bookkeeping entirely: entries live in a flat slot vector
+// and an open-addressing table maps key -> slot, making a hit one probe
+// plus two increments. Victim selection exploits that the minimum count
+// never decreases: a rescan snapshots every key at the current minimum
+// into a key-sorted "min set" that evictions consume through a cursor,
+// skipping picks whose count has since grown. Rescans are amortized over
+// the snapshots they serve, so eviction is O(capacity) worst case and
+// O(log capacity) amortized in the common case.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mmr {
+
+class SpaceSavingTracker {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;  ///< estimated frequency (overestimate)
+    std::uint64_t error = 0;  ///< max overestimation of `count`
+    double weight = 0.0;      ///< accumulated per-increment weight
+  };
+
+  explicit SpaceSavingTracker(std::uint32_t capacity = 64);
+
+  /// Inline so the per-request hit path (one probe, two adds) folds into
+  /// the caller; misses take the out-of-line fill/evict path.
+  void add(std::uint64_t key, double weight = 0.0, std::uint64_t n = 1) {
+    if (n == 0) return;
+    total_ += n;
+    std::uint32_t pos =
+        static_cast<std::uint32_t>(hash_key(key)) & table_mask_;
+    while (table_slots_[pos] != kEmptySlot) {
+      if (table_keys_[pos] == key) {
+        Entry& e = slots_[table_slots_[pos]];
+        e.count += n;
+        e.weight += weight;
+        return;
+      }
+      pos = (pos + 1) & table_mask_;
+    }
+    add_miss(key, weight, n, pos);
+  }
+
+  /// Mergeable-summaries merge: a key absent from one side is assumed to
+  /// have that side's minimum counter (its worst-case undetected count).
+  /// Requires identical capacity; commutative given the tie-break rule.
+  void merge(const SpaceSavingTracker& other);
+
+  /// Monitored entries ranked by (count desc, key asc).
+  std::vector<Entry> top() const;
+
+  /// Minimum monitored count when full, else 0 — the bound a key could
+  /// hide under without being tracked.
+  std::uint64_t min_count() const;
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint64_t total() const { return total_; }
+  std::size_t size() const { return slots_.size(); }
+
+  std::size_t approx_bytes() const;
+
+ private:
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+  /// splitmix64 finalizer — the packed keys are sequential ids, so the
+  /// table needs real avalanche to avoid probe clustering.
+  static std::uint64_t hash_key(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Unmonitored key: fill a free slot or evict. `pos` is the free table
+  /// cell add()'s probe ended on, reused for the insert.
+  void add_miss(std::uint64_t key, double weight, std::uint64_t n,
+                std::uint32_t pos);
+  std::uint32_t find_table_pos(std::uint64_t key) const;
+  /// Returns the victim slot and stores its table cell in `*cell` — the
+  /// probe that validates the pick also locates the cell the caller must
+  /// delete, so it is done once.
+  std::uint32_t pop_victim(std::uint32_t* cell);
+  void rebuild_from(std::vector<Entry>&& ranked);
+
+  std::uint32_t capacity_;
+  std::uint64_t total_ = 0;
+  std::vector<Entry> slots_;  ///< monitored entries, contiguous
+  /// Open-addressing key -> slot index (linear probing, backward-shift
+  /// deletion, no tombstones). Sized to 4x capacity rounded up to a power
+  /// of two, so probe chains stay short at a fixed 25% load factor.
+  /// kEmptySlot in table_slots_ marks a free cell; table_keys_ is only
+  /// meaningful where occupied (key 0 is a legal packed key).
+  std::vector<std::uint64_t> table_keys_;
+  std::vector<std::uint32_t> table_slots_;
+  std::uint32_t table_mask_ = 0;
+  /// Key-sorted snapshot of every key whose count equalled min_scan_ at
+  /// the last rescan, consumed through min_cursor_; the pick's slot comes
+  /// from a table probe. A pick whose count has since grown is stale and
+  /// skipped. Counts never decrease, so the smallest still-valid key IS
+  /// the global (min count, smallest key) victim; an exhausted snapshot
+  /// triggers a rescan.
+  std::vector<std::uint64_t> min_set_;
+  std::size_t min_cursor_ = 0;
+  std::uint64_t min_scan_ = 0;
+};
+
+/// (page, server) request keys packed for the tracker.
+inline std::uint64_t pack_hot_key(std::uint32_t page, std::uint32_t server) {
+  return (static_cast<std::uint64_t>(page) << 32) | server;
+}
+inline std::uint32_t hot_key_page(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+inline std::uint32_t hot_key_server(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key & 0xffffffffULL);
+}
+
+}  // namespace mmr

@@ -1,0 +1,136 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mmr {
+
+QuantileSketch::QuantileSketch(double alpha, std::uint32_t max_buckets)
+    : alpha_(alpha),
+      gamma_((1.0 + alpha) / (1.0 - alpha)),
+      inv_log_gamma_(1.0 / std::log((1.0 + alpha) / (1.0 - alpha))),
+      max_buckets_(max_buckets) {
+  MMR_CHECK_MSG(alpha > 0.0 && alpha < 1.0,
+                "sketch alpha must be in (0, 1)");
+  MMR_CHECK_MSG(max_buckets >= 8, "sketch needs at least 8 buckets");
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) const {
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+std::uint64_t& QuantileSketch::slot(std::int32_t index) {
+  if (counts_.empty()) {
+    offset_ = index;
+    counts_.push_back(0);
+    return counts_.front();
+  }
+  if (index < offset_) {
+    const std::size_t grow = static_cast<std::size_t>(offset_ - index);
+    if (counts_.size() + grow > max_buckets_) {
+      // Below the representable floor: fold into the lowest kept bucket.
+      ++collapses_;
+      return counts_.front();
+    }
+    counts_.insert(counts_.begin(), grow, 0);
+    offset_ = index;
+    return counts_.front();
+  }
+  const std::size_t pos = static_cast<std::size_t>(index - offset_);
+  if (pos >= counts_.size()) {
+    counts_.resize(pos + 1, 0);
+    if (counts_.size() > max_buckets_) {
+      // Collapse the lowest buckets so the span fits again; the tail
+      // keeps full resolution.
+      const std::size_t excess = counts_.size() - max_buckets_;
+      std::uint64_t folded = 0;
+      for (std::size_t k = 0; k < excess; ++k) folded += counts_[k];
+      counts_.erase(counts_.begin(),
+                    counts_.begin() + static_cast<std::ptrdiff_t>(excess));
+      counts_.front() += folded;
+      offset_ += static_cast<std::int32_t>(excess);
+      ++collapses_;
+    }
+  }
+  return counts_[static_cast<std::size_t>(index - offset_)];
+}
+
+
+void QuantileSketch::add_bucket(std::int32_t index, std::uint64_t count) {
+  if (count == 0) return;
+  slot(index) += count;
+  // Callers (parser, merge helpers) maintain total_/sum_/min_/max_
+  // themselves only when rebuilding; for direct use keep totals honest.
+  total_ += count;
+  const double v = bucket_value(index);
+  sum_ += v * static_cast<double>(count);
+  if (total_ == count) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  MMR_CHECK_MSG(alpha_ == other.alpha_ && max_buckets_ == other.max_buckets_,
+                "cannot merge sketches with different resolution");
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  zero_ += other.zero_;
+  collapses_ += other.collapses_;
+  for (std::size_t k = 0; k < other.counts_.size(); ++k) {
+    if (other.counts_[k] == 0) continue;
+    slot(other.offset_ + static_cast<std::int32_t>(k)) += other.counts_[k];
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  MMR_CHECK_MSG(total_ > 0, "quantile on an empty sketch");
+  MMR_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile rank must be in [0, 1]");
+  const double rank = q * static_cast<double>(total_ - 1);
+  double cum = static_cast<double>(zero_);
+  if (rank < cum || zero_ == total_) return min_;
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    cum += static_cast<double>(counts_[k]);
+    if (rank < cum) {
+      const double v = bucket_value(offset_ + static_cast<std::int32_t>(k));
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::int32_t, std::uint64_t>> QuantileSketch::buckets()
+    const {
+  std::vector<std::pair<std::int32_t, std::uint64_t>> out;
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    if (counts_[k] == 0) continue;
+    out.emplace_back(offset_ + static_cast<std::int32_t>(k), counts_[k]);
+  }
+  return out;
+}
+
+std::size_t QuantileSketch::approx_bytes() const {
+  return sizeof(*this) + counts_.capacity() * sizeof(std::uint64_t);
+}
+
+bool QuantileSketch::operator==(const QuantileSketch& other) const {
+  return alpha_ == other.alpha_ && max_buckets_ == other.max_buckets_ &&
+         zero_ == other.zero_ && total_ == other.total_ &&
+         sum_ == other.sum_ && min_ == other.min_ && max_ == other.max_ &&
+         buckets() == other.buckets();
+}
+
+}  // namespace mmr

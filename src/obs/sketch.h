@@ -1,0 +1,157 @@
+// DDSketch-style quantile sketch with a fixed relative-error guarantee.
+//
+// Values are mapped to logarithmic buckets: bucket i covers
+// (gamma^(i-1), gamma^i] with gamma = (1 + alpha) / (1 - alpha), so the
+// bucket midpoint 2 * gamma^i / (gamma + 1) is within a factor (1 + alpha)
+// of every value in the bucket. Any quantile read off the sketch is
+// therefore within relative error alpha of the exact sample quantile —
+// independent of how many values were ingested.
+//
+// The sketch is bounded: when the bucket span would exceed `max_buckets`,
+// the LOWEST buckets are collapsed into one. The tail (high quantiles) is
+// the product here, so accuracy is sacrificed at the bottom, never at the
+// top. Merging two sketches with identical (alpha, max_buckets) is exact
+// and associative: bucket counts add, then the same collapse rule applies.
+// Per-shard sketches merged in a fixed order therefore carry the same
+// bucket table as a single sequential sketch — every quantile agrees to
+// the last bit (only sum() can differ, by floating-point addition order)
+// — which is the property the mmr-sketch artifact relies on for
+// thread-count-independent bytes.
+//
+// Non-positive and sub-resolution values (x <= kMinTrackable) land in a
+// dedicated zero bucket and report as `min()` in quantile reads.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mmr {
+
+class QuantileSketch {
+ public:
+  /// Values at or below this threshold are counted in the zero bucket.
+  static constexpr double kMinTrackable = 1e-9;
+
+  explicit QuantileSketch(double alpha = 0.01, std::uint32_t max_buckets = 2048);
+
+  /// Ingests `n` occurrences of value `x`. O(1) amortized. Inline so the
+  /// common case — a bucket already inside the sketch's span — folds into
+  /// the per-request caller.
+  void add(double x, std::uint64_t n = 1) {
+    if (n == 0) return;
+    if (note(x, n)) bump(bucket_index(x), n);
+  }
+
+  /// Log-bucket index of `x`; only meaningful for x > kMinTrackable. The
+  /// mapping depends on alpha alone, so the result is transferable to any
+  /// same-alpha sketch via add_indexed().
+  std::int32_t bucket_index(double x) const {
+    return static_cast<std::int32_t>(
+        std::ceil(std::log(x) * inv_log_gamma_));
+  }
+
+  /// add() with the bucket index precomputed by the caller — hot paths
+  /// feeding one value to several same-alpha sketches pay for a single
+  /// log(). `index` must equal bucket_index(x); it is ignored when `x`
+  /// lands in the zero bucket.
+  void add_indexed(double x, std::int32_t index, std::uint64_t n = 1) {
+    if (n == 0) return;
+    if (note(x, n)) bump(index, n);
+  }
+
+  /// Exact associative merge. Requires identical (alpha, max_buckets);
+  /// checked.
+  void merge(const QuantileSketch& other);
+
+  /// Value at quantile q in [0, 1], within relative error alpha of the
+  /// exact sample quantile (clamped to [min(), max()]). Checks !empty().
+  double quantile(double q) const;
+
+  bool empty() const { return total_ == 0; }
+  std::uint64_t count() const { return total_; }
+  std::uint64_t zero_count() const { return zero_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return total_ == 0 ? 0.0 : sum_ / total_; }
+
+  double alpha() const { return alpha_; }
+  double gamma() const { return gamma_; }
+  std::uint32_t max_buckets() const { return max_buckets_; }
+
+  /// Times the low-end collapse rule has folded buckets away. Nonzero
+  /// means quantiles below the collapse point are upper bounds only.
+  std::uint64_t collapses() const { return collapses_; }
+
+  /// Occupied buckets as (log-index, count) pairs in ascending index
+  /// order, for serialization. Zero-count slots are skipped.
+  std::vector<std::pair<std::int32_t, std::uint64_t>> buckets() const;
+
+  /// Re-inserts a serialized bucket; used by the artifact parser to
+  /// rebuild a sketch and by tests to cross-check round trips.
+  void add_bucket(std::int32_t index, std::uint64_t count);
+
+  /// Approximate heap footprint, for memory accounting.
+  std::size_t approx_bytes() const;
+
+  bool operator==(const QuantileSketch& other) const;
+
+ private:
+  /// Updates min/max/total/sum for `n` copies of `x`; returns false when
+  /// the value lands in the zero bucket (no log-bucket update needed).
+  bool note(double x, std::uint64_t n) {
+    MMR_CHECK_MSG(std::isfinite(x), "sketch values must be finite");
+    if (total_ == 0) {
+      min_ = x;
+      max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    total_ += n;
+    sum_ += x * static_cast<double>(n);
+    if (x <= kMinTrackable) {
+      zero_ += n;
+      return false;
+    }
+    return true;
+  }
+
+  /// Counts `n` into log-bucket `index`, growing/collapsing out of line
+  /// only when the index falls outside the current span.
+  void bump(std::int32_t index, std::uint64_t n) {
+    const std::size_t pos = static_cast<std::size_t>(
+        static_cast<std::int64_t>(index) - offset_);
+    if (pos < counts_.size()) {
+      counts_[pos] += n;
+    } else {
+      slot(index) += n;
+    }
+  }
+
+  std::uint64_t& slot(std::int32_t index);
+  double bucket_value(std::int32_t index) const;
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  std::uint32_t max_buckets_;
+
+  /// counts_[k] is the count for log-index offset_ + k.
+  std::vector<std::uint64_t> counts_;
+  std::int32_t offset_ = 0;
+
+  std::uint64_t zero_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t collapses_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mmr

@@ -1,0 +1,186 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace mmr {
+
+namespace {
+
+double burn_rate(std::uint64_t good, std::uint64_t total, double target) {
+  if (total == 0) return 0.0;
+  const double attainment =
+      static_cast<double>(good) / static_cast<double>(total);
+  return (1.0 - attainment) / (1.0 - target);
+}
+
+}  // namespace
+
+SloConfig parse_slo_spec(const std::string& spec) {
+  std::string s = spec;
+  std::replace(s.begin(), s.end(), ':', ',');
+  SloConfig cfg;
+  double* fields[3] = {&cfg.response_s, &cfg.stretch_x, &cfg.target};
+  std::size_t pos = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t next = s.find(',', pos);
+    const bool last = i == 2;
+    MMR_CHECK_MSG(last == (next == std::string::npos),
+                  "--slo expects RESP_S,STRETCH_X,TARGET, got '" + spec +
+                      "'");
+    const std::string field =
+        s.substr(pos, last ? std::string::npos : next - pos);
+    char* end = nullptr;
+    *fields[i] = std::strtod(field.c_str(), &end);
+    MMR_CHECK_MSG(end != field.c_str() && *end == '\0',
+                  "bad number '" + field + "' in --slo spec '" + spec + "'");
+    pos = next + 1;
+  }
+  MMR_CHECK_MSG(cfg.response_s > 0.0, "SLO response threshold must be > 0");
+  MMR_CHECK_MSG(cfg.stretch_x >= 1.0, "SLO stretch threshold must be >= 1");
+  MMR_CHECK_MSG(cfg.target >= 0.0 && cfg.target < 1.0,
+                "SLO target must be in [0, 1)");
+  return cfg;
+}
+
+WindowedAggregator::WindowedAggregator(double window_s, SloConfig slo,
+                                       double alpha,
+                                       std::uint32_t sketch_buckets)
+    : window_s_(window_s),
+      slo_(slo),
+      alpha_(alpha),
+      sketch_buckets_(sketch_buckets) {
+  MMR_CHECK_MSG(window_s > 0.0, "window width must be > 0");
+  MMR_CHECK_MSG(slo.target >= 0.0 && slo.target < 1.0,
+                "SLO target must be in [0, 1)");
+}
+
+WindowedAggregator::WindowedAggregator(const WindowedAggregator& other)
+    : window_s_(other.window_s_),
+      slo_(other.slo_),
+      alpha_(other.alpha_),
+      sketch_buckets_(other.sketch_buckets_),
+      total_(other.total_),
+      cells_(other.cells_) {}
+
+WindowedAggregator& WindowedAggregator::operator=(
+    const WindowedAggregator& other) {
+  if (this == &other) return *this;
+  window_s_ = other.window_s_;
+  slo_ = other.slo_;
+  alpha_ = other.alpha_;
+  sketch_buckets_ = other.sketch_buckets_;
+  total_ = other.total_;
+  cells_ = other.cells_;
+  last_index_ = 0;
+  last_cell_ = nullptr;
+  return *this;
+}
+
+WindowCell& WindowedAggregator::cell_at(double t) {
+  const auto index =
+      static_cast<std::uint64_t>(std::max(0.0, std::floor(t / window_s_)));
+  if (last_cell_ == nullptr || index != last_index_) {
+    auto it = cells_.find(index);
+    if (it == cells_.end()) {
+      it = cells_.emplace(index, WindowCell(alpha_, sketch_buckets_)).first;
+    }
+    last_index_ = index;
+    last_cell_ = &it->second;
+  }
+  return *last_cell_;
+}
+
+void WindowedAggregator::observe(double t, double response_s,
+                                 double stretch_x) {
+  WindowCell& cell = cell_at(t);
+  cell.response.add(response_s);
+  ++cell.total;
+  if (response_s <= slo_.response_s && stretch_x <= slo_.stretch_x) {
+    ++cell.good;
+  }
+  ++total_;
+}
+
+void WindowedAggregator::observe_indexed(double t, double response_s,
+                                         std::int32_t response_index,
+                                         double stretch_x) {
+  WindowCell& cell = cell_at(t);
+  cell.response.add_indexed(response_s, response_index);
+  ++cell.total;
+  if (response_s <= slo_.response_s && stretch_x <= slo_.stretch_x) {
+    ++cell.good;
+  }
+  ++total_;
+}
+
+void WindowedAggregator::merge(const WindowedAggregator& other) {
+  MMR_CHECK_MSG(window_s_ == other.window_s_ &&
+                    slo_.response_s == other.slo_.response_s &&
+                    slo_.stretch_x == other.slo_.stretch_x &&
+                    slo_.target == other.slo_.target,
+                "cannot merge aggregators with different window/SLO config");
+  for (const auto& [index, cell] : other.cells_) {
+    auto it = cells_.find(index);
+    if (it == cells_.end()) {
+      it = cells_.emplace(index, WindowCell(alpha_, sketch_buckets_)).first;
+    }
+    it->second.response.merge(cell.response);
+    it->second.good += cell.good;
+    it->second.total += cell.total;
+  }
+  total_ += other.total_;
+}
+
+SloReport WindowedAggregator::evaluate() const {
+  SloReport report;
+  for (const auto& [index, cell] : cells_) {
+    SloWindowRow row;
+    row.index = index;
+    row.t_start_s = static_cast<double>(index) * window_s_;
+    row.total = cell.total;
+    row.good = cell.good;
+    row.attainment =
+        cell.total == 0
+            ? 1.0
+            : static_cast<double>(cell.good) / static_cast<double>(cell.total);
+    row.burn = burn_rate(cell.good, cell.total, slo_.target);
+    row.p99_s = cell.response.empty() ? 0.0 : cell.response.quantile(0.99);
+    report.total += cell.total;
+    report.good += cell.good;
+    report.worst_burn_1 = std::max(report.worst_burn_1, row.burn);
+    report.windows.push_back(row);
+  }
+  report.attainment = report.total == 0
+                          ? 1.0
+                          : static_cast<double>(report.good) /
+                                static_cast<double>(report.total);
+  // Worst burn over any 6 consecutive window indices; windows with no
+  // traffic contribute nothing to either counter (no traffic, no burn).
+  for (std::size_t i = 0; i < report.windows.size(); ++i) {
+    const std::uint64_t first = report.windows[i].index;
+    std::uint64_t good = 0, total = 0;
+    for (std::size_t j = i;
+         j < report.windows.size() && report.windows[j].index < first + 6;
+         ++j) {
+      good += report.windows[j].good;
+      total += report.windows[j].total;
+    }
+    report.worst_burn_6 =
+        std::max(report.worst_burn_6, burn_rate(good, total, slo_.target));
+  }
+  return report;
+}
+
+std::size_t WindowedAggregator::approx_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& [index, cell] : cells_) {
+    bytes += sizeof(index) + cell.response.approx_bytes() + 4 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace mmr

@@ -1,0 +1,112 @@
+// Windowed time-series aggregation and SLO evaluation.
+//
+// Requests are bucketed into fixed-width virtual-time windows; each window
+// cell holds a small response-time sketch plus good/total counters, where
+// "good" means the request met BOTH thresholds of the SLO (absolute
+// response time and stretch relative to the unloaded ideal). The evaluator
+// turns the cells into per-window attainment, the per-window p99
+// trajectory, and multi-window burn rates in the style of SRE error-budget
+// alerts: burn = (1 - attainment) / (1 - target), so burn 1.0 consumes the
+// budget exactly at the sustainable rate and burn 10 means the window is
+// failing ten times faster than the SLO allows.
+//
+// Cells merge exactly (sketch merge + counter adds), so per-shard
+// aggregators combined in canonical order are byte-identical to a
+// sequential run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/sketch.h"
+
+namespace mmr {
+
+struct SloConfig {
+  double response_s = 2.0;  ///< absolute download-time threshold [s]
+  double stretch_x = 1.5;   ///< max response / unloaded-ideal ratio
+  double target = 0.99;     ///< attainment target in [0, 1)
+};
+
+/// Parses "RESP_S,STRETCH_X,TARGET" (e.g. "2.0,1.5,0.99"); ':' is also
+/// accepted as a separator. Throws CheckError on malformed input.
+SloConfig parse_slo_spec(const std::string& spec);
+
+struct WindowCell {
+  WindowCell(double alpha, std::uint32_t sketch_buckets)
+      : response(alpha, sketch_buckets) {}
+  QuantileSketch response;
+  std::uint64_t good = 0;
+  std::uint64_t total = 0;
+};
+
+struct SloWindowRow {
+  std::uint64_t index = 0;   ///< window number (t / width)
+  double t_start_s = 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t good = 0;
+  double attainment = 1.0;
+  double burn = 0.0;
+  double p99_s = 0.0;
+};
+
+struct SloReport {
+  std::vector<SloWindowRow> windows;  ///< ascending index, occupied only
+  std::uint64_t total = 0;
+  std::uint64_t good = 0;
+  double attainment = 1.0;
+  double worst_burn_1 = 0.0;  ///< worst single-window burn rate
+  double worst_burn_6 = 0.0;  ///< worst burn over any 6 consecutive windows
+};
+
+class WindowedAggregator {
+ public:
+  WindowedAggregator(double window_s, SloConfig slo, double alpha = 0.01,
+                     std::uint32_t sketch_buckets = 512);
+
+  /// Copies drop the hot-cell cache: it points into the source's map.
+  /// Moves keep it — map nodes transfer ownership without relocating.
+  WindowedAggregator(const WindowedAggregator& other);
+  WindowedAggregator& operator=(const WindowedAggregator& other);
+  WindowedAggregator(WindowedAggregator&&) = default;
+  WindowedAggregator& operator=(WindowedAggregator&&) = default;
+
+  void observe(double t, double response_s, double stretch_x);
+
+  /// observe() with the response bucket index precomputed by a caller
+  /// whose sketch shares this aggregator's alpha (see
+  /// QuantileSketch::add_indexed).
+  void observe_indexed(double t, double response_s,
+                       std::int32_t response_index, double stretch_x);
+
+  /// Exact merge; requires identical (window_s, slo, sketch resolution).
+  void merge(const WindowedAggregator& other);
+
+  SloReport evaluate() const;
+
+  const std::map<std::uint64_t, WindowCell>& cells() const { return cells_; }
+  double window_s() const { return window_s_; }
+  const SloConfig& slo() const { return slo_; }
+  std::uint64_t total() const { return total_; }
+
+  std::size_t approx_bytes() const;
+
+ private:
+  WindowCell& cell_at(double t);
+
+  double window_s_;
+  SloConfig slo_;
+  double alpha_;
+  std::uint32_t sketch_buckets_;
+  std::uint64_t total_ = 0;
+  std::map<std::uint64_t, WindowCell> cells_;
+  /// Most recently touched cell: virtual time is near-monotone per shard,
+  /// so consecutive observations usually hit the same window and skip the
+  /// map lookup. Valid only while it points into this object's cells_.
+  std::uint64_t last_index_ = 0;
+  WindowCell* last_cell_ = nullptr;
+};
+
+}  // namespace mmr

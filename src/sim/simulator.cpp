@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include <optional>
+
 #include "baselines/lru_cache.h"
 #include "io/provenance.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "util/check.h"
 #include "util/memacct.h"
@@ -99,6 +102,60 @@ struct FlightContext {
     batch.clear();
   }
 };
+
+/// Per-simulation streaming-telemetry context (obs/obs.h), resolved once
+/// like the flight recorder. Each simulate call builds ONE shard tagged
+/// (run, policy, mode) and appends it on flush, so the canonical snapshot
+/// merge sees the same shards no matter how many threads ran the scenario.
+/// record() reads only values the simulation computed anyway — enabling it
+/// cannot change a single response time.
+struct ObsContext {
+  ObsLog* log = nullptr;
+  std::optional<ObsShard> shard;
+
+  static ObsContext acquire(FlightMode mode) {
+    ObsContext ctx;
+    if (!obs_enabled()) return ctx;
+    ctx.log = &global_obs_log();
+    ctx.shard.emplace(obs_config());
+    ctx.shard->run = provenance_run_or_zero();
+    ctx.shard->policy = current_metric_label();
+    ctx.shard->mode = mode;
+    return ctx;
+  }
+
+  bool active() const { return log != nullptr; }
+
+  /// `ideal` is the unloaded Eq. 5 response (nominal rates, no
+  /// perturbation, no overload); stretch is response / ideal. `miss_cost`
+  /// is the repository-pipeline time, the price of remote objects.
+  void record(PageId page, ServerId server, double t, double response,
+              double ideal, double miss_cost) {
+    shard->observe(page, server, t, response,
+                   ideal > 0 ? response / ideal : 1.0, miss_cost);
+  }
+
+  void flush() {
+    if (log != nullptr && shard->requests > 0) log->add(std::move(*shard));
+    log = nullptr;
+  }
+};
+
+/// The unloaded max-of-pipelines response (Eq. 5 shape) for a request that
+/// fetched `local_bytes` locally and `remote_bytes` from the repository,
+/// under the server's NOMINAL parameters. The stretch denominator.
+double ideal_response(const Server& server, std::uint64_t local_bytes,
+                      std::uint64_t remote_bytes,
+                      std::uint32_t remote_count) {
+  const double t_local =
+      server.ovhd_local + transfer_seconds(local_bytes, server.local_rate);
+  const double t_remote =
+      remote_count == 0
+          ? 0.0
+          : server.ovhd_repo + transfer_seconds(remote_bytes,
+                                                server.repo_rate);
+  return std::max(t_local, t_remote);
+}
 
 }  // namespace
 
@@ -225,6 +282,7 @@ SimMetrics Simulator::simulate(const Assignment& asg,
   Rng master(seed);
   SimMetricHandles mh = SimMetricHandles::acquire();
   FlightContext flight = FlightContext::acquire(FlightMode::kStatic);
+  ObsContext obs = ObsContext::acquire(FlightMode::kStatic);
   TelemetryPhaseScope phase_scope("simulate");
   TraceSpan span("simulate");
   if (span.active() && !current_metric_label().empty()) {
@@ -318,6 +376,12 @@ SimMetrics Simulator::simulate(const Assignment& asg,
       metrics.per_server_response[i].add(response);
       metrics.total_per_request.add(response + optional_total);
       if (params_.capture_samples) metrics.page_samples.add(response);
+      if (obs.active()) {
+        obs.record(j, i, req.time, response,
+                   ideal_response(server, local_bytes, remote_bytes,
+                                  remote_count),
+                   t_remote);
+      }
 
       if (flight.sampled(req_index)) {
         FlightRecord r =
@@ -332,6 +396,7 @@ SimMetrics Simulator::simulate(const Assignment& asg,
     }
     flight.flush();
   }
+  obs.flush();
   account_sim_samples(metrics);
   return metrics;
 }
@@ -359,6 +424,7 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
   Rng master(seed);
   SimMetricHandles mh = SimMetricHandles::acquire();
   FlightContext flight = FlightContext::acquire(FlightMode::kLru);
+  ObsContext obs = ObsContext::acquire(FlightMode::kLru);
   TelemetryPhaseScope phase_scope("simulate_lru");
   MMR_TRACE_SPAN("simulate_lru");
 
@@ -437,6 +503,12 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
             metrics.per_server_response[i].add(response);
             metrics.total_per_request.add(response);
             if (params_.capture_samples) metrics.page_samples.add(response);
+            if (obs.active()) {
+              obs.record(j, i, now, response,
+                         ideal_response(server, local_bytes, remote_bytes,
+                                        remote_count),
+                         t_remote);
+            }
           }
 
           // The user inspects the page, then follows optional links; those
@@ -491,6 +563,7 @@ SimMetrics Simulator::simulate_lru(std::uint64_t seed) const {
     metrics.lru_misses += cache.misses();
     metrics.lru_evictions += cache.evictions();
   }
+  obs.flush();
   MMR_COUNT("sim.lru.hits", metrics.lru_hits);
   MMR_COUNT("sim.lru.misses", metrics.lru_misses);
   MMR_COUNT("sim.lru.evictions", metrics.lru_evictions);
@@ -508,6 +581,7 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
   Rng master(seed);
   SimMetricHandles mh = SimMetricHandles::acquire();
   FlightContext flight = FlightContext::acquire(FlightMode::kThreshold);
+  ObsContext obs = ObsContext::acquire(FlightMode::kThreshold);
   TelemetryPhaseScope phase_scope("simulate_threshold");
   MMR_TRACE_SPAN("simulate_threshold");
 
@@ -566,6 +640,12 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
         metrics.per_server_response[i].add(response);
         metrics.total_per_request.add(response);
         if (params_.capture_samples) metrics.page_samples.add(response);
+        if (obs.active()) {
+          obs.record(j, i, now, response,
+                     ideal_response(server, local_bytes, remote_bytes,
+                                    remote_count),
+                     t_remote);
+        }
 
         std::uint32_t optional_requested = 0;
         if (!p.optional.empty() && rng.bernoulli(params_.p_interested)) {
@@ -607,6 +687,7 @@ SimMetrics Simulator::simulate_threshold(std::uint64_t seed,
     metrics.replica_creations += replicator.creations();
     metrics.replica_drops += replicator.drops();
   }
+  obs.flush();
   MMR_COUNT("sim.replica_creations", metrics.replica_creations);
   MMR_COUNT("sim.replica_drops", metrics.replica_drops);
   account_sim_samples(metrics);

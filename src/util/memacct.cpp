@@ -60,6 +60,8 @@ const char* category_name(Category cat) {
       return "provenance.buffers";
     case Category::kSimEvents:
       return "sim.events";
+    case Category::kObsSketches:
+      return "obs.sketches";
   }
   return "?";
 }

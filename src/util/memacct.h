@@ -40,8 +40,9 @@ enum class Category : std::uint8_t {
   kSolverScratch,       ///< per-server restoration heaps/epoch/allowed maps
   kProvenanceBuffers,   ///< audit + flight recorder event storage
   kSimEvents,           ///< simulator per-request sample capture
+  kObsSketches,         ///< streaming-telemetry shards (sketch/hot/window)
 };
-inline constexpr std::size_t kCategoryCount = 7;
+inline constexpr std::size_t kCategoryCount = 8;
 
 /// "model.csr", "assignment.bits", ... — stable artifact names.
 const char* category_name(Category cat);

@@ -180,6 +180,39 @@ TEST(BenchDiff, MemRelThresholdAppliesToByteSeries) {
   EXPECT_EQ(r.series[1].verdict, SeriesVerdict::kRegression);
 }
 
+TEST(BenchDiff, TailRelThresholdAppliesToP99Series) {
+  // 20% drift on every series; --rel=0.05 flags the mean, --tail-rel=0.30
+  // tolerates the sketch-derived tails (p99 AND p999 both contain "p99").
+  const BenchArtifact base = artifact({{"stretch_mean", 10.0, 0.0},
+                                       {"stretch_p99", 10.0, 0.0},
+                                       {"stretch_p999", 10.0, 0.0}});
+  const BenchArtifact cand = artifact({{"stretch_mean", 12.0, 0.0},
+                                       {"stretch_p99", 12.0, 0.0},
+                                       {"stretch_p999", 12.0, 0.0}});
+  BenchDiffOptions opt;
+  opt.tail_rel_threshold = 0.30;
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  ASSERT_EQ(r.series.size(), 3u);
+  EXPECT_EQ(r.series[0].name, "stretch_mean");
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kRegression);
+  EXPECT_EQ(r.series[1].verdict, SeriesVerdict::kPass);
+  EXPECT_EQ(r.series[2].verdict, SeriesVerdict::kPass);
+  // The byte-series override wins over the tail override if both match.
+  EXPECT_DOUBLE_EQ(r.series[1].threshold, 3.0);
+}
+
+TEST(BenchDiff, TailRelThresholdInVerdictJson) {
+  const BenchArtifact base = artifact({{"stretch_p99", 10.0, 0.0}});
+  const BenchArtifact cand = artifact({{"stretch_p99", 10.1, 0.0}});
+  BenchDiffOptions opt;
+  opt.tail_rel_threshold = 0.25;
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  std::ostringstream os;
+  write_benchdiff_json(os, r, opt);
+  const JsonValue v = json_parse(os.str());
+  EXPECT_DOUBLE_EQ(v.at("thresholds").at("tail_rel_threshold").num_v, 0.25);
+}
+
 TEST(BenchDiff, ZeroBaselineMeanDoesNotDivide) {
   const BenchArtifact base = artifact({{"zero", 0.0, 0.0}});
   const BenchArtifact cand = artifact({{"zero", 1.0, 0.0}});

@@ -139,6 +139,47 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
 }
 
+TEST(Histogram, QuantileOnEmptyThrows) {
+  const Histogram h(0.0, 10.0, 5);
+  EXPECT_THROW(h.quantile(0.5), CheckError);
+}
+
+TEST(Histogram, QuantileSingleSample) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(3.0);
+  // One sample: every quantile must land inside that sample's bucket.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), h.bucket_low(1));
+    EXPECT_LE(h.quantile(q), h.bucket_high(1));
+  }
+}
+
+TEST(Histogram, QuantileAllEqualSamples) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(7.3);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), 7.0);
+    EXPECT_LE(h.quantile(q), 8.0);
+  }
+}
+
+TEST(QuantileSorted, EdgeCases) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), CheckError);
+  EXPECT_DOUBLE_EQ(quantile_sorted({4.0}, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({4.0}, 1.0), 4.0);
+  const std::vector<double> equal(17, 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(equal, 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(equal, 0.37), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(equal, 1.0), 2.5);
+  EXPECT_THROW(quantile_sorted({1.0, 2.0}, -0.01), CheckError);
+  EXPECT_THROW(quantile_sorted({1.0, 2.0}, 1.01), CheckError);
+}
+
+TEST(QuantileFromBucketCounts, EmptyTotalThrows) {
+  const std::vector<std::uint64_t> counts(4, 0);
+  EXPECT_THROW(quantile_from_bucket_counts(0.0, 1.0, counts, 0.5), CheckError);
+}
+
 TEST(RelativeIncrease, Basics) {
   EXPECT_DOUBLE_EQ(relative_increase(150.0, 100.0), 0.5);
   EXPECT_DOUBLE_EQ(relative_increase(80.0, 100.0), -0.2);

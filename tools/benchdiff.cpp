@@ -5,6 +5,8 @@
 //       [--rel=0.05]      relative threshold, fraction of |baseline mean|
 //       [--mem-rel=-1]    relative threshold for byte-unit series (RSS);
 //                         negative = use --rel
+//       [--tail-rel=-1]   relative threshold for tail series (name contains
+//                         "p99"); negative = use --rel
 //       [--k=3]           stddev multiplier (noisier of the two runs)
 //       [--min-abs=0]     absolute delta floor in the series' unit
 //       [--filter=STR]    only compare series whose name contains STR;
@@ -29,6 +31,8 @@ int main(int argc, char** argv) {
   flags.describe("rel", "relative threshold as a fraction (default 0.05)")
       .describe("mem-rel",
                 "relative threshold for byte-unit series (negative = --rel)")
+      .describe("tail-rel",
+                "relative threshold for p99/p999 series (negative = --rel)")
       .describe("k", "stddev multiplier for the noise bound (default 3)")
       .describe("min-abs", "absolute delta floor (default 0)")
       .describe("filter", "substring filter on series names (repeatable)")
@@ -53,6 +57,8 @@ int main(int argc, char** argv) {
     options.min_abs = flags.get_double("min-abs", options.min_abs);
     options.mem_rel_threshold =
         flags.get_double("mem-rel", options.mem_rel_threshold);
+    options.tail_rel_threshold =
+        flags.get_double("tail-rel", options.tail_rel_threshold);
     options.filters = flags.get_string_list("filter");
 
     const BenchDiffReport report =

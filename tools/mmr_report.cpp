@@ -3,7 +3,7 @@
 //
 //   mmr_report [--metrics=metrics.json] [--trace=trace.json]
 //              [--audit=audit.jsonl] [--flight=flight.jsonl]
-//              [--timeline=timeline.jsonl]
+//              [--timeline=timeline.jsonl] [--sketch=sketch.jsonl]
 //       [--policy=ours]    restrict audit/flight sections to one policy
 //                          label; falls back to all events when no event
 //                          carries the label
@@ -16,9 +16,12 @@
 // per-server Eq. 8/9/10 headroom table, off-loading negotiation and
 // replication-degree distribution from the audit log, the top-k slowest
 // pages with local-vs-repository attribution from the flight log, the
-// hottest spans from trace.json, and the resource timeline (RSS trajectory,
+// hottest spans from trace.json, the resource timeline (RSS trajectory,
 // tracked-memory peaks, phase occupancy, hardware counters) from the
-// mmr-timeline artifact. Exit codes: 0 = report rendered, 2 = usage or I/O
+// mmr-timeline artifact, and the streaming-telemetry sections (tail
+// trajectory, hot objects, SLO attainment) from the mmr-sketch artifact.
+// A NAMED artifact that is missing or empty is an error, not a silently
+// skipped section. Exit codes: 0 = report rendered, 2 = usage or I/O
 // error.
 #include <algorithm>
 #include <cmath>
@@ -33,6 +36,7 @@
 
 #include "io/artifacts.h"
 #include "io/provenance.h"
+#include "obs/sketch_artifact.h"
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -638,12 +642,155 @@ void render_trace(const JsonValue& trace, std::size_t top, ReportWriter& out) {
   out.table({"span", "count", "total [ms]", "mean [ms]"}, rows);
 }
 
-JsonValue read_json_file(const std::string& path) {
+// ---------------------------------------------------------------------------
+// sketch sections (streaming telemetry)
+
+std::string group_label(const JsonValue& e) {
+  const std::string policy = str_or(e, "policy", "");
+  return (policy.empty() ? "-" : policy) + "/" + str_or(e, "mode", "?");
+}
+
+/// Per-group quantile summary plus the per-window p99 trajectory.
+void render_tail_trajectory(const SketchDoc& doc, std::size_t top,
+                            ReportWriter& out) {
+  out.section("Tail trajectory (streaming sketches)");
+  std::vector<std::vector<std::string>> qrows;
+  for (const JsonValue* e : doc.of_type("sketch")) {
+    qrows.push_back(
+        {group_label(*e), str_or(*e, "metric", "?"),
+         std::to_string(static_cast<std::uint64_t>(num_or(*e, "count", 0))),
+         format_double(num_or(*e, "p50", 0), 3),
+         format_double(num_or(*e, "p90", 0), 3),
+         format_double(num_or(*e, "p99", 0), 3),
+         format_double(num_or(*e, "p999", 0), 3),
+         format_double(num_or(*e, "max", 0), 3)});
+  }
+  if (qrows.empty()) {
+    out.para("(no sketch lines in the artifact)");
+    return;
+  }
+  out.table({"policy/mode", "metric", "requests", "p50", "p90", "p99",
+             "p999", "max"},
+            qrows);
+
+  // Per-window p99: how the tail evolves over virtual time, capped at
+  // `top` windows per group (windows are in file order = ascending time).
+  std::map<std::string, std::size_t> shown;
+  std::map<std::string, std::size_t> total;
+  for (const JsonValue* e : doc.of_type("window")) ++total[group_label(*e)];
+  std::vector<std::vector<std::string>> wrows;
+  for (const JsonValue* e : doc.of_type("window")) {
+    if (shown[group_label(*e)] >= top) continue;
+    ++shown[group_label(*e)];
+    wrows.push_back(
+        {group_label(*e),
+         std::to_string(static_cast<std::uint64_t>(num_or(*e, "index", 0))),
+         format_double(num_or(*e, "t_start_s", 0), 1),
+         std::to_string(
+             static_cast<std::uint64_t>(num_or(*e, "requests", 0))),
+         format_double(num_or(*e, "p99_s", 0), 3),
+         format_percent(num_or(*e, "attainment", 1), 2),
+         format_double(num_or(*e, "burn", 0), 2)});
+  }
+  if (wrows.empty()) {
+    out.para("(no window rows in the artifact)");
+    return;
+  }
+  std::size_t omitted = 0;
+  for (const auto& [label, n] : total) omitted += n - shown[label];
+  if (omitted > 0) {
+    out.para("First " + std::to_string(top) +
+             " windows per group shown (" + std::to_string(omitted) +
+             " more omitted; raise --top for the full trajectory).");
+  }
+  out.table({"policy/mode", "window", "t [s]", "requests", "p99 [s]",
+             "attainment", "burn"},
+            wrows);
+}
+
+void render_hot_objects(const SketchDoc& doc, std::size_t top,
+                        ReportWriter& out) {
+  out.section("Hot objects (SpaceSaving heavy hitters)");
+  std::vector<std::vector<std::string>> rows;
+  std::map<std::string, std::size_t> shown;
+  for (const JsonValue* e : doc.of_type("hot")) {
+    if (shown[group_label(*e)] >= top) continue;
+    ++shown[group_label(*e)];
+    rows.push_back(
+        {group_label(*e),
+         std::to_string(static_cast<std::uint64_t>(num_or(*e, "rank", 0))),
+         std::to_string(static_cast<std::uint64_t>(num_or(*e, "page", 0))),
+         server_name(num_or(*e, "server", -1)),
+         std::to_string(static_cast<std::uint64_t>(num_or(*e, "count", 0))),
+         std::to_string(static_cast<std::uint64_t>(num_or(*e, "error", 0))),
+         format_double(num_or(*e, "miss_cost_s", 0), 2)});
+  }
+  if (rows.empty()) {
+    out.para("(no hot-set lines in the artifact)");
+    return;
+  }
+  out.para("SpaceSaving estimates: a row's true request count lies in "
+           "[count - error, count]; miss cost is the summed "
+           "repository-pipeline seconds its requests paid.");
+  out.table({"policy/mode", "rank", "page", "host", "count", "error",
+             "miss cost [s]"},
+            rows);
+}
+
+void render_slo(const SketchDoc& doc, ReportWriter& out) {
+  out.section("SLO attainment");
+  if (doc.header.has("slo") && doc.header.has("window_s")) {
+    const JsonValue& slo = doc.header.at("slo");
+    out.para("SLO: response <= " +
+             format_double(num_or(slo, "response_s", 0), 2) +
+             " s AND stretch <= " +
+             format_double(num_or(slo, "stretch_x", 0), 2) + "x, target " +
+             format_percent(num_or(slo, "target", 0), 1) + " per " +
+             format_double(num_or(doc.header, "window_s", 0), 0) +
+             " s window. Burn 1.0 = failing exactly at the sustainable "
+             "rate.");
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const JsonValue* e : doc.of_type("slo")) {
+    rows.push_back(
+        {group_label(*e),
+         std::to_string(
+             static_cast<std::uint64_t>(num_or(*e, "windows", 0))),
+         std::to_string(
+             static_cast<std::uint64_t>(num_or(*e, "requests", 0))),
+         format_percent(num_or(*e, "attainment", 1), 2),
+         format_double(num_or(*e, "worst_burn_1", 0), 2),
+         format_double(num_or(*e, "worst_burn_6", 0), 2)});
+  }
+  if (rows.empty()) {
+    out.para("(no slo lines in the artifact)");
+    return;
+  }
+  out.table({"policy/mode", "windows", "requests", "attainment",
+             "worst burn (1w)", "worst burn (6w)"},
+            rows);
+}
+
+// ---------------------------------------------------------------------------
+
+/// Reads a NAMED artifact strictly: a path the user asked for must exist
+/// and hold data — silently rendering a partial report would hide a broken
+/// producer. The thrown message is the report's one-line error.
+std::string read_artifact_text(const std::string& path) {
   std::ifstream is(path);
-  MMR_CHECK_MSG(is.good(), "cannot open '" + path + "' for reading");
+  MMR_CHECK_MSG(is.good(),
+                "artifact '" + path + "' is missing or unreadable");
   std::ostringstream buffer;
   buffer << is.rdbuf();
-  return json_parse(buffer.str());
+  std::string text = buffer.str();
+  MMR_CHECK_MSG(
+      text.find_first_not_of(" \t\r\n") != std::string::npos,
+      "artifact '" + path + "' is empty");
+  return text;
+}
+
+JsonValue read_json_file(const std::string& path) {
+  return json_parse(read_artifact_text(path));
 }
 
 }  // namespace
@@ -656,15 +803,17 @@ int main(int argc, char** argv) {
       .describe("audit", "solver audit JSONL path")
       .describe("flight", "flight recorder JSONL path")
       .describe("timeline", "mmr-timeline resource sampler JSONL path")
+      .describe("sketch", "mmr-sketch streaming telemetry JSONL path")
       .describe("policy", "policy label for audit/flight sections "
                           "(default 'ours')")
-      .describe("top", "rows in the slowest-pages / trace tables (default 10)")
+      .describe("top", "rows in the slowest-pages / trace / sketch tables "
+                       "(default 10)")
       .describe("format", "'text' (default) or 'md'")
       .describe("out", "write the report to this path instead of stdout");
   const std::string usage =
       "usage: mmr_report [--metrics=F] [--trace=F] [--audit=F] [--flight=F] "
-      "[--timeline=F] [--policy=ours] [--top=10] [--format=text|md] "
-      "[--out=F]\n";
+      "[--timeline=F] [--sketch=F] [--policy=ours] [--top=10] "
+      "[--format=text|md] [--out=F]\n";
   if (flags.help_requested()) {
     std::cout << usage << flags.help();
     return 0;
@@ -675,8 +824,9 @@ int main(int argc, char** argv) {
   const std::string audit_path = flags.get_string("audit", "");
   const std::string flight_path = flags.get_string("flight", "");
   const std::string timeline_path = flags.get_string("timeline", "");
+  const std::string sketch_path = flags.get_string("sketch", "");
   if (metrics_path.empty() && trace_path.empty() && audit_path.empty() &&
-      flight_path.empty() && timeline_path.empty()) {
+      flight_path.empty() && timeline_path.empty() && sketch_path.empty()) {
     std::cerr << "error: no artifacts given\n" << usage;
     return 2;
   }
@@ -702,7 +852,8 @@ int main(int argc, char** argv) {
       render_memory_gauges(metrics, out);
     }
     if (!audit_path.empty()) {
-      const ProvenanceDoc doc = read_provenance_file(audit_path);
+      const ProvenanceDoc doc =
+          parse_provenance_jsonl(read_artifact_text(audit_path));
       MMR_CHECK_MSG(doc.schema == "mmr-audit",
                     "'" + audit_path + "' is a " + doc.schema +
                         " artifact, expected mmr-audit");
@@ -718,7 +869,8 @@ int main(int argc, char** argv) {
       render_replica_degrees(events, out);
     }
     if (!flight_path.empty()) {
-      const ProvenanceDoc doc = read_provenance_file(flight_path);
+      const ProvenanceDoc doc =
+          parse_provenance_jsonl(read_artifact_text(flight_path));
       MMR_CHECK_MSG(doc.schema == "mmr-flight",
                     "'" + flight_path + "' is a " + doc.schema +
                         " artifact, expected mmr-flight");
@@ -734,7 +886,20 @@ int main(int argc, char** argv) {
       render_trace(read_json_file(trace_path), top, out);
     }
     if (!timeline_path.empty()) {
-      render_timeline(read_timeline_file(timeline_path), out);
+      render_timeline(parse_timeline_jsonl(read_artifact_text(timeline_path)),
+                      out);
+    }
+    if (!sketch_path.empty()) {
+      const SketchDoc doc =
+          parse_sketch_jsonl(read_artifact_text(sketch_path));
+      if (doc.declared_dropped > 0) {
+        out.para("NOTE: the telemetry log dropped " +
+                 std::to_string(doc.declared_dropped) +
+                 " shards at its cap; sections below undercount.");
+      }
+      render_tail_trajectory(doc, top, out);
+      render_hot_objects(doc, top, out);
+      render_slo(doc, out);
     }
 
     const std::string out_path = flags.get_string("out", "");
