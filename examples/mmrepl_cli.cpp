@@ -6,6 +6,9 @@
 //       Print the workload characterization.
 //   mmrepl_cli solve --system=sys.txt --out=placement.txt [--no-offload]
 //       Run the replication policy and save the placement.
+//       [--threads=N] solve with an N-worker pool; [--shards=K] shard the
+//       pipeline into K contiguous server groups (needs --threads > 1).
+//       The placement is bit-identical at any thread/shard count.
 //   mmrepl_cli audit --system=sys.txt --placement=placement.txt
 //       Re-check Eq. 8/9/10 and print the objective.
 //   mmrepl_cli simulate --system=sys.txt --placement=placement.txt
@@ -29,6 +32,7 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <memory>
 
 #include "core/policy.h"
 #include "io/artifacts.h"
@@ -39,6 +43,7 @@
 #include "sim/simulator.h"
 #include "util/flags.h"
 #include "util/memacct.h"
+#include "util/thread_pool.h"
 #include "util/metrics.h"
 #include "util/telemetry.h"
 #include "util/table.h"
@@ -89,6 +94,15 @@ int cmd_solve(const Flags& flags) {
   options.offload_enabled = !flags.get_bool("no-offload", false);
   options.weights.alpha1 = flags.get_double("alpha1", 2.0);
   options.weights.alpha2 = flags.get_double("alpha2", 1.0);
+  const auto threads =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, flags.get_int("threads", 1)));
+  options.shards = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, flags.get_int("shards", 0)));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads != 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    options.pool = pool.get();
+  }
   const PolicyResult result = run_replication_policy(sys, options);
   std::cout << result.summary();
   save_assignment_file(result.assignment, out);

@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <queue>
 #include <sstream>
-#include <unordered_map>
 
 #include "core/delta.h"
+#include "model/shard.h"
 #include "util/check.h"
 #include "util/log.h"
+#include "util/memacct.h"
 #include "util/metrics.h"
 #include "util/telemetry.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace mmr {
@@ -36,7 +38,10 @@ class ServerAbsorber {
   ServerAbsorber(const SystemModel& sys, Assignment& asg, ServerId i,
                  const Weights& w, const OffloadOptions& options)
       : sys_(sys), asg_(asg), server_(i), w_(w), options_(options) {
-    page_epoch_.assign(sys.num_pages(), 0);
+    // Epochs for this server's own pages only (every reference an absorber
+    // touches is hosted here), indexed by the page's position in the host
+    // list — O(pages-on-server) per absorber, O(total pages) fleet-wide.
+    page_epoch_.assign(sys.pages_on_server(i).size(), 0);
   }
 
   double free_proc() const {
@@ -90,7 +95,7 @@ class ServerAbsorber {
 
   void push_page_slots(PageId j, MinHeap& heap) const {
     const Page& p = sys_.page(j);
-    const std::uint64_t e = page_epoch_[j];
+    const std::uint64_t e = page_epoch_[sys_.page_pos_in_host(j)];
     for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
       if (asg_.comp_local(j, idx)) continue;
       const PageObjectRef ref{j, true, idx};
@@ -113,7 +118,7 @@ class ServerAbsorber {
     while (achieved + 1e-12 < target && !heap.empty()) {
       const SlotEntry top = heap.top();
       heap.pop();
-      if (top.epoch != page_epoch_[top.page]) continue;
+      if (top.epoch != page_epoch_[sys_.page_pos_in_host(top.page)]) continue;
       const PageObjectRef ref{top.page, top.compulsory, top.index};
       if (asg_.ref_local(ref)) continue;
 
@@ -122,7 +127,10 @@ class ServerAbsorber {
                                         : p.optional[top.index].object;
       const double workload = slot_workload(sys_, ref);
       if (workload > free_proc()) continue;  // would violate Eq. 8
-      const bool stored = asg_.object_stored(server_, k);
+      const std::uint32_t rank =
+          top.compulsory ? sys_.comp_rank(top.page, top.index)
+                         : sys_.opt_rank(top.page, top.index);
+      const bool stored = asg_.stored_at(server_, rank);
       if (!stored) {
         if (!allow_new_storage) continue;
         if (static_cast<double>(sys_.object_bytes(k)) > free_space()) {
@@ -137,7 +145,7 @@ class ServerAbsorber {
         ++report.objects_allocated;
         report.bytes_allocated += sys_.object_bytes(k);
       }
-      ++page_epoch_[top.page];
+      ++page_epoch_[sys_.page_pos_in_host(top.page)];
       push_page_slots(top.page, heap);
     }
     return achieved;
@@ -154,11 +162,14 @@ class ServerAbsorber {
          ++attempt) {
       // Best not-stored candidate by absorbable repo workload per byte.
       ObjectId best_new = kInvalidId;
+      std::uint32_t best_new_rank = SystemModel::kInvalidRank;
       double best_gain = 0, best_gain_per_byte = 0;
-      for (ObjectId k : sys_.objects_referenced(server_)) {
-        if (asg_.object_stored(server_, k)) continue;
+      const std::uint32_t n_ranks = sys_.num_referenced(server_);
+      for (std::uint32_t r = 0; r < n_ranks; ++r) {
+        if (asg_.stored_at(server_, r)) continue;
+        const ObjectId k = sys_.object_at_rank(server_, r);
         double gain = 0;
-        for (const PageObjectRef& ref : sys_.object_refs_on_server(server_, k)) {
+        for (const PageObjectRef& ref : sys_.refs_at_rank(server_, r)) {
           if (!asg_.ref_local(ref)) gain += slot_repo_workload(sys_, ref);
         }
         if (gain <= 0) continue;
@@ -168,6 +179,7 @@ class ServerAbsorber {
           best_gain_per_byte = per_byte;
           best_gain = gain;
           best_new = k;
+          best_new_rank = r;
         }
       }
       if (best_new == kInvalidId) break;
@@ -180,10 +192,11 @@ class ServerAbsorber {
       double evicted_bytes = 0, lost_workload = 0;
       if (need > 0) {
         std::vector<std::pair<double, ObjectId>> ranked;
-        for (ObjectId k : asg_.stored_objects(server_)) {
+        for (std::uint32_t r = 0; r < n_ranks; ++r) {
+          if (!asg_.stored_at(server_, r)) continue;
+          const ObjectId k = sys_.object_at_rank(server_, r);
           double local_workload = 0;
-          for (const PageObjectRef& ref :
-               sys_.object_refs_on_server(server_, k)) {
+          for (const PageObjectRef& ref : sys_.refs_at_rank(server_, r)) {
             if (asg_.ref_local(ref)) {
               local_workload += slot_repo_workload(sys_, ref);
             }
@@ -210,14 +223,14 @@ class ServerAbsorber {
           if (asg_.ref_local(ref)) {
             asg_.set_ref_local(ref, false);
             achieved -= slot_repo_workload(sys_, ref);
-            ++page_epoch_[ref.page];
+            ++page_epoch_[sys_.page_pos_in_host(ref.page)];
           }
         }
       }
       // ...and take over the candidate's remote downloads, respecting Eq. 8.
       bool any = false;
       for (const PageObjectRef& ref :
-           sys_.object_refs_on_server(server_, best_new)) {
+           sys_.refs_at_rank(server_, best_new_rank)) {
         if (asg_.ref_local(ref)) continue;
         if (slot_workload(sys_, ref) > free_proc()) continue;
         if (!any &&
@@ -228,7 +241,7 @@ class ServerAbsorber {
         asg_.set_ref_local(ref, true);
         achieved += slot_repo_workload(sys_, ref);
         ++report.slots_absorbed;
-        ++page_epoch_[ref.page];
+        ++page_epoch_[sys_.page_pos_in_host(ref.page)];
         any = true;
       }
       if (!any) break;
@@ -249,7 +262,8 @@ class ServerAbsorber {
 
 OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
                                  const Weights& w,
-                                 const OffloadOptions& options) {
+                                 const OffloadOptions& options,
+                                 ThreadPool* pool, const ShardPlan* plan) {
   OffloadReport report;
   const double capacity = sys.repository().proc_capacity;
   report.final_repo_load = asg.repo_proc_load();
@@ -258,6 +272,11 @@ OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
   }
   report.triggered = true;
 
+  // Fleet-wide absorber scratch: one epoch per page, spread over the
+  // per-server absorbers (each holds only its own pages' epochs).
+  const memacct::Charge epochs_charge(
+      memacct::Category::kSolverScratch,
+      sys.num_pages() * sizeof(std::uint64_t));
   std::vector<ServerAbsorber> absorbers;
   absorbers.reserve(sys.num_servers());
   for (ServerId i = 0; i < sys.num_servers(); ++i) {
@@ -330,21 +349,50 @@ OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
       }
     }
 
-    // Collect answers.
-    for (const auto& [i, req] : requests) {
-      if (req <= 0) continue;
-      OffloadAnswer answer;
+    // Collect answers. Each server's absorption touches only its own pages'
+    // bits, its own loads/marks and its own repo-load contribution, and a
+    // server appears at most once per round — so the requests of different
+    // shards run concurrently and the per-request answers and report
+    // tallies, merged in request order below, are byte-identical to a
+    // sequential pass. The classification and proportional split above stay
+    // on this (coordinator) thread in global server order: the negotiation
+    // is a bounded number of such rounds (max_rounds), which is the entire
+    // cross-shard coupling of Eq. 9.
+    std::vector<OffloadAnswer> answers(requests.size());
+    std::vector<OffloadReport> tallies(requests.size());
+    auto run_request = [&](std::size_t x) {
+      const ServerId i = requests[x].first;
+      const double req = requests[x].second;
+      if (req <= 0) return;
+      OffloadAnswer& answer = answers[x];
       answer.server = i;
       answer.requested = req;
       const bool is_l1 =
           std::find(rec.l1.begin(), rec.l1.end(), i) != rec.l1.end();
       answer.achieved = absorbers[i].absorb(
-          req, is_l1 && options.allow_new_storage, report);
+          req, is_l1 && options.allow_new_storage, tallies[x]);
       if (answer.achieved + 1e-9 < answer.requested) {
         answer.moved_to_l3 = true;
-        in_l3[i] = true;
       }
-      rec.answers.push_back(answer);
+    };
+    if (plan != nullptr && pool != nullptr && pool->thread_count() > 1 &&
+        plan->num_shards() > 1) {
+      pool->parallel_for(plan->num_shards(), [&](std::size_t s) {
+        for (std::size_t x = 0; x < requests.size(); ++x) {
+          if (plan->shard_of(requests[x].first) == s) run_request(x);
+        }
+      });
+    } else {
+      for (std::size_t x = 0; x < requests.size(); ++x) run_request(x);
+    }
+    for (std::size_t x = 0; x < requests.size(); ++x) {
+      if (requests[x].second <= 0) continue;
+      report.slots_absorbed += tallies[x].slots_absorbed;
+      report.objects_allocated += tallies[x].objects_allocated;
+      report.swaps += tallies[x].swaps;
+      report.bytes_allocated += tallies[x].bytes_allocated;
+      if (answers[x].moved_to_l3) in_l3[answers[x].server] = true;
+      rec.answers.push_back(answers[x]);
     }
     report.rounds.push_back(std::move(rec));
   }

@@ -26,6 +26,9 @@
 
 namespace mmr {
 
+class ThreadPool;
+class ShardPlan;
+
 struct OffloadOptions {
   std::uint32_t max_rounds = 64;
   /// L1 servers may store objects that are not yet replicated locally.
@@ -64,8 +67,14 @@ struct OffloadReport {
   std::string trace() const;
 };
 
+/// With a pool and a shard plan, each round's per-server absorptions run
+/// shard-concurrently (classification and the proportional split stay on the
+/// calling thread in global server order); answers merge in request order,
+/// so the negotiation is bit-identical at any shard/thread count.
 OffloadReport offload_repository(const SystemModel& sys, Assignment& asg,
                                  const Weights& w,
-                                 const OffloadOptions& options = {});
+                                 const OffloadOptions& options = {},
+                                 ThreadPool* pool = nullptr,
+                                 const ShardPlan* plan = nullptr);
 
 }  // namespace mmr

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "io/provenance.h"
+#include "model/shard.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/telemetry.h"
@@ -247,26 +248,44 @@ void partition_page_exact(const SystemModel& sys, Assignment& asg, PageId j,
 }
 
 void partition_all(const SystemModel& sys, Assignment& asg,
-                   const PartitionOptions& options, ThreadPool* pool) {
+                   const PartitionOptions& options, ThreadPool* pool,
+                   const ShardPlan* plan) {
   // Pages own disjoint slot rows, so the decision bits are computed straight
   // into the assignment from as many workers as the pool has; the caches are
   // rebuilt once afterwards (per server, also in parallel). Each page's bits
   // depend only on the model, so the result is identical at any thread
-  // count.
+  // count. A shard plan groups that work by contiguous server slices: each
+  // shard partitions its own servers' pages and immediately rebuilds those
+  // servers' caches, with no global barrier in between — same bits, same
+  // caches, at any shard count.
   const std::size_t pages = sys.num_pages();
   ProgressReporter progress("partition", pages);
-  if (pool != nullptr && pool->thread_count() > 1 && pages > 1) {
+  if (plan != nullptr && pool != nullptr && pool->thread_count() > 1 &&
+      plan->num_shards() > 1) {
+    pool->parallel_for(plan->num_shards(), [&](std::size_t s) {
+      const auto shard = static_cast<std::uint32_t>(s);
+      for (ServerId i = plan->server_begin(shard);
+           i < plan->server_end(shard); ++i) {
+        for (PageId j : sys.pages_on_server(i)) {
+          compute_page_rows(sys, asg, j, options);
+          progress.tick();
+        }
+        asg.recompute_server(i);
+      }
+    });
+  } else if (pool != nullptr && pool->thread_count() > 1 && pages > 1) {
     pool->parallel_for(pages, [&](std::size_t j) {
       compute_page_rows(sys, asg, static_cast<PageId>(j), options);
       progress.tick();
     });
+    asg.recompute_caches(pool);
   } else {
     for (std::size_t j = 0; j < pages; ++j) {
       compute_page_rows(sys, asg, static_cast<PageId>(j), options);
       progress.tick();
     }
+    asg.recompute_caches(pool);
   }
-  asg.recompute_caches(pool);
   if (audit_enabled()) {
     // Serial replay over the final bits (cheap arithmetic, no deltas), so
     // the audit is identical at any thread count and recording cannot
@@ -297,8 +316,8 @@ bool repartition_within_store(const SystemModel& sys, Assignment& asg,
                               PageId j,
                               const std::vector<std::uint8_t>& allowed,
                               const Weights& w) {
-  MMR_DCHECK(allowed.size() == sys.num_objects());
   const Page& p = sys.page(j);
+  MMR_DCHECK(allowed.size() == sys.num_referenced(p.host));
 
   // Compute the candidate marking arithmetically first; the assignment is
   // only touched when the candidate is a strict improvement (this function
@@ -317,7 +336,7 @@ bool repartition_within_store(const SystemModel& sys, Assignment& asg,
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t idx = order[i];
     const double b = sys.comp_remote_xfer(j, idx);
-    if (!allowed[p.compulsory[idx]]) {
+    if (!allowed[sys.comp_rank(j, idx)]) {
       remote += b;
       continue;
     }
@@ -334,7 +353,7 @@ bool repartition_within_store(const SystemModel& sys, Assignment& asg,
   double optional_time = 0;
   for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
     const OptionalRef& ref = p.optional[idx];
-    if (allowed[ref.object] != 0 && sys.opt_beneficial(j, idx)) {
+    if (allowed[sys.opt_rank(j, idx)] != 0 && sys.opt_beneficial(j, idx)) {
       new_opt[idx] = 1;
       optional_time += ref.probability * sys.opt_local_time(j, idx);
     } else {

@@ -23,6 +23,7 @@
 namespace mmr {
 
 class ThreadPool;
+class ShardPlan;
 
 struct PartitionOptions {
   /// If true, mark every optional object local regardless of benefit (the
@@ -57,15 +58,20 @@ void partition_page_exact(const SystemModel& sys, Assignment& asg, PageId j,
 /// With a pool, pages are partitioned from all workers (each page's decision
 /// bits depend only on the model and land in its own slot rows) and the
 /// caches are rebuilt once per server afterwards; the resulting assignment
-/// is bit-identical at any thread count.
+/// is bit-identical at any thread count. With a shard plan, each shard
+/// partitions its own servers' pages and rebuilds its own servers' caches —
+/// same bits, same caches, no global barrier between the two steps.
 void partition_all(const SystemModel& sys, Assignment& asg,
                    const PartitionOptions& options = {},
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr,
+                   const ShardPlan* plan = nullptr);
 
-/// Re-partitions page j with the restriction that only objects with
-/// allowed[k] != 0 may be marked local (storage-neutral re-optimization used
-/// after a deallocation). Keeps the better of the old and new marking under
-/// weights `w`; returns true if the page changed.
+/// Re-partitions page j with the restriction that only objects whose
+/// host-server rank r has allowed[r] != 0 may be marked local
+/// (storage-neutral re-optimization used after a deallocation; `allowed` is
+/// rank-indexed — size num_referenced(host) — so per-server scratch stays
+/// O(pool-size) at web scale). Keeps the better of the old and new marking
+/// under weights `w`; returns true if the page changed.
 ///
 /// Precondition: the page's current local marks only reference allowed
 /// objects (callers clear the deallocated object's marks before invoking),

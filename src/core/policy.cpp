@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "io/provenance.h"
+#include "model/shard.h"
 #include "util/metrics.h"
 #include "util/telemetry.h"
 #include "util/table.h"
@@ -150,6 +151,16 @@ PolicyResult run_replication_policy(const SystemModel& sys,
 
   TraceSpan policy_span("policy");
 
+  // Shard plan (contiguous weight-balanced server groups). Purely an
+  // execution grouping: no gauge or artifact depends on the shard count, so
+  // metrics snapshots stay byte-identical across shard counts too.
+  ShardPlan plan_storage;
+  const ShardPlan* plan = nullptr;
+  if (options.shards > 0 && sys.num_servers() > 0) {
+    plan_storage = make_shard_plan(sys, options.shards);
+    plan = &plan_storage;
+  }
+
   // Audit context, captured once: per-phase Eq. 8/9/10 headroom stamps are
   // collected locally and appended as a single batch at the end.
   const bool audit = audit_enabled();
@@ -161,7 +172,8 @@ PolicyResult run_replication_policy(const SystemModel& sys,
     ScopedTimer timed(t_partition);
     MMR_TRACE_SPAN("partition");
     TelemetryPhaseScope phase_scope("partition");
-    partition_all(sys, result.assignment, options.partition, options.pool);
+    partition_all(sys, result.assignment, options.partition, options.pool,
+                  plan);
   }
   result.d_after_partition = objective_total_cached(result.assignment, w);
   MMR_GAUGE("solver.d_after_partition", result.d_after_partition);
@@ -177,8 +189,8 @@ PolicyResult run_replication_policy(const SystemModel& sys,
       ScopedTimer timed(t_storage);
       MMR_TRACE_SPAN("storage_restore");
       TelemetryPhaseScope phase_scope("storage_restore");
-      result.storage_report = restore_storage(sys, result.assignment, w,
-                                              options.storage, options.pool);
+      result.storage_report = restore_storage(
+          sys, result.assignment, w, options.storage, options.pool, plan);
     }
     result.d_after_storage = objective_total_cached(result.assignment, w);
   } else {
@@ -195,8 +207,8 @@ PolicyResult run_replication_policy(const SystemModel& sys,
       ScopedTimer timed(t_processing);
       MMR_TRACE_SPAN("processing_restore");
       TelemetryPhaseScope phase_scope("processing_restore");
-      result.processing_report =
-          restore_processing(sys, result.assignment, w, options.processing);
+      result.processing_report = restore_processing(
+          sys, result.assignment, w, options.processing, options.pool, plan);
     }
     result.d_after_processing = objective_total_cached(result.assignment, w);
   } else {
@@ -213,8 +225,8 @@ PolicyResult run_replication_policy(const SystemModel& sys,
       ScopedTimer timed(t_offload);
       MMR_TRACE_SPAN("offload");
       TelemetryPhaseScope phase_scope("offload");
-      result.offload_report =
-          offload_repository(sys, result.assignment, w, options.offload);
+      result.offload_report = offload_repository(
+          sys, result.assignment, w, options.offload, options.pool, plan);
     }
     result.d_after_offload = objective_total_cached(result.assignment, w);
   } else {

@@ -37,6 +37,13 @@ struct PolicyOptions {
   /// restoration over servers). Not owned; may be null (serial). The solver
   /// result is bit-identical with or without a pool, at any thread count.
   ThreadPool* pool = nullptr;
+  /// When > 0 (and a pool is set), the pipeline runs sharded: servers are
+  /// cut into this many contiguous weight-balanced groups and every phase
+  /// executes shard-locally, with the Eq. 9 negotiation keeping its
+  /// classification on the calling thread between rounds. The output is
+  /// byte-identical to the unsharded solve at any shard/thread count (see
+  /// docs/PERFORMANCE.md, "Sharded solve"). 0 = unsharded.
+  std::uint32_t shards = 0;
 };
 
 struct PolicyResult {

@@ -4,11 +4,13 @@
 
 #include "core/delta.h"
 #include "io/provenance.h"
+#include "model/shard.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/memacct.h"
 #include "util/metrics.h"
 #include "util/telemetry.h"
+#include "util/thread_pool.h"
 
 namespace mmr {
 
@@ -17,6 +19,7 @@ namespace {
 struct SlotEntry {
   double criterion;
   PageId page;
+  std::uint32_t pos;  // page's position within its host's page list
   std::uint32_t index;
   bool compulsory;
   std::uint64_t epoch;
@@ -38,39 +41,48 @@ double slot_criterion(const SystemModel& sys, const Assignment& asg,
   return delta / workload;
 }
 
+/// `audit_run` / `audit_policy` are captured by restore_processing on the
+/// calling thread (the run tag and metric label are thread-local, so a pool
+/// worker cannot read them itself) and are only meaningful when `audit`.
 void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
                     const Weights& w, const ProcessingRestoreOptions& options,
-                    ProcessingRestoreReport& report) {
+                    ProcessingRestoreReport& report, bool audit,
+                    std::uint64_t audit_run, const std::string& audit_policy) {
   const Server& server = sys.server(i);
   if (within_capacity(asg.server_proc_load(i), server.proc_capacity)) return;
 
-  // Unmark audit events (restoration runs serially, so the thread-locals
-  // are readable in place); batched and appended once per server.
-  const bool audit = audit_enabled();
+  // Unmark audit events, batched locally (this routine may run on a pool
+  // worker); appended to the global log once at the end.
   std::vector<UnmarkEvent> audit_batch;
-  const std::uint64_t audit_run = audit ? provenance_run_or_zero() : 0;
-  const std::string audit_policy = audit ? current_metric_label() : "";
 
-  const memacct::Charge scratch_charge(memacct::Category::kSolverScratch,
-                                       sys.num_pages() *
-                                           sizeof(std::uint64_t));
-  std::vector<std::uint64_t> page_epoch(sys.num_pages(), 0);
+  // Epochs are indexed by the page's position within this server's page
+  // list, so the scratch is O(pages-on-server), not O(total pages) — this
+  // routine runs once per overloaded server, possibly from many workers.
+  const std::vector<PageId>& own_pages = sys.pages_on_server(i);
+  const memacct::Charge scratch_charge(
+      memacct::Category::kSolverScratch,
+      own_pages.size() * sizeof(std::uint64_t));
+  std::vector<std::uint64_t> page_epoch(own_pages.size(), 0);
   MinHeap heap;
-  auto push_page_slots = [&](PageId j) {
+  auto push_page_slots = [&](PageId j, std::uint32_t pos) {
     const Page& p = sys.page(j);
-    const std::uint64_t e = page_epoch[j];
+    const std::uint64_t e = page_epoch[pos];
     for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
       if (!asg.comp_local(j, idx)) continue;
       const PageObjectRef ref{j, true, idx};
-      heap.push({slot_criterion(sys, asg, ref, w, options), j, idx, true, e});
+      heap.push(
+          {slot_criterion(sys, asg, ref, w, options), j, pos, idx, true, e});
     }
     for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
       if (!asg.opt_local(j, idx)) continue;
       const PageObjectRef ref{j, false, idx};
-      heap.push({slot_criterion(sys, asg, ref, w, options), j, idx, false, e});
+      heap.push(
+          {slot_criterion(sys, asg, ref, w, options), j, pos, idx, false, e});
     }
   };
-  for (PageId j : sys.pages_on_server(i)) push_page_slots(j);
+  for (std::uint32_t pos = 0; pos < own_pages.size(); ++pos) {
+    push_page_slots(own_pages[pos], pos);
+  }
 
   while (!within_capacity(asg.server_proc_load(i), server.proc_capacity)) {
     if (heap.empty()) {
@@ -82,7 +94,7 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
     }
     const SlotEntry top = heap.top();
     heap.pop();
-    if (top.epoch != page_epoch[top.page]) continue;  // stale
+    if (top.epoch != page_epoch[top.pos]) continue;  // stale
     const PageObjectRef ref{top.page, top.compulsory, top.index};
     if (!asg.ref_local(ref)) continue;
 
@@ -111,8 +123,8 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
 
     // The page's pipeline times changed, so its remaining slots' deltas are
     // stale; re-push them under a new epoch.
-    ++page_epoch[top.page];
-    push_page_slots(top.page);
+    ++page_epoch[top.pos];
+    push_page_slots(top.page, top.pos);
   }
 
   if (audit && !audit_batch.empty()) {
@@ -120,16 +132,54 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
   }
 }
 
+void merge_reports(ProcessingRestoreReport& into,
+                   const ProcessingRestoreReport& from) {
+  into.unmarked_slots += from.unmarked_slots;
+  into.objects_deallocated += from.objects_deallocated;
+  into.infeasible_servers.insert(into.infeasible_servers.end(),
+                                 from.infeasible_servers.begin(),
+                                 from.infeasible_servers.end());
+}
+
 }  // namespace
 
 ProcessingRestoreReport restore_processing(
     const SystemModel& sys, Assignment& asg, const Weights& w,
-    const ProcessingRestoreOptions& options) {
-  ProcessingRestoreReport report;
-  ProgressReporter progress("processing_restore", sys.num_servers());
-  for (ServerId i = 0; i < sys.num_servers(); ++i) {
-    restore_server(sys, asg, i, w, options, report);
+    const ProcessingRestoreOptions& options, ThreadPool* pool,
+    const ShardPlan* plan) {
+  // Restoration is independent per server (a server's heap, marks, loads and
+  // page pipelines are disjoint from every other server's; the repository
+  // load is per-host contributions), so shards of servers run concurrently
+  // and the merged result — reports collected per server, merged in fixed
+  // server order — is identical at any shard/thread count.
+  const std::size_t servers = sys.num_servers();
+  std::vector<ProcessingRestoreReport> per_server(servers);
+  // Thread-locals (run tag, metric label) read here, on the calling thread,
+  // so events recorded from pool workers carry the right attribution.
+  const bool audit = audit_enabled();
+  const std::uint64_t audit_run = audit ? provenance_run_or_zero() : 0;
+  const std::string audit_policy = audit ? current_metric_label() : "";
+  ProgressReporter progress("processing_restore", servers);
+  auto run_one = [&](std::size_t i) {
+    restore_server(sys, asg, static_cast<ServerId>(i), w, options,
+                   per_server[i], audit, audit_run, audit_policy);
     progress.tick();
+  };
+  if (plan != nullptr && pool != nullptr && pool->thread_count() > 1 &&
+      plan->num_shards() > 1) {
+    pool->parallel_for(plan->num_shards(), [&](std::size_t s) {
+      const auto shard = static_cast<std::uint32_t>(s);
+      for (ServerId i = plan->server_begin(shard);
+           i < plan->server_end(shard); ++i) {
+        run_one(i);
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < servers; ++i) run_one(i);
+  }
+  ProcessingRestoreReport report;
+  for (const ProcessingRestoreReport& r : per_server) {
+    merge_reports(report, r);
   }
   MMR_COUNT("solver.processing.unmarked_slots", report.unmarked_slots);
   MMR_COUNT("solver.processing.objects_deallocated",

@@ -15,6 +15,9 @@
 
 namespace mmr {
 
+class ThreadPool;
+class ShardPlan;
+
 struct ProcessingRestoreOptions {
   /// Divide delta-D by the workload freed (paper's criterion); false = raw
   /// delta-D (ablation).
@@ -30,8 +33,12 @@ struct ProcessingRestoreReport {
 };
 
 /// Restores Eq. 8 for every server, modifying the assignment in place.
+/// With a pool and a shard plan, shards of servers restore concurrently;
+/// per-server state is disjoint and reports merge in server order, so the
+/// result is bit-identical at any shard/thread count (including none).
 ProcessingRestoreReport restore_processing(
     const SystemModel& sys, Assignment& asg, const Weights& w,
-    const ProcessingRestoreOptions& options = {});
+    const ProcessingRestoreOptions& options = {}, ThreadPool* pool = nullptr,
+    const ShardPlan* plan = nullptr);
 
 }  // namespace mmr

@@ -1,10 +1,12 @@
 #include "core/storage_restore.h"
 
+#include <algorithm>
 #include <queue>
 
 #include "core/delta.h"
 #include "core/partition.h"
 #include "io/provenance.h"
+#include "model/shard.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/memacct.h"
@@ -19,6 +21,7 @@ namespace {
 struct HeapEntry {
   double criterion;
   ObjectId object;
+  std::uint32_t rank;  // object's rank on the server under restoration
   std::uint64_t epoch;
   bool operator>(const HeapEntry& o) const { return criterion > o.criterion; }
 };
@@ -52,23 +55,27 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
   // Lazy min-heap: entries carry the epoch at push time; a dirtied object
   // (epoch bumped) is re-scored only when it reaches the top, which avoids
   // eager re-pushes for objects that never become the minimum. Epochs and
-  // the repartition "allowed" bitmap are dense per-object arrays — this
-  // routine may run on a pool worker, so all its scratch is local.
+  // the repartition "allowed" bitmap are rank-indexed per-server arrays
+  // (O(pool-size), not O(universe)) — this routine may run on a pool
+  // worker, so all its scratch is local.
+  const std::uint32_t n_ranks = sys.num_referenced(i);
   const memacct::Charge scratch_charge(
       memacct::Category::kSolverScratch,
-      sys.num_objects() *
+      static_cast<std::uint64_t>(n_ranks) *
           (sizeof(std::uint64_t) + sizeof(std::uint8_t)));
-  std::vector<std::uint64_t> epoch(sys.num_objects(), 0);
-  std::vector<std::uint8_t> allowed(sys.num_objects(), 0);
+  std::vector<std::uint64_t> epoch(n_ranks, 0);
+  std::vector<std::uint8_t> allowed(n_ranks, 0);
   MinHeap heap;
-  auto push_fresh = [&](ObjectId k) {
-    heap.push({criterion_for(sys, asg, i, k, w, options), k, epoch[k]});
+  auto push_fresh = [&](ObjectId k, std::uint32_t rank) {
+    heap.push({criterion_for(sys, asg, i, k, w, options), k, rank,
+               epoch[rank]});
   };
-  // Seed from the stored set in object-id order (deterministic heap ties).
-  for (ObjectId k : sys.objects_referenced(i)) {
-    if (!asg.object_stored(i, k)) continue;
-    push_fresh(k);
-    allowed[k] = 1;
+  // Seed from the stored set in rank (== object-id) order so heap ties are
+  // deterministic.
+  for (std::uint32_t rank = 0; rank < n_ranks; ++rank) {
+    if (!asg.stored_at(i, rank)) continue;
+    push_fresh(sys.object_at_rank(i, rank), rank);
+    allowed[rank] = 1;
   }
 
   while (asg.storage_used(i) > server.storage_capacity) {
@@ -84,16 +91,17 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
     const HeapEntry top = heap.top();
     heap.pop();
     const ObjectId k = top.object;
-    if (!asg.object_stored(i, k)) continue;  // dropped as a side effect
-    if (top.epoch != epoch[k]) {
-      push_fresh(k);  // stale: re-score now that it surfaced
+    const std::uint32_t rank = top.rank;
+    if (!asg.stored_at(i, rank)) continue;  // dropped as a side effect
+    if (top.epoch != epoch[rank]) {
+      push_fresh(k, rank);  // stale: re-score now that it surfaced
       continue;
     }
 
     // Deallocate: clear every local mark of k on this server.
     const std::uint64_t storage_before = asg.storage_used(i);
     std::vector<PageId> affected;
-    for (const PageObjectRef& ref : sys.object_refs_on_server(i, k)) {
+    for (const PageObjectRef& ref : sys.refs_at_rank(i, rank)) {
       if (asg.ref_local(ref)) {
         asg.set_ref_local(ref, false);
         affected.push_back(ref.page);
@@ -101,8 +109,8 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
     }
     ++report.deallocations;
     report.bytes_freed += sys.object_bytes(k);
-    MMR_DCHECK(!asg.object_stored(i, k));
-    allowed[k] = 0;
+    MMR_DCHECK(!asg.stored_at(i, rank));
+    allowed[rank] = 0;
 
     std::uint32_t repartitioned = 0;
     std::uint32_t improved = 0;
@@ -140,13 +148,17 @@ void restore_server(const SystemModel& sys, Assignment& asg, ServerId i,
     // (re-scored lazily when they surface in the heap).
     for (PageId j : affected) {
       const Page& p = sys.page(j);
-      auto refresh = [&](ObjectId obj) {
-        const bool stored = asg.object_stored(i, obj);
-        allowed[obj] = stored && obj != k ? 1 : 0;
-        if (stored) ++epoch[obj];
+      auto refresh = [&](std::uint32_t r) {
+        const bool stored = asg.stored_at(i, r);
+        allowed[r] = stored && r != rank ? 1 : 0;
+        if (stored) ++epoch[r];
       };
-      for (ObjectId obj : p.compulsory) refresh(obj);
-      for (const OptionalRef& r : p.optional) refresh(r.object);
+      for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+        refresh(sys.comp_rank(j, idx));
+      }
+      for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+        refresh(sys.opt_rank(j, idx));
+      }
     }
   }
 
@@ -171,7 +183,7 @@ void merge_reports(StorageRestoreReport& into,
 StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
                                      const Weights& w,
                                      const StorageRestoreOptions& options,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool, const ShardPlan* plan) {
   // Restoration is independent per server: a server's heap, marks, storage
   // cache and page pipelines are all disjoint from every other server's, and
   // the assignment keeps the repository load as per-host contributions, so
@@ -185,24 +197,36 @@ StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
   const bool audit = audit_enabled();
   const std::uint64_t audit_run = audit ? provenance_run_or_zero() : 0;
   const std::string audit_policy = audit ? current_metric_label() : "";
-  // Deterministic per-server scratch footprint, observed once per call on
-  // the calling thread (pool workers have no per-run metrics scope).
+  // Deterministic per-server scratch footprint (largest server's rank count
+  // bounds every worker's allocation), observed once per call on the calling
+  // thread (pool workers have no per-run metrics scope).
+  std::uint64_t max_ranks = 0;
+  for (std::size_t i = 0; i < servers; ++i) {
+    max_ranks = std::max<std::uint64_t>(
+        max_ranks, sys.num_referenced(static_cast<ServerId>(i)));
+  }
   const std::uint64_t scratch_bytes =
-      sys.num_objects() * (sizeof(std::uint64_t) + sizeof(std::uint8_t));
+      max_ranks * (sizeof(std::uint64_t) + sizeof(std::uint8_t));
   MMR_GAUGE("memory.solver.scratch", static_cast<double>(scratch_bytes));
   ProgressReporter progress("storage_restore", servers);
-  if (pool != nullptr && pool->thread_count() > 1 && servers > 1) {
-    pool->parallel_for(servers, [&](std::size_t i) {
-      restore_server(sys, asg, static_cast<ServerId>(i), w, options,
-                     per_server[i], audit, audit_run, audit_policy);
-      progress.tick();
+  auto run_one = [&](std::size_t i) {
+    restore_server(sys, asg, static_cast<ServerId>(i), w, options,
+                   per_server[i], audit, audit_run, audit_policy);
+    progress.tick();
+  };
+  if (plan != nullptr && pool != nullptr && pool->thread_count() > 1 &&
+      plan->num_shards() > 1) {
+    pool->parallel_for(plan->num_shards(), [&](std::size_t s) {
+      const auto shard = static_cast<std::uint32_t>(s);
+      for (ServerId i = plan->server_begin(shard);
+           i < plan->server_end(shard); ++i) {
+        run_one(i);
+      }
     });
+  } else if (pool != nullptr && pool->thread_count() > 1 && servers > 1) {
+    pool->parallel_for(servers, run_one);
   } else {
-    for (std::size_t i = 0; i < servers; ++i) {
-      restore_server(sys, asg, static_cast<ServerId>(i), w, options,
-                     per_server[i], audit, audit_run, audit_policy);
-      progress.tick();
-    }
+    for (std::size_t i = 0; i < servers; ++i) run_one(i);
   }
   StorageRestoreReport report;
   for (const StorageRestoreReport& r : per_server) merge_reports(report, r);

@@ -21,6 +21,7 @@
 namespace mmr {
 
 class ThreadPool;
+class ShardPlan;
 
 struct StorageRestoreOptions {
   /// Divide delta-D by the object size (paper's amortized criterion). When
@@ -44,10 +45,13 @@ struct StorageRestoreReport {
 /// on return every feasible server satisfies its storage constraint. With a
 /// pool, servers restore concurrently (their heaps, marks and caches are
 /// disjoint and the repository load is kept per host); the resulting
-/// assignment and report are bit-identical at any thread count.
+/// assignment and report are bit-identical at any thread count. A shard
+/// plan groups the servers into contiguous slices (one task per shard, its
+/// servers in order) — same result, coarser scheduling for huge fleets.
 StorageRestoreReport restore_storage(const SystemModel& sys, Assignment& asg,
                                      const Weights& w,
                                      const StorageRestoreOptions& options = {},
-                                     ThreadPool* pool = nullptr);
+                                     ThreadPool* pool = nullptr,
+                                     const ShardPlan* plan = nullptr);
 
 }  // namespace mmr

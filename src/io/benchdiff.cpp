@@ -71,6 +71,15 @@ BenchDiffReport diff_bench_artifacts(const BenchArtifact& baseline,
                name.find("p99") != std::string::npos) {
       rel = options.tail_rel_threshold;
     }
+    // Prefix overrides beat the unit/tail specializations; among several
+    // matches the most specific (longest) prefix decides.
+    std::size_t best_len = 0;
+    for (const auto& [prefix, override_rel] : options.rel_overrides) {
+      if (prefix.size() >= best_len && name.rfind(prefix, 0) == 0) {
+        best_len = prefix.size() + 1;  // +1 so the empty prefix can match
+        rel = override_rel;
+      }
+    }
     d.threshold = std::max(
         {rel * std::fabs(d.base_mean),
          options.stddev_k * std::max(d.base_stddev, d.cand_stddev),
@@ -147,6 +156,14 @@ void write_benchdiff_json(std::ostream& os, const BenchDiffReport& report,
   w.kv("min_abs", options.min_abs);
   w.key("filters").begin_array();
   for (const std::string& f : options.filters) w.value(f);
+  w.end_array();
+  w.key("rel_overrides").begin_array();
+  for (const auto& [prefix, rel] : options.rel_overrides) {
+    w.begin_object();
+    w.kv("prefix", prefix);
+    w.kv("rel", rel);
+    w.end_object();
+  }
   w.end_array();
   w.end_object();
   w.kv("regressions", static_cast<std::uint64_t>(report.regressions));

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/benchfmt.h"
@@ -39,6 +40,13 @@ struct BenchDiffOptions {
   /// means when the workload shifts, so the tail gate usually wants its
   /// own bound. Negative (default) means "use rel_threshold".
   double tail_rel_threshold = -1.0;
+  /// Per-prefix relative-threshold overrides (--rel-for=PREFIX:REL). A
+  /// series whose name starts with PREFIX uses REL instead of every other
+  /// relative bound (rel/mem/tail); the longest matching prefix wins, so a
+  /// broad "scale." override and a tighter "scale.small." one compose. The
+  /// scale gate uses this: the small tier's sub-second solve needs a looser
+  /// relative bound than the large tier's minutes-scale one.
+  std::vector<std::pair<std::string, double>> rel_overrides;
 };
 
 enum class SeriesVerdict {

@@ -9,18 +9,28 @@
 namespace mmr {
 
 std::uint64_t Assignment::estimate_bits_bytes(const SystemModel& sys) {
-  return static_cast<std::uint64_t>(sys.total_comp_slots()) +
-         sys.total_opt_slots();
+  return estimate_bits_bytes_for(sys.total_comp_slots(),
+                                 sys.total_opt_slots());
 }
 
 std::uint64_t Assignment::estimate_caches_bytes(const SystemModel& sys) {
-  const std::uint64_t pages = sys.num_pages();
-  const std::uint64_t servers = sys.num_servers();
-  return pages * 3 * sizeof(double) +             // local/remote/optional time
-         servers * 2 * sizeof(double) +           // proc_load, repo_load
-         servers * sizeof(std::uint64_t) +        // storage_used
-         servers * sys.num_objects() * sizeof(std::uint32_t) +  // marks
-         pages * 2 * sizeof(std::uint32_t);       // num_{comp,opt}_local
+  return estimate_caches_bytes_for(sys.num_pages(), sys.num_servers(),
+                                   sys.total_ref_ranks());
+}
+
+std::uint64_t Assignment::estimate_bits_bytes_for(std::uint64_t comp_slots,
+                                                  std::uint64_t opt_slots) {
+  return comp_slots + opt_slots;  // one byte per decision slot
+}
+
+std::uint64_t Assignment::estimate_caches_bytes_for(std::uint64_t pages,
+                                                    std::uint64_t servers,
+                                                    std::uint64_t ref_ranks) {
+  return pages * 3 * sizeof(double) +        // local/remote/optional time
+         servers * 2 * sizeof(double) +      // proc_load, repo_load
+         servers * sizeof(std::uint64_t) +   // storage_used
+         ref_ranks * sizeof(std::uint32_t) + // rank-indexed marks
+         pages * 2 * sizeof(std::uint32_t);  // num_{comp,opt}_local
 }
 
 Assignment::Assignment(const SystemModel& sys) : sys_(&sys) {
@@ -41,7 +51,7 @@ Assignment::Assignment(const SystemModel& sys) : sys_(&sys) {
   proc_load_.resize(sys.num_servers());
   repo_load_.resize(sys.num_servers());
   storage_used_.resize(sys.num_servers());
-  marks_.assign(sys.num_servers() * sys.num_objects(), 0);
+  marks_.assign(sys.total_ref_ranks(), 0);
   num_comp_local_.assign(sys.num_pages(), 0);
   num_opt_local_.assign(sys.num_pages(), 0);
   recompute_caches();
@@ -95,15 +105,16 @@ double Assignment::repo_proc_load() const {
 std::vector<ObjectId> Assignment::stored_objects(ServerId i) const {
   MMR_DCHECK(i < sys_->num_servers());
   std::vector<ObjectId> out;
-  for (ObjectId k : sys_->objects_referenced(i)) {
-    if (mark_count(i, k) > 0) out.push_back(k);
+  const std::uint32_t n = sys_->num_referenced(i);
+  for (std::uint32_t rank = 0; rank < n; ++rank) {
+    if (mark_count_at(i, rank) > 0) out.push_back(sys_->object_at_rank(i, rank));
   }
   return out;  // objects_referenced is sorted, so out is too
 }
 
-void Assignment::bump_marks(ServerId host, ObjectId k, bool local) {
-  std::uint32_t& count =
-      marks_[static_cast<std::size_t>(host) * sys_->num_objects() + k];
+void Assignment::bump_marks(ServerId host, std::uint32_t rank, ObjectId k,
+                            bool local) {
+  std::uint32_t& count = marks_[sys_->rank_base(host) + rank];
   if (local) {
     if (++count == 1) storage_used_[host] += sys_->object_bytes(k);
   } else {
@@ -128,7 +139,7 @@ void Assignment::set_comp_local(PageId j, std::uint32_t idx, bool local) {
   proc_load_[p.host] += sign * p.frequency;
   repo_load_[p.host] -= sign * p.frequency;
   num_comp_local_[j] += local ? 1u : -1u;
-  bump_marks(p.host, p.compulsory[idx], local);
+  bump_marks(p.host, sys_->comp_rank(j, idx), p.compulsory[idx], local);
 }
 
 void Assignment::set_opt_local(PageId j, std::uint32_t idx, bool local) {
@@ -152,7 +163,7 @@ void Assignment::set_opt_local(PageId j, std::uint32_t idx, bool local) {
   // Eq. 9 (as written in the paper, without the f(W_j, M) factor).
   repo_load_[p.host] -= sign * p.frequency * ref.probability;
   num_opt_local_[j] += local ? 1u : -1u;
-  bump_marks(p.host, ref.object, local);
+  bump_marks(p.host, sys_->opt_rank(j, idx), ref.object, local);
 }
 
 void Assignment::recompute_server(ServerId i) {
@@ -160,9 +171,8 @@ void Assignment::recompute_server(ServerId i) {
   proc_load_[i] = 0;
   repo_load_[i] = 0;
   storage_used_[i] = sys.html_bytes_on_server(i);
-  std::uint32_t* marks =
-      marks_.data() + static_cast<std::size_t>(i) * sys.num_objects();
-  std::fill(marks, marks + sys.num_objects(), 0u);
+  std::uint32_t* marks = marks_.data() + sys.rank_base(i);
+  std::fill(marks, marks + sys.num_referenced(i), 0u);
 
   for (PageId j : sys.pages_on_server(i)) {
     const Page& p = sys.page(j);
@@ -180,7 +190,7 @@ void Assignment::recompute_server(ServerId i) {
       if (comp[idx]) {
         lt += sys.comp_local_xfer(j, idx);
         ++n_comp_local;
-        bump_marks(i, p.compulsory[idx], true);
+        bump_marks(i, sys.comp_rank(j, idx), p.compulsory[idx], true);
       } else {
         rt += sys.comp_remote_xfer(j, idx);
       }
@@ -192,7 +202,7 @@ void Assignment::recompute_server(ServerId i) {
         t = sys.opt_local_time(j, idx);
         ++n_opt_local;
         opt_local_prob += ref.probability;
-        bump_marks(i, ref.object, true);
+        bump_marks(i, sys.opt_rank(j, idx), ref.object, true);
       } else {
         t = sys.opt_remote_time(j, idx);
         repo_load_[i] += p.frequency * ref.probability;

@@ -11,8 +11,11 @@
 //
 // Storage layout is flat: the decision bits live in two CSR byte arrays
 // indexed by the SystemModel's slot offsets (no per-page vectors), and the
-// per-server mark counts are dense arrays indexed by object id (no hash
-// maps). This keeps the greedy inner loops allocation- and hash-free, and
+// per-server mark counts live in one flat array indexed by the model's
+// per-server object *ranks* (rank_base(i) + rank — O(total referenced)
+// rather than O(servers × universe), the difference between megabytes and
+// terabytes at web scale). This keeps the greedy inner loops allocation- and
+// hash-free, and
 // makes rows independently writable: pages never share slots, so bulk
 // writers (the parallel PARTITION) may fill comp_row()/opt_row() of distinct
 // pages from different threads and then call recompute_caches().
@@ -43,11 +46,19 @@ class Assignment {
   explicit Assignment(const SystemModel& sys);
 
   /// Deterministic byte sizes of the containers the constructor builds
-  /// (decision-bit CSR arrays resp. the incremental caches incl. the dense
-  /// marks array). Used for the --mem-budget pre-flight check and guaranteed
-  /// equal to the memacct charges the constructor makes (test_telemetry).
+  /// (decision-bit CSR arrays resp. the incremental caches incl. the
+  /// rank-indexed marks array). Used for the --mem-budget pre-flight check
+  /// and guaranteed equal to the memacct charges the constructor makes
+  /// (test_telemetry).
   static std::uint64_t estimate_bits_bytes(const SystemModel& sys);
   static std::uint64_t estimate_caches_bytes(const SystemModel& sys);
+  /// Count-based variants usable before any model exists (64-bit throughout;
+  /// the scale pre-flight sizes >4G-slot instances with these).
+  static std::uint64_t estimate_bits_bytes_for(std::uint64_t comp_slots,
+                                               std::uint64_t opt_slots);
+  static std::uint64_t estimate_caches_bytes_for(std::uint64_t pages,
+                                                 std::uint64_t servers,
+                                                 std::uint64_t ref_ranks);
 
   const SystemModel& system() const { return *sys_; }
 
@@ -107,9 +118,20 @@ class Assignment {
   /// Eq. 10 left-hand side for server i (HTML + stored objects).
   std::uint64_t storage_used(ServerId i) const { return storage_used_[i]; }
 
-  /// How many local marks object k has across pages of server i. O(1).
+  /// How many local marks the object with rank `rank` on server i has
+  /// across pages of i. O(1) — the solver inner loops use the per-slot rank
+  /// caches (SystemModel::comp_rank/opt_rank) to stay hash- and search-free.
+  std::uint32_t mark_count_at(ServerId i, std::uint32_t rank) const {
+    return marks_[sys_->rank_base(i) + rank];
+  }
+  bool stored_at(ServerId i, std::uint32_t rank) const {
+    return mark_count_at(i, rank) > 0;
+  }
+  /// How many local marks object k has across pages of server i.
+  /// O(log pool-size) rank lookup; 0 if i never references k.
   std::uint32_t mark_count(ServerId i, ObjectId k) const {
-    return marks_[static_cast<std::size_t>(i) * sys_->num_objects() + k];
+    const std::uint32_t rank = sys_->object_rank_on_server(i, k);
+    return rank == SystemModel::kInvalidRank ? 0 : mark_count_at(i, rank);
   }
   bool object_stored(ServerId i, ObjectId k) const {
     return mark_count(i, k) > 0;
@@ -122,9 +144,13 @@ class Assignment {
   /// per-server, so the result is identical at any thread count.
   void recompute_caches(ThreadPool* pool = nullptr);
 
- private:
-  void bump_marks(ServerId host, ObjectId k, bool local);
+  /// Rebuilds the caches of a single server from its pages' decision bits.
+  /// Public so shard executors can refresh only the servers they own after
+  /// bulk row writes; caches of other servers are untouched.
   void recompute_server(ServerId i);
+
+ private:
+  void bump_marks(ServerId host, std::uint32_t rank, ObjectId k, bool local);
 
   const SystemModel* sys_;
   std::vector<std::uint8_t> comp_local_;  // flat CSR [comp_offset(j) + idx]
@@ -136,7 +162,7 @@ class Assignment {
   std::vector<double> proc_load_;      // Eq. 8 LHS per server
   std::vector<double> repo_load_;      // Eq. 9 LHS, per host server
   std::vector<std::uint64_t> storage_used_;  // Eq. 10 LHS per server
-  std::vector<std::uint32_t> marks_;   // dense [server * num_objects + k]
+  std::vector<std::uint32_t> marks_;   // flat [rank_base(i) + rank]
   std::vector<std::uint32_t> num_comp_local_;  // per page
   std::vector<std::uint32_t> num_opt_local_;   // per page
 

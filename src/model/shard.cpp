@@ -1,0 +1,58 @@
+#include "model/shard.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mmr {
+
+std::uint32_t ShardPlan::shard_of(ServerId i) const {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), i);
+  MMR_DCHECK(it != bounds_.begin() && it != bounds_.end());
+  return static_cast<std::uint32_t>(it - bounds_.begin()) - 1;
+}
+
+ShardPlan make_shard_plan(const SystemModel& sys, std::uint32_t shards) {
+  MMR_CHECK_MSG(sys.finalized(), "make_shard_plan requires a finalized model");
+  MMR_CHECK_MSG(shards >= 1, "shards must be >= 1");
+  const auto servers = static_cast<std::uint32_t>(sys.num_servers());
+  shards = std::min(shards, servers);
+
+  // Per-server work weight: rank count (drives restoration heaps and
+  // scratch) plus page count (drives partition and slot pushes), plus one so
+  // empty servers still advance the cut.
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> weight(servers);
+  for (std::uint32_t i = 0; i < servers; ++i) {
+    weight[i] = static_cast<std::uint64_t>(sys.num_referenced(i)) +
+                sys.pages_on_server(i).size() + 1;
+    total += weight[i];
+  }
+
+  // Greedy contiguous cuts: close shard s once its cumulative weight reaches
+  // the ideal prefix total (s+1)/shards, always leaving enough servers for
+  // the remaining shards.
+  ShardPlan plan;
+  plan.bounds_.push_back(0);
+  std::uint64_t prefix = 0;
+  std::uint64_t shard_weight = 0;
+  for (std::uint32_t i = 0; i < servers; ++i) {
+    prefix += weight[i];
+    shard_weight += weight[i];
+    const auto s = static_cast<std::uint32_t>(plan.bounds_.size()) - 1;
+    const std::uint32_t remaining_shards = shards - s - 1;
+    const bool must_cut = servers - (i + 1) == remaining_shards;
+    const bool want_cut =
+        remaining_shards > 0 && prefix * shards >= total * (s + 1);
+    if ((must_cut || want_cut) && remaining_shards > 0) {
+      plan.bounds_.push_back(i + 1);
+      plan.weights_.push_back(shard_weight);
+      shard_weight = 0;
+    }
+  }
+  plan.bounds_.push_back(servers);
+  plan.weights_.push_back(shard_weight);
+  return plan;
+}
+
+}  // namespace mmr

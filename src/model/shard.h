@@ -1,0 +1,56 @@
+// ShardPlan: contiguous server-group slices of a finalized SystemModel.
+//
+// The solver phases are independent per server (every cache the greedy
+// algorithms touch is per-page or per-server, and the repository load is
+// kept as per-host contributions), so a shard is purely an execution
+// grouping: each shard owns the contiguous server range
+// [server_begin(s), server_end(s)) and processes those servers *in order*.
+// Because shard boundaries never change the per-server arithmetic or the
+// order in which any shared result is merged (always canonical server /
+// request order), the solver output is byte-identical at any shard count ×
+// thread count — including shards == 0 (unsharded). See
+// docs/PERFORMANCE.md, "Sharded solve".
+//
+// Shards are weight-balanced over the work the restoration phases actually
+// do: a server's weight is its referenced-object rank count plus its page
+// count (both known from the finalized model), greedily cut into contiguous
+// slices. The plan never materializes per-shard model or assignment copies —
+// it is three small vectors of offsets over the existing CSR arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/system.h"
+
+namespace mmr {
+
+class ShardPlan {
+ public:
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(bounds_.size()) - 1;
+  }
+  ServerId server_begin(std::uint32_t s) const { return bounds_[s]; }
+  ServerId server_end(std::uint32_t s) const { return bounds_[s + 1]; }
+  std::uint32_t num_servers(std::uint32_t s) const {
+    return bounds_[s + 1] - bounds_[s];
+  }
+  /// Shard owning server i. O(log shards).
+  std::uint32_t shard_of(ServerId i) const;
+
+  /// Sum of the balance weights of shard s's servers (diagnostics).
+  std::uint64_t weight(std::uint32_t s) const { return weights_[s]; }
+
+ private:
+  friend ShardPlan make_shard_plan(const SystemModel& sys,
+                                   std::uint32_t shards);
+  std::vector<ServerId> bounds_;        // num_shards + 1, ascending
+  std::vector<std::uint64_t> weights_;  // per shard
+};
+
+/// Builds a plan with at most `shards` contiguous server groups (fewer when
+/// the model has fewer servers). `shards` must be >= 1. Deterministic: the
+/// cut points are a pure function of the finalized model and `shards`.
+ShardPlan make_shard_plan(const SystemModel& sys, std::uint32_t shards);
+
+}  // namespace mmr

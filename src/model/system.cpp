@@ -8,8 +8,6 @@
 
 namespace mmr {
 
-const std::vector<PageObjectRef> SystemModel::kNoRefs = {};
-
 ServerId SystemModel::add_server(Server server) {
   MMR_CHECK_MSG(!finalized_, "add_server after finalize");
   servers_.push_back(server);
@@ -43,7 +41,8 @@ void SystemModel::finalize() {
   MMR_CHECK_MSG(repository_.proc_capacity > 0, "repository capacity <= 0");
 
   pages_on_server_.assign(servers_.size(), {});
-  refs_on_server_.assign(servers_.size(), {});
+  page_pos_in_host_.clear();
+  page_pos_in_host_.reserve(pages_.size());
   objects_referenced_.assign(servers_.size(), {});
   html_bytes_on_server_.assign(servers_.size(), 0);
   full_replication_bytes_.assign(servers_.size(), 0);
@@ -60,6 +59,8 @@ void SystemModel::finalize() {
     MMR_CHECK_MSG(p.optional_scale >= 0, "page " << j << " optional_scale < 0");
     MMR_CHECK_MSG(p.html_bytes > 0, "page " << j << " html_bytes == 0");
 
+    page_pos_in_host_.push_back(
+        static_cast<std::uint32_t>(pages_on_server_[p.host].size()));
     pages_on_server_[p.host].push_back(page_id);
     html_bytes_on_server_[p.host] += p.html_bytes;
     page_request_rate_[p.host] += p.frequency;
@@ -71,7 +72,6 @@ void SystemModel::finalize() {
                     "page " << j << " references invalid object " << k);
       MMR_CHECK_MSG(seen_in_page.insert(k).second,
                     "page " << j << " references object " << k << " twice");
-      refs_on_server_[p.host][k].push_back({page_id, true, idx});
       distinct[p.host].insert(k);
     }
     for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
@@ -85,7 +85,6 @@ void SystemModel::finalize() {
       MMR_CHECK_MSG(seen_in_page.insert(ref.object).second,
                     "page " << j << " references object " << ref.object
                             << " both compulsorily and optionally");
-      refs_on_server_[p.host][ref.object].push_back({page_id, false, idx});
       distinct[p.host].insert(ref.object);
     }
   }
@@ -94,6 +93,7 @@ void SystemModel::finalize() {
     MMR_CHECK_MSG(objects_[k].bytes > 0, "object " << k << " has zero size");
   }
 
+  rank_base_.assign(servers_.size() + 1, 0);
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     auto& list = objects_referenced_[i];
     list.assign(distinct[i].begin(), distinct[i].end());
@@ -101,6 +101,7 @@ void SystemModel::finalize() {
     std::uint64_t bytes = html_bytes_on_server_[i];
     for (ObjectId k : list) bytes += objects_[k].bytes;
     full_replication_bytes_[i] = bytes;
+    rank_base_[i + 1] = rank_base_[i] + list.size();
   }
 
   comp_offset_.assign(pages_.size() + 1, 0);
@@ -111,6 +112,54 @@ void SystemModel::finalize() {
     opt_offset_[j + 1] =
         opt_offset_[j] + static_cast<std::uint32_t>(pages_[j].optional.size());
   }
+
+  // Per-slot object ranks (binary search once here; O(1) in every solver
+  // inner loop after) and the flat reference CSR. Refs land grouped by
+  // (server, object rank), and within a rank in page order with compulsory
+  // before optional — the same order the algorithms previously observed.
+  comp_rank_.resize(comp_offset_.back());
+  opt_rank_.resize(opt_offset_.back());
+  std::vector<std::uint64_t> ref_count(rank_base_.back(), 0);
+  auto rank_of = [this](ServerId host, ObjectId k) {
+    const auto& list = objects_referenced_[host];
+    const auto it = std::lower_bound(list.begin(), list.end(), k);
+    MMR_DCHECK(it != list.end() && *it == k);
+    return static_cast<std::uint32_t>(it - list.begin());
+  };
+  for (std::size_t j = 0; j < pages_.size(); ++j) {
+    const Page& p = pages_[j];
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      const std::uint32_t r = rank_of(p.host, p.compulsory[idx]);
+      comp_rank_[comp_offset_[j] + idx] = r;
+      ++ref_count[rank_base_[p.host] + r];
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      const std::uint32_t r = rank_of(p.host, p.optional[idx].object);
+      opt_rank_[opt_offset_[j] + idx] = r;
+      ++ref_count[rank_base_[p.host] + r];
+    }
+  }
+  ref_offset_.assign(rank_base_.back() + 1, 0);
+  for (std::size_t r = 0; r < ref_count.size(); ++r) {
+    ref_offset_[r + 1] = ref_offset_[r] + ref_count[r];
+  }
+  refs_flat_.resize(ref_offset_.back());
+  std::vector<std::uint64_t> cursor(ref_offset_.begin(), ref_offset_.end() - 1);
+  for (std::size_t j = 0; j < pages_.size(); ++j) {
+    const Page& p = pages_[j];
+    const auto page_id = static_cast<PageId>(j);
+    for (std::uint32_t idx = 0; idx < p.compulsory.size(); ++idx) {
+      const std::uint64_t r =
+          rank_base_[p.host] + comp_rank_[comp_offset_[j] + idx];
+      refs_flat_[cursor[r]++] = {page_id, true, idx};
+    }
+    for (std::uint32_t idx = 0; idx < p.optional.size(); ++idx) {
+      const std::uint64_t r =
+          rank_base_[p.host] + opt_rank_[opt_offset_[j] + idx];
+      refs_flat_[cursor[r]++] = {page_id, false, idx};
+    }
+  }
+
   comp_order_.resize(comp_offset_.back());
   for (std::size_t j = 0; j < pages_.size(); ++j) {
     const Page& p = pages_[j];
@@ -129,24 +178,13 @@ void SystemModel::finalize() {
 
   // Byte-account the finalized containers (docs/OBSERVABILITY.md). Element
   // counts — not capacities — so the charges and gauges are a pure function
-  // of the instance, bit-identical at any thread count.
-  std::uint64_t csr_bytes =
-      (comp_offset_.size() + opt_offset_.size() + comp_order_.size()) *
-          sizeof(std::uint32_t) +
-      (comp_local_xfer_.size() + comp_remote_xfer_.size() +
-       opt_local_time_.size() + opt_remote_time_.size() +
-       page_base_local_.size()) *
-          sizeof(double) +
-      opt_beneficial_.size() * sizeof(std::uint8_t);
-  std::uint64_t index_bytes =
-      servers_.size() * (2 * sizeof(std::uint64_t) + sizeof(double));
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    index_bytes += pages_on_server_[i].size() * sizeof(PageId) +
-                   objects_referenced_[i].size() * sizeof(ObjectId);
-    for (const auto& [obj, refs] : refs_on_server_[i]) {
-      index_bytes += sizeof(obj) + refs.size() * sizeof(PageObjectRef);
-    }
-  }
+  // of the instance, bit-identical at any thread count. The estimators are
+  // the single source of truth: pre-flight estimates equal charged bytes.
+  const std::uint64_t csr_bytes = estimate_csr_bytes_for(
+      pages_.size(), comp_offset_.back(), opt_offset_.back());
+  const std::uint64_t index_bytes =
+      estimate_index_bytes_for(servers_.size(), pages_.size(),
+                               rank_base_.back(), refs_flat_.size());
   mem_csr_charge_.reset(memacct::Category::kModelCsr, csr_bytes);
   mem_index_charge_.reset(memacct::Category::kModelIndex, index_bytes);
   MMR_GAUGE("memory.model.csr", static_cast<double>(csr_bytes));
@@ -202,12 +240,48 @@ const std::vector<PageId>& SystemModel::pages_on_server(ServerId i) const {
   return pages_on_server_[i];
 }
 
-const std::vector<PageObjectRef>& SystemModel::object_refs_on_server(
-    ServerId i, ObjectId k) const {
+RefSpan SystemModel::object_refs_on_server(ServerId i, ObjectId k) const {
   check_finalized();
   MMR_CHECK(i < servers_.size());
-  const auto it = refs_on_server_[i].find(k);
-  return it == refs_on_server_[i].end() ? kNoRefs : it->second;
+  const std::uint32_t rank = object_rank_on_server(i, k);
+  if (rank == kInvalidRank) return {};
+  return refs_at_rank(i, rank);
+}
+
+std::uint32_t SystemModel::object_rank_on_server(ServerId i,
+                                                 ObjectId k) const {
+  const auto& list = objects_referenced_[i];
+  const auto it = std::lower_bound(list.begin(), list.end(), k);
+  if (it == list.end() || *it != k) return kInvalidRank;
+  return static_cast<std::uint32_t>(it - list.begin());
+}
+
+std::uint64_t SystemModel::estimate_csr_bytes_for(std::uint64_t pages,
+                                                  std::uint64_t comp_slots,
+                                                  std::uint64_t opt_slots) {
+  // comp_offset_/opt_offset_ (pages+1 each), comp_order_ + comp_rank_
+  // (comp_slots each), opt_rank_ (opt_slots) — uint32; the four per-slot
+  // transfer-time arrays + page_base_local_ — double; opt_beneficial_ — u8.
+  return (2 * (pages + 1) + 2 * comp_slots + opt_slots) *
+             sizeof(std::uint32_t) +
+         (2 * comp_slots + 2 * opt_slots + pages) * sizeof(double) +
+         opt_slots * sizeof(std::uint8_t);
+}
+
+std::uint64_t SystemModel::estimate_index_bytes_for(std::uint64_t servers,
+                                                    std::uint64_t pages,
+                                                    std::uint64_t ref_ranks,
+                                                    std::uint64_t refs) {
+  // html_bytes_on_server_ + full_replication_bytes_ (u64) and
+  // page_request_rate_ (double) per server; pages_on_server_ ids +
+  // page_pos_in_host_; objects_referenced_ ids; rank_base_ / ref_offset_
+  // prefix sums; refs_flat_ entries.
+  return servers * (2 * sizeof(std::uint64_t) + sizeof(double)) +
+         pages * (sizeof(PageId) + sizeof(std::uint32_t)) +
+         ref_ranks * sizeof(ObjectId) +
+         (servers + 1) * sizeof(std::uint64_t) +
+         (ref_ranks + 1) * sizeof(std::uint64_t) +
+         refs * sizeof(PageObjectRef);
 }
 
 const std::vector<ObjectId>& SystemModel::objects_referenced(

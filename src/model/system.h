@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "model/entities.h"
@@ -26,6 +25,24 @@ struct PageObjectRef {
   PageId page = kInvalidId;
   bool compulsory = false;   ///< true: index into Page::compulsory
   std::uint32_t index = 0;   ///< position within that page's list
+};
+
+/// Non-owning contiguous view over a run of PageObjectRefs inside the
+/// model's flat reference index (no per-(server, object) vectors at scale).
+class RefSpan {
+ public:
+  RefSpan() = default;
+  RefSpan(const PageObjectRef* first, const PageObjectRef* last)
+      : first_(first), last_(last) {}
+  const PageObjectRef* begin() const { return first_; }
+  const PageObjectRef* end() const { return last_; }
+  std::size_t size() const { return static_cast<std::size_t>(last_ - first_); }
+  bool empty() const { return first_ == last_; }
+  const PageObjectRef& operator[](std::size_t x) const { return first_[x]; }
+
+ private:
+  const PageObjectRef* first_ = nullptr;
+  const PageObjectRef* last_ = nullptr;
 };
 
 class SystemModel {
@@ -63,13 +80,49 @@ class SystemModel {
   // ---- derived indices (available after finalize) -------------------------
   const std::vector<PageId>& pages_on_server(ServerId i) const;
 
+  /// Position of page j within pages_on_server(page(j).host) — lets
+  /// per-server scratch indexed by "own page" be O(pages-on-server) instead
+  /// of O(total pages). O(1).
+  std::uint32_t page_pos_in_host(PageId j) const {
+    return page_pos_in_host_[j];
+  }
+
   /// All (page, slot) references to object k from pages hosted at server i.
-  /// Empty if no page on i references k.
-  const std::vector<PageObjectRef>& object_refs_on_server(ServerId i,
-                                                          ObjectId k) const;
+  /// Empty if no page on i references k. O(log pool-size) lookup into the
+  /// flat per-server reference CSR.
+  RefSpan object_refs_on_server(ServerId i, ObjectId k) const;
 
   /// Distinct objects referenced (compulsorily or optionally) by pages of i.
   const std::vector<ObjectId>& objects_referenced(ServerId i) const;
+
+  // ---- per-server object ranks ---------------------------------------------
+  // Every object a server references has a *rank*: its position within the
+  // sorted objects_referenced(i) list. Ranks give every per-server scratch
+  // or cache array O(pool-size) footprint instead of O(universe) — the
+  // difference between megabytes and terabytes at web scale.
+
+  /// Sentinel for "server i does not reference this object".
+  static constexpr std::uint32_t kInvalidRank = 0xFFFFFFFFu;
+  /// Rank of object k on server i, or kInvalidRank. O(log pool-size).
+  std::uint32_t object_rank_on_server(ServerId i, ObjectId k) const;
+  /// Number of distinct objects referenced by server i (== rank count).
+  std::uint32_t num_referenced(ServerId i) const {
+    return static_cast<std::uint32_t>(rank_base_[i + 1] - rank_base_[i]);
+  }
+  /// Offset of server i's rank block inside flat rank-indexed arrays.
+  std::uint64_t rank_base(ServerId i) const { return rank_base_[i]; }
+  /// Total rank count over all servers (size of flat rank-indexed arrays).
+  std::uint64_t total_ref_ranks() const { return rank_base_.back(); }
+  /// The object with rank `rank` on server i.
+  ObjectId object_at_rank(ServerId i, std::uint32_t rank) const {
+    return objects_referenced_[i][rank];
+  }
+  /// All references to the object with rank `rank` on server i. O(1).
+  RefSpan refs_at_rank(ServerId i, std::uint32_t rank) const {
+    const std::uint64_t r = rank_base_[i] + rank;
+    return {refs_flat_.data() + ref_offset_[r],
+            refs_flat_.data() + ref_offset_[r + 1]};
+  }
 
   /// Total HTML bytes hosted at server i (always stored locally, Eq. 10).
   std::uint64_t html_bytes_on_server(ServerId i) const;
@@ -122,6 +175,16 @@ class SystemModel {
   bool opt_beneficial(PageId j, std::uint32_t idx) const {
     return opt_beneficial_[opt_offset_[j] + idx] != 0;
   }
+  /// Rank (on the host server) of the object of compulsory slot (j, idx) —
+  /// precomputed so mark updates and rank-indexed scratch lookups are O(1)
+  /// in the solver inner loops.
+  std::uint32_t comp_rank(PageId j, std::uint32_t idx) const {
+    return comp_rank_[comp_offset_[j] + idx];
+  }
+  /// Rank (on the host server) of the object of optional slot (j, idx).
+  std::uint32_t opt_rank(PageId j, std::uint32_t idx) const {
+    return opt_rank_[opt_offset_[j] + idx];
+  }
   /// Eq. 3 base term of page j: Ovhd(S_i) + HTML transfer time.
   double page_base_local_time(PageId j) const { return page_base_local_[j]; }
   /// Eq. 4 base term of page j: Ovhd(R, S_i).
@@ -132,6 +195,25 @@ class SystemModel {
   /// Rebuilds every rate/overhead-derived slot cache. Must be called after
   /// mutating a server's rates or overheads through mutable_server().
   void refresh_network_caches();
+
+  // ---- pre-flight estimators -----------------------------------------------
+  // Count-based byte estimators for the containers finalize() builds, usable
+  // before anything is allocated (the scale workload tier sizes multi-GB
+  // instances from parameter upper bounds). All arithmetic is 64-bit:
+  // >4G-element instances must not overflow intermediates. finalize() charges
+  // exactly these formulas, so estimates and memacct charges agree.
+
+  /// Flat slot caches (offsets, visit order, ranks, transfer times).
+  static std::uint64_t estimate_csr_bytes_for(std::uint64_t pages,
+                                              std::uint64_t comp_slots,
+                                              std::uint64_t opt_slots);
+  /// Derived indices (pages per server, reference CSR, per-server totals).
+  /// `ref_ranks` = total distinct (server, object) pairs; `refs` = total
+  /// (page, slot) references == comp_slots + opt_slots.
+  static std::uint64_t estimate_index_bytes_for(std::uint64_t servers,
+                                                std::uint64_t pages,
+                                                std::uint64_t ref_ranks,
+                                                std::uint64_t refs);
 
  private:
   void check_finalized() const;
@@ -144,9 +226,16 @@ class SystemModel {
   bool finalized_ = false;
 
   std::vector<std::vector<PageId>> pages_on_server_;
-  std::vector<std::unordered_map<ObjectId, std::vector<PageObjectRef>>>
-      refs_on_server_;
+  std::vector<std::uint32_t> page_pos_in_host_;  // per page
   std::vector<std::vector<ObjectId>> objects_referenced_;
+  // Flat reference index: server i's rank block is
+  // [rank_base_[i], rank_base_[i+1]); the refs of global rank r occupy
+  // refs_flat_[ref_offset_[r] .. ref_offset_[r+1]) in page order (compulsory
+  // before optional within a page), matching insertion order so algorithms
+  // iterate references deterministically.
+  std::vector<std::uint64_t> rank_base_;   // num_servers + 1
+  std::vector<std::uint64_t> ref_offset_;  // total_ref_ranks + 1
+  std::vector<PageObjectRef> refs_flat_;
   std::vector<std::uint64_t> html_bytes_on_server_;
   std::vector<std::uint64_t> full_replication_bytes_;
   std::vector<double> page_request_rate_;
@@ -155,6 +244,8 @@ class SystemModel {
   std::vector<std::uint32_t> comp_offset_;  // num_pages + 1
   std::vector<std::uint32_t> opt_offset_;   // num_pages + 1
   std::vector<std::uint32_t> comp_order_;
+  std::vector<std::uint32_t> comp_rank_;  // per slot: host-server object rank
+  std::vector<std::uint32_t> opt_rank_;
   std::vector<double> comp_local_xfer_;
   std::vector<double> comp_remote_xfer_;
   std::vector<double> opt_local_time_;
@@ -167,8 +258,6 @@ class SystemModel {
   // deterministic (copies of the model re-charge via Charge's copy ctor).
   memacct::Charge mem_csr_charge_;
   memacct::Charge mem_index_charge_;
-
-  static const std::vector<PageObjectRef> kNoRefs;
 };
 
 }  // namespace mmr

@@ -138,6 +138,16 @@ void check_headroom(std::uint64_t extra_bytes, const char* what) {
   }
 }
 
+void reset_peaks() {
+  Registry& r = registry();
+  for (CategorySlot& slot : r.slots) {
+    slot.peak.store(slot.current.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+  r.total_peak.store(r.total_current.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
 void reset_for_test() {
   Registry& r = registry();
   for (CategorySlot& slot : r.slots) {

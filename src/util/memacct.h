@@ -81,6 +81,12 @@ std::uint64_t budget_bytes();
 /// Assignment this solve is about to build fit?") before any allocation.
 void check_headroom(std::uint64_t extra_bytes, const char* what);
 
+/// Rebases every peak to the corresponding current total (budget and
+/// current charges untouched). Multi-phase harnesses (bench/scale_suite)
+/// call this between phases so each phase's total_peak_bytes() reports its
+/// own high-water mark instead of the largest phase seen so far.
+void reset_peaks();
+
 /// Test hook: zeroes every current/peak total (does not touch the budget).
 void reset_for_test();
 

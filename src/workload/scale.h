@@ -1,0 +1,94 @@
+// Web-scale workload tiers: Table 1 extrapolated to 1000-site instances.
+//
+// The paper's experiments stop at 10 sites / ~6000 pages; the sharded solver
+// targets three orders of magnitude more. Each tier keeps the per-site shape
+// of Table 1 (page composition, size mixtures, hot/cold split, network
+// estimates) and scales only the fleet: more sites, a larger shared MO
+// universe, fewer pages per site (a 1000-site hoster serves many small
+// sites, not a thousand copies of the paper's flagship).
+//
+// Because a large-tier instance allocates multiple GB, generation starts
+// with an explicit memory pre-flight: expected container sizes are computed
+// from the parameters alone (the same closed-form estimators finalize() and
+// the Assignment constructor charge against) and checked against the
+// memacct budget BEFORE the first allocation, so an oversized solve fails in
+// milliseconds with a byte-accurate message instead of thrashing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/system.h"
+#include "workload/params.h"
+
+namespace mmr {
+
+class ThreadPool;
+
+/// Instance tiers for the scale suite (bench/scale_suite, CI scale-smoke).
+enum class ScaleTier : std::uint8_t {
+  kSmall = 0,   ///< 50 sites — CI smoke, seconds
+  kMedium,      ///< 250 sites — local iteration, tens of seconds
+  kLarge,       ///< 1000 sites / ~100k pages / millions of MOs — minutes
+};
+
+/// "small" / "medium" / "large".
+const char* scale_tier_name(ScaleTier tier);
+/// Inverse of scale_tier_name; throws CheckError on an unknown name.
+ScaleTier parse_scale_tier(const std::string& name);
+
+/// Table-1 distributions extrapolated to the tier's fleet size.
+WorkloadParams scale_params(ScaleTier tier);
+
+/// Expected-size memory pre-flight, computed from the parameters alone — no
+/// allocation happens here. Counts are expectations of the generator's
+/// distributions (uniform ranges use their midpoint), not worst cases: the
+/// point is a GB-accurate go/no-go, and the worst case is within ~1% of the
+/// expectation at these population sizes.
+struct ScalePreflight {
+  std::uint64_t servers = 0;
+  std::uint64_t pages = 0;        ///< expected page count
+  std::uint64_t comp_slots = 0;   ///< expected compulsory references
+  std::uint64_t opt_slots = 0;    ///< expected optional references
+  std::uint64_t ref_ranks = 0;    ///< expected distinct (server, MO) pairs
+  std::uint64_t csr_bytes = 0;    ///< model.csr (finalize's slot caches)
+  std::uint64_t index_bytes = 0;  ///< model.index (derived indices)
+  std::uint64_t bits_bytes = 0;   ///< assignment.bits (X / X')
+  std::uint64_t caches_bytes = 0; ///< assignment.caches (incl. marks)
+  std::uint64_t total_bytes = 0;  ///< sum of the four estimates
+  std::string to_string() const;
+};
+
+ScalePreflight estimate_scale_memory(const WorkloadParams& params);
+
+/// Capacity calibration so every pipeline phase does real work at scale.
+struct ScaleConstraintOptions {
+  /// Per-site processing capacity: mandatory HTML load plus this fraction of
+  /// the unconstrained solution's headroom above it (0 = Remote policy,
+  /// 1 = unconstrained). 0.7 leaves Eq. 8 restoration a real deficit.
+  double proc_headroom = 0.7;
+  /// Repository capacity as a fraction of the load the unconstrained
+  /// placement puts on R; < 1 guarantees the Eq. 9 negotiation triggers.
+  double repo_fraction = 0.8;
+};
+
+/// Calibrates per-site processing and repository capacities against one
+/// scratch PARTITION of the (already finalized) instance. Storage capacity
+/// is assumed to have been set by the generator's storage_fraction.
+void apply_scale_constraints(SystemModel& sys,
+                             const ScaleConstraintOptions& options = {},
+                             ThreadPool* pool = nullptr,
+                             std::uint32_t shards = 0);
+
+/// Pre-flight (memacct::check_headroom; throws MemBudgetError when a budget
+/// is set and the expected footprint exceeds it), then generation, then
+/// capacity calibration. The pool/shards only accelerate the calibration's
+/// scratch PARTITION — the returned instance is identical at any setting.
+SystemModel generate_scale_workload(const WorkloadParams& params,
+                                    std::uint64_t seed,
+                                    const ScaleConstraintOptions& constraints =
+                                        {},
+                                    ThreadPool* pool = nullptr,
+                                    std::uint32_t shards = 0);
+
+}  // namespace mmr

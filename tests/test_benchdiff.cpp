@@ -201,6 +201,75 @@ TEST(BenchDiff, TailRelThresholdAppliesToP99Series) {
   EXPECT_DOUBLE_EQ(r.series[1].threshold, 3.0);
 }
 
+TEST(BenchDiff, RelOverrideAppliesPerPrefix) {
+  // 20% drift everywhere; the tiers get their own bounds: small tolerates
+  // 30%, large only 5%, series outside the overrides keep the default.
+  const BenchArtifact base = artifact({{"scale.small.solve_wall_s", 10.0, 0.0},
+                                       {"scale.large.solve_wall_s", 10.0, 0.0},
+                                       {"other.wall_s", 10.0, 0.0}});
+  const BenchArtifact cand = artifact({{"scale.small.solve_wall_s", 12.0, 0.0},
+                                       {"scale.large.solve_wall_s", 12.0, 0.0},
+                                       {"other.wall_s", 12.0, 0.0}});
+  BenchDiffOptions opt;
+  opt.rel_overrides = {{"scale.small.", 0.30}, {"scale.large.", 0.05}};
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  ASSERT_EQ(r.series.size(), 3u);  // sorted: other, scale.large, scale.small
+  EXPECT_EQ(r.series[0].name, "other.wall_s");
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kRegression);
+  EXPECT_EQ(r.series[1].name, "scale.large.solve_wall_s");
+  EXPECT_EQ(r.series[1].verdict, SeriesVerdict::kRegression);
+  EXPECT_EQ(r.series[2].name, "scale.small.solve_wall_s");
+  EXPECT_EQ(r.series[2].verdict, SeriesVerdict::kPass);
+}
+
+TEST(BenchDiff, RelOverrideLongestPrefixWins) {
+  const BenchArtifact base = artifact({{"scale.small.solve_wall_s", 10.0, 0.0},
+                                       {"scale.large.solve_wall_s", 10.0, 0.0}});
+  const BenchArtifact cand = artifact({{"scale.small.solve_wall_s", 12.0, 0.0},
+                                       {"scale.large.solve_wall_s", 12.0, 0.0}});
+  BenchDiffOptions opt;
+  // Broad bound for every scale series, tightened for the large tier; the
+  // declaration order must not matter.
+  opt.rel_overrides = {{"scale.large.", 0.05}, {"scale.", 0.30}};
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  EXPECT_EQ(r.series[0].name, "scale.large.solve_wall_s");
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kRegression);
+  EXPECT_EQ(r.series[1].name, "scale.small.solve_wall_s");
+  EXPECT_EQ(r.series[1].verdict, SeriesVerdict::kPass);
+}
+
+TEST(BenchDiff, RelOverrideBeatsMemAndTailSpecializations) {
+  // A byte-unit p99 series matched by a prefix override: the override's
+  // bound is the one applied, not --mem-rel or --tail-rel.
+  BenchArtifact base = artifact({{"scale.small.p99_bytes", 1000.0, 0.0}});
+  BenchArtifact cand = artifact({{"scale.small.p99_bytes", 1200.0, 0.0}});
+  for (BenchArtifact* a : {&base, &cand}) {
+    a->measurements[0].unit = "B";
+  }
+  BenchDiffOptions opt;
+  opt.mem_rel_threshold = 0.35;
+  opt.tail_rel_threshold = 0.35;
+  opt.rel_overrides = {{"scale.small.", 0.05}};
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kRegression);
+  EXPECT_DOUBLE_EQ(r.series[0].threshold, 50.0);
+}
+
+TEST(BenchDiff, RelOverridesInVerdictJson) {
+  const BenchArtifact base = artifact({{"scale.small.solve_wall_s", 1.0, 0.0}});
+  const BenchArtifact cand = artifact({{"scale.small.solve_wall_s", 1.0, 0.0}});
+  BenchDiffOptions opt;
+  opt.rel_overrides = {{"scale.small.", 0.30}};
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  std::ostringstream os;
+  write_benchdiff_json(os, r, opt);
+  const JsonValue v = json_parse(os.str());
+  const JsonValue& overrides = v.at("thresholds").at("rel_overrides");
+  ASSERT_EQ(overrides.arr.size(), 1u);
+  EXPECT_EQ(overrides.at(std::size_t{0}).at("prefix").str_v, "scale.small.");
+  EXPECT_DOUBLE_EQ(overrides.at(std::size_t{0}).at("rel").num_v, 0.30);
+}
+
 TEST(BenchDiff, TailRelThresholdInVerdictJson) {
   const BenchArtifact base = artifact({{"stretch_p99", 10.0, 0.0}});
   const BenchArtifact cand = artifact({{"stretch_p99", 10.1, 0.0}});

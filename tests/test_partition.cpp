@@ -205,9 +205,9 @@ TEST(RepartitionWithinStore, OnlyMarksAllowedObjects) {
   // Simulate a deallocation of M1 (object id 1): clear its mark.
   asg.set_comp_local(0, 1, false);
 
-  std::vector<std::uint8_t> allowed(sys.num_objects(), 0);
-  allowed[0] = 1;  // only M0 may be local
-  allowed[2] = 1;  // and the optional M2
+  std::vector<std::uint8_t> allowed(sys.num_referenced(0), 0);
+  allowed[sys.object_rank_on_server(0, 0)] = 1;  // only M0 may be local
+  allowed[sys.object_rank_on_server(0, 2)] = 1;  // and the optional M2
   repartition_within_store(sys, asg, 0, allowed, {2.0, 1.0});
   EXPECT_FALSE(asg.comp_local(0, 1));  // M1 must stay remote
 }
@@ -218,7 +218,7 @@ TEST(RepartitionWithinStore, KeepsOldMarkingWhenNewIsWorse) {
   partition_page(sys, asg, 0);
   const double before = page_contribution(asg, 0, {2.0, 1.0});
 
-  std::vector<std::uint8_t> allowed(sys.num_objects(), 1);
+  std::vector<std::uint8_t> allowed(sys.num_referenced(0), 1);
   const bool changed = repartition_within_store(sys, asg, 0, allowed,
                                                 {2.0, 1.0});
   // Partition already optimal for the full store: no change, same value.
@@ -264,8 +264,8 @@ TEST(RepartitionWithinStore, RecoversAfterDeallocation) {
   // Force page 0 fully remote (as if `small` had been deallocated and later
   // re-stored by page 1), then repartition within {small}.
   asg.set_comp_local(0, 1, false);
-  std::vector<std::uint8_t> allowed(sys.num_objects(), 0);
-  allowed[1] = 1;
+  std::vector<std::uint8_t> allowed(sys.num_referenced(0), 0);
+  allowed[sys.object_rank_on_server(0, 1)] = 1;
   EXPECT_TRUE(repartition_within_store(sys, asg, 0, allowed, {2.0, 1.0}));
   EXPECT_TRUE(asg.comp_local(0, 1));   // small pulled back local
   EXPECT_FALSE(asg.comp_local(0, 0));  // big not allowed

@@ -1,0 +1,144 @@
+// Shard-count invariance of the sharded pipeline. The contract under test
+// (model/shard.h, docs/PERFORMANCE.md "Sharded solve"): shards are a pure
+// execution grouping, so the solver's output — every decision bit, every
+// cached quantity, every metrics instrument — is byte-identical at any
+// shard count x thread count, including unsharded.
+#include <cstddef>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+#include "model/cost.h"
+#include "model/shard.h"
+#include "test_helpers.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+// Mid-size instance with all three constraint families binding, so every
+// phase — PARTITION, the Eq. 10 cascade, Eq. 8, and the Eq. 9 negotiation —
+// does real work that crosses shard boundaries.
+SystemModel mid_system(std::uint64_t seed) {
+  WorkloadParams params = testing::small_params();
+  params.num_servers = 12;
+  params.storage_fraction = 0.3;
+  params.server_proc_capacity = 50.0;
+  SystemModel sys = generate_workload(params, seed);
+  set_repo_capacity(sys, 400.0, 1.0);
+  return sys;
+}
+
+void expect_same_result(const PolicyResult& a, const PolicyResult& b) {
+  EXPECT_EQ(a.assignment.comp_bits(), b.assignment.comp_bits());
+  EXPECT_EQ(a.assignment.opt_bits(), b.assignment.opt_bits());
+  // Exact equality on purpose: same arithmetic in the same order.
+  EXPECT_EQ(a.d_after_partition, b.d_after_partition);
+  EXPECT_EQ(a.d_after_storage, b.d_after_storage);
+  EXPECT_EQ(a.d_after_processing, b.d_after_processing);
+  EXPECT_EQ(a.d_after_offload, b.d_after_offload);
+  EXPECT_EQ(a.storage_report.deallocations, b.storage_report.deallocations);
+  EXPECT_EQ(a.storage_report.bytes_freed, b.storage_report.bytes_freed);
+  EXPECT_EQ(a.processing_report.unmarked_slots,
+            b.processing_report.unmarked_slots);
+  EXPECT_EQ(a.offload_report.rounds.size(), b.offload_report.rounds.size());
+  EXPECT_EQ(a.offload_report.slots_absorbed, b.offload_report.slots_absorbed);
+  EXPECT_EQ(a.offload_report.swaps, b.offload_report.swaps);
+  EXPECT_EQ(a.feasible, b.feasible);
+}
+
+TEST(Sharded, BitIdenticalAcrossShardAndThreadCounts) {
+  const SystemModel sys = mid_system(601);
+  const PolicyResult serial = run_replication_policy(sys, {});
+
+  for (std::uint32_t shards : {1u, 2u, 8u}) {
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << shards << " shards, " << threads << " threads");
+      ThreadPool pool(threads);
+      PolicyOptions options;
+      options.pool = &pool;
+      options.shards = shards;
+      expect_same_result(serial, run_replication_policy(sys, options));
+    }
+  }
+}
+
+TEST(Sharded, ShardsWithoutPoolMatchSerial) {
+  const SystemModel sys = mid_system(602);
+  const PolicyResult serial = run_replication_policy(sys, {});
+  PolicyOptions options;
+  options.shards = 4;  // plan built, phases run shard-by-shard on one thread
+  expect_same_result(serial, run_replication_policy(sys, options));
+}
+
+TEST(Sharded, MetricsInvariantAcrossShardCounts) {
+  const SystemModel sys = mid_system(603);
+
+  const auto run_with_registry = [&](std::uint32_t shards,
+                                     std::size_t threads) {
+    MetricsRegistry registry;
+    MetricsScope scope(&registry);
+    ThreadPool pool(threads);
+    PolicyOptions options;
+    options.pool = &pool;
+    options.shards = shards;
+    run_replication_policy(sys, options);
+    return registry.snapshot();
+  };
+
+  const MetricsSnapshot baseline = run_with_registry(0, 1);
+  ASSERT_FALSE(baseline.gauges.empty());
+  ASSERT_FALSE(baseline.counters.empty());
+
+  for (std::uint32_t shards : {1u, 2u, 8u}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      SCOPED_TRACE(::testing::Message()
+                   << shards << " shards, " << threads << " threads");
+      const MetricsSnapshot snap = run_with_registry(shards, threads);
+      EXPECT_EQ(baseline.counters, snap.counters);
+      ASSERT_EQ(baseline.gauges.size(), snap.gauges.size());
+      for (const auto& [name, stat] : baseline.gauges) {
+        SCOPED_TRACE(name);
+        const auto it = snap.gauges.find(name);
+        ASSERT_NE(it, snap.gauges.end());
+        EXPECT_EQ(stat.count, it->second.count);
+        EXPECT_EQ(stat.last, it->second.last);
+        EXPECT_EQ(stat.mean, it->second.mean);
+        EXPECT_EQ(stat.min, it->second.min);
+        EXPECT_EQ(stat.max, it->second.max);
+      }
+    }
+  }
+}
+
+TEST(Sharded, ShardedObjectiveCrossValidatesAgainstFromScratch) {
+  const SystemModel sys = mid_system(604);
+  ThreadPool pool(4);
+  PolicyOptions options;
+  options.pool = &pool;
+  options.shards = 8;
+  const PolicyResult r = run_replication_policy(sys, options);
+  const Weights w = options.weights;
+
+  // The sharded pipeline's incremental caches must agree with the O(refs)
+  // from-scratch evaluator, and the reported objective with both.
+  const double from_scratch = objective_total(sys, r.assignment, w);
+  EXPECT_NEAR(objective_total_cached(r.assignment, w), from_scratch,
+              1e-6 * std::max(1.0, from_scratch));
+  EXPECT_NEAR(r.d_after_offload, from_scratch,
+              1e-6 * std::max(1.0, from_scratch));
+
+  // And match the unsharded serial solve exactly.
+  const PolicyResult serial = run_replication_policy(sys, {});
+  EXPECT_EQ(serial.assignment.comp_bits(), r.assignment.comp_bits());
+  EXPECT_EQ(serial.assignment.opt_bits(), r.assignment.opt_bits());
+  EXPECT_EQ(serial.d_after_offload, r.d_after_offload);
+}
+
+}  // namespace
+}  // namespace mmr

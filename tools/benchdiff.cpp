@@ -11,6 +11,10 @@
 //       [--min-abs=0]     absolute delta floor in the series' unit
 //       [--filter=STR]    only compare series whose name contains STR;
 //                         repeatable — a series matching ANY filter is kept
+//       [--rel-for=P:R]   series whose name starts with prefix P use
+//                         relative threshold R instead of --rel/--mem-rel/
+//                         --tail-rel; repeatable, longest prefix wins (the
+//                         scale gate keys per-tier bounds off this)
 //       [--json-out=F]    also write the machine-readable verdict JSON
 //       [--quiet]         suppress the human table (summary line only)
 //
@@ -36,6 +40,9 @@ int main(int argc, char** argv) {
       .describe("k", "stddev multiplier for the noise bound (default 3)")
       .describe("min-abs", "absolute delta floor (default 0)")
       .describe("filter", "substring filter on series names (repeatable)")
+      .describe("rel-for",
+                "PREFIX:REL per-prefix relative threshold override "
+                "(repeatable, longest prefix wins)")
       .describe("json-out", "write verdict JSON to this path")
       .describe("quiet", "summary line only, no table");
   if (flags.help_requested()) {
@@ -60,6 +67,16 @@ int main(int argc, char** argv) {
     options.tail_rel_threshold =
         flags.get_double("tail-rel", options.tail_rel_threshold);
     options.filters = flags.get_string_list("filter");
+    for (const std::string& spec : flags.get_string_list("rel-for")) {
+      const std::size_t colon = spec.find_last_of(':');
+      if (colon == std::string::npos || colon + 1 == spec.size()) {
+        std::cerr << "error: --rel-for expects PREFIX:REL, got '" << spec
+                  << "'\n";
+        return 2;
+      }
+      options.rel_overrides.emplace_back(spec.substr(0, colon),
+                                         std::stod(spec.substr(colon + 1)));
+    }
 
     const BenchDiffReport report =
         diff_bench_artifacts(baseline, candidate, options);

@@ -4,6 +4,7 @@
 //   mmr_report [--metrics=metrics.json] [--trace=trace.json]
 //              [--audit=audit.jsonl] [--flight=flight.jsonl]
 //              [--timeline=timeline.jsonl] [--sketch=sketch.jsonl]
+//              [--scale=BENCH_scale.json]
 //       [--policy=ours]    restrict audit/flight sections to one policy
 //                          label; falls back to all events when no event
 //                          carries the label
@@ -18,8 +19,10 @@
 // pages with local-vs-repository attribution from the flight log, the
 // hottest spans from trace.json, the resource timeline (RSS trajectory,
 // tracked-memory peaks, phase occupancy, hardware counters) from the
-// mmr-timeline artifact, and the streaming-telemetry sections (tail
-// trajectory, hot objects, SLO attainment) from the mmr-sketch artifact.
+// mmr-timeline artifact, the streaming-telemetry sections (tail
+// trajectory, hot objects, SLO attainment) from the mmr-sketch artifact,
+// and the scale trajectory (solve time and memory vs instance size) from a
+// bench/scale_suite BENCH_scale.json.
 // A NAMED artifact that is missing or empty is an error, not a silently
 // skipped section. Exit codes: 0 = report rendered, 2 = usage or I/O
 // error.
@@ -35,6 +38,7 @@
 #include <vector>
 
 #include "io/artifacts.h"
+#include "io/benchfmt.h"
 #include "io/provenance.h"
 #include "obs/sketch_artifact.h"
 #include "util/check.h"
@@ -772,6 +776,70 @@ void render_slo(const SketchDoc& doc, ReportWriter& out) {
 }
 
 // ---------------------------------------------------------------------------
+// scale section (bench/scale_suite BENCH artifact)
+
+/// Solve time and memory footprint vs instance size, one row per scale
+/// tier. The artifact is a generic BENCH document; the tiers are recovered
+/// from the "scale.<tier>.*" series names, rendered in the canonical
+/// small/medium/large order with any other tiers appended alphabetically.
+void render_scale_trajectory(const BenchArtifact& bench, ReportWriter& out) {
+  out.section("Scale trajectory (bench/scale_suite)");
+  std::set<std::string> seen;
+  for (const BenchMeasurement& m : bench.measurements) {
+    if (m.name.rfind("scale.", 0) != 0) continue;
+    const std::size_t dot = m.name.find('.', 6);
+    if (dot != std::string::npos) seen.insert(m.name.substr(6, dot - 6));
+  }
+  std::vector<std::string> tiers;
+  const auto add_tier = [&](const std::string& tier) {
+    if (std::find(tiers.begin(), tiers.end(), tier) == tiers.end()) {
+      tiers.push_back(tier);
+    }
+  };
+  for (const char* canon : {"small", "medium", "large"}) {
+    if (seen.count(canon) > 0) add_tier(canon);
+  }
+  for (const std::string& tier : seen) add_tier(tier);
+  if (tiers.empty()) {
+    out.para("(no scale.<tier>.* series in the artifact)");
+    return;
+  }
+
+  const auto mean_of = [&](const std::string& tier, const char* series) {
+    const BenchMeasurement* m =
+        bench.find("scale." + tier + "." + series);
+    return m != nullptr ? m->stats.mean : 0.0;
+  };
+  out.para("From " + bench.tool + " @ " + bench.git_describe + " (" +
+           bench.timestamp_utc + ").");
+  double first_solve = 0;
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& tier : tiers) {
+    const BenchMeasurement* solve =
+        bench.find("scale." + tier + ".solve_wall_s");
+    const double solve_s = solve != nullptr ? solve->stats.mean : 0.0;
+    if (rows.empty()) first_solve = solve_s;
+    rows.push_back(
+        {tier,
+         solve != nullptr ? std::to_string(solve->stats.count) : "0",
+         format_double(mean_of(tier, "gen_wall_s"), 3),
+         format_double(solve_s, 3),
+         first_solve > 0 ? format_double(solve_s / first_solve, 1) + "x"
+                         : "-",
+         format_bytes(mean_of(tier, "tracked_peak_bytes")),
+         format_bytes(mean_of(tier, "peak_rss_bytes")),
+         format_double(mean_of(tier, "d_final"), 0)});
+  }
+  out.table({"tier", "reps", "gen [s]", "solve [s]", "vs first",
+             "tracked peak", "peak RSS", "objective D"},
+            rows);
+  out.para("Tracked peak is the memacct high-water mark, rebased per tier "
+           "(deterministic for a given instance); peak RSS is the OS "
+           "high-water mark, so each row includes every tier that ran "
+           "before it.");
+}
+
+// ---------------------------------------------------------------------------
 
 /// Reads a NAMED artifact strictly: a path the user asked for must exist
 /// and hold data — silently rendering a partial report would hide a broken
@@ -804,6 +872,7 @@ int main(int argc, char** argv) {
       .describe("flight", "flight recorder JSONL path")
       .describe("timeline", "mmr-timeline resource sampler JSONL path")
       .describe("sketch", "mmr-sketch streaming telemetry JSONL path")
+      .describe("scale", "bench/scale_suite BENCH_scale.json path")
       .describe("policy", "policy label for audit/flight sections "
                           "(default 'ours')")
       .describe("top", "rows in the slowest-pages / trace / sketch tables "
@@ -812,7 +881,7 @@ int main(int argc, char** argv) {
       .describe("out", "write the report to this path instead of stdout");
   const std::string usage =
       "usage: mmr_report [--metrics=F] [--trace=F] [--audit=F] [--flight=F] "
-      "[--timeline=F] [--sketch=F] [--policy=ours] [--top=10] "
+      "[--timeline=F] [--sketch=F] [--scale=F] [--policy=ours] [--top=10] "
       "[--format=text|md] [--out=F]\n";
   if (flags.help_requested()) {
     std::cout << usage << flags.help();
@@ -825,8 +894,10 @@ int main(int argc, char** argv) {
   const std::string flight_path = flags.get_string("flight", "");
   const std::string timeline_path = flags.get_string("timeline", "");
   const std::string sketch_path = flags.get_string("sketch", "");
+  const std::string scale_path = flags.get_string("scale", "");
   if (metrics_path.empty() && trace_path.empty() && audit_path.empty() &&
-      flight_path.empty() && timeline_path.empty() && sketch_path.empty()) {
+      flight_path.empty() && timeline_path.empty() && sketch_path.empty() &&
+      scale_path.empty()) {
     std::cerr << "error: no artifacts given\n" << usage;
     return 2;
   }
@@ -900,6 +971,10 @@ int main(int argc, char** argv) {
       render_tail_trajectory(doc, top, out);
       render_hot_objects(doc, top, out);
       render_slo(doc, out);
+    }
+    if (!scale_path.empty()) {
+      render_scale_trajectory(parse_bench_json(read_artifact_text(scale_path)),
+                              out);
     }
 
     const std::string out_path = flags.get_string("out", "");
