@@ -17,6 +17,15 @@
 //       bounded at any --requests count. [--slo=R,S,T] [--window=N] tune
 //       the SLO evaluation; --sketch-out=<path> (any command that
 //       simulates) writes the mmr-sketch JSONL artifact.
+//   mmrepl_cli simulate --des --system=sys.txt --placement=placement.txt
+//       Discrete-event mode (sim/des.h): servers and the repository queue
+//       for real. [--arrival-rate=X] scales the offered load,
+//       [--concurrency=N] / [--repo-concurrency=N] set connection slots,
+//       [--queue-cap=N] bounds pending connections (Eq. 8 as a queue),
+//       [--discipline=fifo|ps] picks the service discipline and
+//       [--overflow=redirect|reject] what happens past the cap.
+//       [--threads=N --shards=K] shard the per-server event loops; the
+//       results are byte-identical at any thread/shard count.
 //
 // Every command also accepts --metrics-out=<path> / --trace-out=<path> to
 // dump the run's metrics.json / Chrome trace.json, plus
@@ -40,6 +49,7 @@
 #include "io/serialize.h"
 #include "obs/obs.h"
 #include "obs/sketch_artifact.h"
+#include "sim/des.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
 #include "util/memacct.h"
@@ -134,6 +144,67 @@ int cmd_audit(const Flags& flags) {
   return 2;
 }
 
+int cmd_simulate_des(const Flags& flags, const SystemModel& sys,
+                     const Assignment& asg) {
+  DesParams params;
+  params.requests_per_server =
+      static_cast<std::uint32_t>(flags.get_int("requests", 10000));
+  params.arrival_rate_scale = flags.get_double("arrival-rate", 1.0);
+  params.server_concurrency =
+      static_cast<std::uint32_t>(flags.get_int("concurrency", 8));
+  params.repo_concurrency =
+      static_cast<std::uint32_t>(flags.get_int("repo-concurrency", 64));
+  params.queue_cap =
+      static_cast<std::uint32_t>(flags.get_int("queue-cap", 1024));
+  params.discipline =
+      parse_queue_discipline(flags.get_string("discipline", "fifo"));
+  params.overflow =
+      parse_overflow_policy(flags.get_string("overflow", "redirect"));
+  params.shards = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, flags.get_int("shards", 0)));
+  const auto threads = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get_int("threads", 1)));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads != 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    params.pool = pool.get();
+  }
+  set_obs_enabled(true);
+  const DesSimulator sim(sys, params);
+  const DesMetrics m = sim.simulate(
+      asg, static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  set_obs_gauges();
+  const std::vector<ObsShard> groups = global_obs_log().snapshot();
+  const ObsConfig ocfg = obs_config();
+  QuantileSketch sojourn(ocfg.alpha, ocfg.max_buckets);
+  QuantileSketch stretch(ocfg.alpha, ocfg.max_buckets);
+  MMR_CHECK_MSG(merge_obs_groups(groups, &sojourn, &stretch),
+                "simulation produced no telemetry");
+  TextTable t({"metric", "value"});
+  t.add_row({"arrivals", std::to_string(m.arrivals)});
+  t.add_row({"completions", std::to_string(m.completions)});
+  t.add_row({"rejected", std::to_string(m.rejects)});
+  t.add_row({"redirected to R", std::to_string(m.redirects)});
+  t.add_row({"mean sojourn [s]", format_double(m.sojourn.mean(), 3)});
+  t.add_row({"p50 sojourn [s]", format_double(sojourn.quantile(0.5), 3)});
+  t.add_row({"p95 sojourn [s]", format_double(sojourn.quantile(0.95), 3)});
+  t.add_row({"p99 sojourn [s]", format_double(sojourn.quantile(0.99), 3)});
+  t.add_row({"p99 stretch", format_double(stretch.quantile(0.99), 2)});
+  t.add_row({"mean queue wait [s]", format_double(m.wait.mean(), 3)});
+  t.add_row({"server utilization", format_percent(m.server_utilization)});
+  t.add_row({"repository utilization", format_percent(m.repo_utilization)});
+  t.add_row({"peak server queue", std::to_string(m.queue_peak)});
+  t.add_row({"peak repository queue", std::to_string(m.repo_queue_peak)});
+  t.add_row({"kernel events", std::to_string(m.events)});
+  t.print(std::cout,
+          "discrete-event simulation (" +
+              std::to_string(params.requests_per_server) +
+              " requests/server, " +
+              std::string(queue_discipline_name(params.discipline)) + ", " +
+              std::string(overflow_policy_name(params.overflow)) + ")");
+  return 0;
+}
+
 int cmd_simulate(const Flags& flags) {
   const std::string sys_path = flags.get_string("system", "");
   const std::string asg_path = flags.get_string("placement", "");
@@ -141,6 +212,7 @@ int cmd_simulate(const Flags& flags) {
                 "simulate requires --system=<path> --placement=<path>");
   const SystemModel sys = load_system_file(sys_path);
   const Assignment asg = load_assignment_file(sys, asg_path);
+  if (flags.get_bool("des", false)) return cmd_simulate_des(flags, sys, asg);
   SimParams params;
   params.requests_per_server =
       static_cast<std::uint32_t>(flags.get_int("requests", 10000));

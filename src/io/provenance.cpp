@@ -293,6 +293,7 @@ const char* flight_mode_name(FlightMode mode) {
     case FlightMode::kStatic: return "static";
     case FlightMode::kLru: return "lru";
     case FlightMode::kThreshold: return "threshold";
+    case FlightMode::kDes: return "des";
   }
   return "unknown";
 }

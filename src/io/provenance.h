@@ -252,7 +252,12 @@ AuditLog& global_audit_log();
 // Flight records.
 
 /// Simulation mode of a flight record.
-enum class FlightMode : std::uint8_t { kStatic = 0, kLru = 1, kThreshold = 2 };
+enum class FlightMode : std::uint8_t {
+  kStatic = 0,
+  kLru = 1,
+  kThreshold = 2,
+  kDes = 3,  ///< discrete-event queueing mode (sim/des.h)
+};
 const char* flight_mode_name(FlightMode mode);
 
 /// One sampled simulated page request. `index` is the request's position in

@@ -1,0 +1,563 @@
+#include "sim/des.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "io/provenance.h"
+#include "model/shard.h"
+#include "obs/obs.h"
+#include "sim/event_queue.h"
+#include "util/memacct.h"
+#include "util/metrics.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace mmr {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// RepoJob owner for optional fetches (no outcome row to write back to).
+constexpr std::uint32_t kOptionalOwner = 0xFFFFFFFFu;
+/// Station tag marking an optional-fetch job at a site server.
+constexpr std::uint64_t kOptionalTag = 1ull << 32;
+
+/// Per-page service demands, fixed for a static placement. All four come
+/// from the finalized CSR caches (the assignment keeps Eq. 3/4 current
+/// incrementally), so the hot loop never touches per-object data.
+struct PageService {
+  double local = 0;       ///< Eq. 3 demand of the local pipeline
+  double remote = 0;      ///< Eq. 4 demand (meaningful iff remote_count > 0)
+  double all_remote = 0;  ///< redirect demand: everything via R
+  double ideal = 0;       ///< unloaded Eq. 5 (stretch denominator)
+  std::uint32_t remote_count = 0;
+};
+
+// Outcome flags.
+constexpr std::uint8_t kHasRepo = 1;     ///< a repository job was submitted
+constexpr std::uint8_t kRedirected = 2;  ///< local queue full → all via R
+constexpr std::uint8_t kRejected = 4;    ///< local queue full → dropped
+
+/// One page request's life, written by phases A/B and scored in phase C.
+struct Outcome {
+  double arrival = 0;
+  double local_done = 0;  ///< local-pipeline completion (0 when no local job)
+  double repo_done = 0;   ///< repository completion (0 when no repo job)
+  float wait = 0;         ///< local admission-queue wait
+  PageId page = kInvalidId;
+  std::uint8_t flags = 0;
+};
+
+/// One job for the repository station, collected per server in phase A and
+/// merged canonically in phase B.
+struct RepoJob {
+  double submit = 0;
+  double service = 0;
+  std::uint32_t owner = kOptionalOwner;  ///< global request index
+};
+
+struct LocalEvent {
+  std::uint32_t owner = 0;  ///< request index within the server
+  bool page_done = false;   ///< false: optional fetch finished
+};
+
+/// Phase-A outputs that are per-server scalars/stats; merged in canonical
+/// server order on the main thread.
+struct ServerPartial {
+  RunningStats optional_local_time;
+  std::uint64_t optional_fetches = 0;
+  std::uint64_t optional_rejects = 0;
+  std::uint64_t events = 0;
+  std::uint32_t queue_peak = 0;
+  double busy_s = 0;
+  double horizon = 0;  ///< latest local completion
+};
+
+/// How many optional links an interested viewer follows (same formula as
+/// the closed-form simulator, so workloads are comparable across modes).
+std::uint32_t optional_request_count(const Page& p, double fraction) {
+  if (p.optional.empty() || fraction <= 0) return 0;
+  return std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(
+             fraction * static_cast<double>(p.optional.size()))));
+}
+
+/// Floyd's k-of-n sample into reusable storage (allocation-free once warm);
+/// draw-for-draw identical to Rng::sample_without_replacement.
+void sample_into(Rng& rng, std::uint32_t n, std::uint32_t k,
+                 std::vector<std::uint32_t>* out) {
+  out->clear();
+  if (k >= n) {
+    for (std::uint32_t v = 0; v < n; ++v) out->push_back(v);
+    return;
+  }
+  for (std::uint32_t r = n - k; r < n; ++r) {
+    const auto v = static_cast<std::uint32_t>(rng.bounded(r + 1));
+    bool seen = false;
+    for (std::uint32_t x : *out) {
+      if (x == v) {
+        seen = true;
+        break;
+      }
+    }
+    out->push_back(seen ? r : v);
+  }
+}
+
+/// Scratch reused across every server of one shard, so the per-server loop
+/// allocates nothing in steady state.
+struct ShardScratch {
+  Station station{StationConfig{}};
+  EventQueue<LocalEvent> queue;
+  std::vector<PageRequest> batch;
+  std::vector<std::uint32_t> picks;
+};
+
+}  // namespace
+
+void DesParams::validate() const {
+  MMR_CHECK_MSG(requests_per_server > 0, "requests_per_server must be > 0");
+  MMR_CHECK_MSG(arrival_rate_scale > 0, "arrival_rate_scale must be > 0");
+  MMR_CHECK_MSG(server_concurrency > 0, "server_concurrency must be > 0");
+  MMR_CHECK_MSG(repo_concurrency > 0, "repo_concurrency must be > 0");
+  MMR_CHECK_MSG(batch_size > 0, "batch_size must be > 0");
+  MMR_CHECK_MSG(p_interested >= 0 && p_interested <= 1, "bad p_interested");
+  MMR_CHECK_MSG(
+      optional_request_fraction >= 0 && optional_request_fraction <= 1,
+      "bad optional_request_fraction");
+}
+
+DesSimulator::DesSimulator(const SystemModel& sys, DesParams params)
+    : sys_(&sys), params_(params), gen_(sys) {
+  params_.validate();
+}
+
+DesMetrics DesSimulator::simulate(const Assignment& asg,
+                                  std::uint64_t seed) const {
+  MMR_CHECK(&asg.system() == sys_);
+  const SystemModel& sys = *sys_;
+  const std::uint32_t n = sys.num_servers();
+  const std::uint64_t per_server = params_.requests_per_server;
+  MMR_CHECK_MSG(static_cast<std::uint64_t>(n) * per_server < kOptionalOwner,
+                "too many total requests for 32-bit request indices");
+
+  TelemetryPhaseScope phase_scope("simulate_des");
+  TraceSpan span("simulate_des");
+  if (span.active() && !current_metric_label().empty()) {
+    span.arg("policy", current_metric_label());
+  }
+
+  DesMetrics m;
+  m.per_server_sojourn.resize(n);
+
+  // Per-page demands from the assignment's incremental Eq. 3/4 caches. The
+  // redirect demand (everything from R) needs the total compulsory bytes,
+  // one startup pass over the CSR.
+  std::vector<PageService> services(sys.num_pages());
+  for (PageId j = 0; j < sys.num_pages(); ++j) {
+    PageService& svc = services[j];
+    const Page& p = sys.page(j);
+    svc.local = asg.page_local_time(j);
+    svc.remote = asg.page_remote_time(j);
+    svc.remote_count =
+        static_cast<std::uint32_t>(p.compulsory.size()) - asg.num_comp_local(j);
+    svc.ideal = std::max(svc.local, svc.remote_count > 0 ? svc.remote : 0.0);
+    std::uint64_t bytes = p.html_bytes;
+    for (ObjectId k : p.compulsory) bytes += sys.object_bytes(k);
+    const Server& server = sys.server(p.host);
+    svc.all_remote =
+        server.ovhd_repo + transfer_seconds(bytes, server.repo_rate);
+  }
+
+  // Per-server RNG substreams: arrival streams split exactly like the
+  // closed-form simulate() (pairs request-for-request at the same seed);
+  // optional-link draws come from an independent stream so the arrival
+  // stream is invariant across placements.
+  Rng master(seed);
+  std::vector<Rng> arrival_rngs;
+  arrival_rngs.reserve(n);
+  for (ServerId i = 0; i < n; ++i) {
+    arrival_rngs.push_back(master.split(0x51D0 + i));
+  }
+
+  // Outcome storage is the dominant allocation: charge it up front so a
+  // --mem-budget aborts before the fill, with the deterministic size.
+  const std::uint64_t total_requests = static_cast<std::uint64_t>(n) *
+                                       per_server;
+  const std::uint64_t outcome_bytes = total_requests * sizeof(Outcome);
+  memacct::Charge outcome_charge(memacct::Category::kSimDes, outcome_bytes);
+  std::vector<Outcome> outcomes(total_requests);
+  std::vector<std::vector<RepoJob>> repo_streams(n);
+  std::vector<ServerPartial> partials(n);
+
+  const double inv_scale = 1.0 / params_.arrival_rate_scale;
+  const StationConfig server_cfg{params_.server_concurrency,
+                                 params_.queue_cap, params_.discipline};
+
+  // ---- Phase A: per-server event loops (shard-parallel) -------------------
+  auto run_server = [&](ServerId i, ShardScratch& scratch) {
+    Rng arrival_rng = arrival_rngs[i];
+    Rng opt_rng(mix_seed(mix_seed(seed, 0xDE5C0DEull), i));
+    Station& st = scratch.station;
+    st.reset(server_cfg);
+    EventQueue<LocalEvent>& q = scratch.queue;
+    q.clear();
+    Outcome* out = outcomes.data() + static_cast<std::uint64_t>(i) *
+                                         per_server;
+    std::vector<RepoJob>& repo = repo_streams[i];
+    ServerPartial& part = partials[i];
+    const std::uint32_t global_base = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(i) * per_server);
+
+    // Starts a queued job that on_complete() just popped.
+    auto queued_started = [&](const Station::Started& s, double now) {
+      if (s.tag < kOptionalTag) {
+        Outcome& o = out[s.tag];
+        o.local_done = s.done;
+        o.wait = static_cast<float>(s.wait);
+        q.push(s.done, {static_cast<std::uint32_t>(s.tag), true});
+      } else {
+        part.optional_local_time.add(s.wait + (s.done - now));
+        q.push(s.done, {0, false});
+      }
+    };
+
+    std::uint32_t generated = 0;   // arrivals drawn so far
+    std::uint32_t consumed = 0;    // arrivals handled so far
+    std::size_t bi = 0;            // cursor into the current batch
+    double tgen = 0;               // generator clock (nominal time)
+    scratch.batch.clear();
+
+    while (consumed < per_server || !q.empty()) {
+      if (bi == scratch.batch.size() && generated < per_server) {
+        const auto want = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            params_.batch_size, per_server - generated));
+        tgen = gen_.generate_into(i, want, tgen, arrival_rng, &scratch.batch);
+        generated += want;
+        bi = 0;
+      }
+      const double t_arr = bi < scratch.batch.size()
+                               ? scratch.batch[bi].time * inv_scale
+                               : kInf;
+      const double t_ev = q.empty() ? kInf : q.peek().time;
+
+      if (t_arr <= t_ev) {
+        // Page arrival: admission at the local station, repo job raced in
+        // parallel over its own connection.
+        const PageId j = scratch.batch[bi].page;
+        ++bi;
+        const std::uint32_t idx = consumed++;
+        ++part.events;
+        Outcome& o = out[idx];
+        o.arrival = t_arr;
+        o.page = j;
+        const PageService& svc = services[j];
+        Station::Started s;
+        switch (st.offer(t_arr, svc.local, idx, &s)) {
+          case Station::Offer::kStarted:
+            o.local_done = s.done;
+            o.wait = static_cast<float>(s.wait);
+            q.push(s.done, {idx, true});
+            break;
+          case Station::Offer::kQueued:
+            break;  // local_done/wait filled when a slot frees up
+          case Station::Offer::kOverflow:
+            if (params_.overflow == OverflowPolicy::kRedirect) {
+              o.flags |= kRedirected | kHasRepo;
+              repo.push_back({t_arr, svc.all_remote, global_base + idx});
+            } else {
+              o.flags |= kRejected;
+            }
+            continue;  // no local pipeline → no optional links
+        }
+        if (svc.remote_count > 0) {
+          o.flags |= kHasRepo;
+          repo.push_back({t_arr, svc.remote, global_base + idx});
+        }
+        continue;
+      }
+
+      const auto item = q.pop();
+      const double now = item.time;
+      ++part.events;
+      if (now > part.horizon) part.horizon = now;
+      Station::Started s;
+      if (st.on_complete(now, &s)) queued_started(s, now);
+      if (!item.event.page_done) continue;
+
+      // The page's local pipeline rendered: the viewer follows optional
+      // links, each a fresh job at whichever station holds the object.
+      const Outcome& o = out[item.event.owner];
+      const PageId j = o.page;
+      const Page& p = sys.page(j);
+      if (p.optional.empty() || !opt_rng.bernoulli(params_.p_interested)) {
+        continue;
+      }
+      const std::uint32_t n_req =
+          optional_request_count(p, params_.optional_request_fraction);
+      sample_into(opt_rng, static_cast<std::uint32_t>(p.optional.size()),
+                  n_req, &scratch.picks);
+      for (std::uint32_t oi : scratch.picks) {
+        if (asg.opt_local(j, oi)) {
+          switch (st.offer(now, sys.opt_local_time(j, oi), kOptionalTag, &s)) {
+            case Station::Offer::kStarted:
+              part.optional_local_time.add(s.done - now);
+              q.push(s.done, {0, false});
+              ++part.optional_fetches;
+              break;
+            case Station::Offer::kQueued:
+              ++part.optional_fetches;
+              break;
+            case Station::Offer::kOverflow:
+              if (params_.overflow == OverflowPolicy::kRedirect) {
+                repo.push_back(
+                    {now, sys.opt_remote_time(j, oi), kOptionalOwner});
+                ++part.optional_fetches;
+              } else {
+                ++part.optional_rejects;
+              }
+              break;
+          }
+        } else {
+          repo.push_back({now, sys.opt_remote_time(j, oi), kOptionalOwner});
+          ++part.optional_fetches;
+        }
+      }
+    }
+
+    part.queue_peak = st.queue_peak();
+    part.busy_s = st.busy_seconds();
+    // Page jobs were pushed at nondecreasing arrival times but optional
+    // submits interleave; sort the stream by submit time, stably, so the
+    // phase-B merge order is a pure function of this server's event order.
+    std::stable_sort(repo.begin(), repo.end(),
+                     [](const RepoJob& a, const RepoJob& b) {
+                       return a.submit < b.submit;
+                     });
+  };
+
+  {
+    TraceSpan phase_a("des.servers");
+    const ShardPlan plan =
+        make_shard_plan(sys, std::max<std::uint32_t>(1, params_.shards));
+    if (params_.pool != nullptr && plan.num_shards() > 1) {
+      std::vector<ShardScratch> scratches(plan.num_shards());
+      params_.pool->parallel_for(plan.num_shards(), [&](std::size_t sh) {
+        const auto shard = static_cast<std::uint32_t>(sh);
+        for (ServerId i = plan.server_begin(shard);
+             i < plan.server_end(shard); ++i) {
+          run_server(i, scratches[sh]);
+        }
+      });
+    } else {
+      ShardScratch scratch;
+      for (ServerId i = 0; i < n; ++i) run_server(i, scratch);
+    }
+  }
+
+  // ---- Phase B: canonical repository pass ---------------------------------
+  // Concatenate the per-server streams in server order, then stable-sort by
+  // submit time: ties keep (server, per-server submit order). The merged
+  // order — and with it every repository completion — is independent of how
+  // phase A was sharded or threaded.
+  std::uint64_t total_jobs = 0;
+  for (const auto& stream : repo_streams) total_jobs += stream.size();
+  std::vector<RepoJob> jobs;
+  std::vector<double> job_done;
+  std::uint64_t repo_events = 0;
+  Station repo_st(StationConfig{params_.repo_concurrency, kUnboundedQueue,
+                                params_.discipline});
+  {
+    TraceSpan phase_b("des.repository");
+    jobs.reserve(total_jobs);
+    for (auto& stream : repo_streams) {
+      jobs.insert(jobs.end(), stream.begin(), stream.end());
+      stream.clear();
+      stream.shrink_to_fit();
+    }
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const RepoJob& a, const RepoJob& b) {
+                       return a.submit < b.submit;
+                     });
+    job_done.assign(jobs.size(), 0.0);
+
+    EventQueue<std::uint32_t> rq;
+    std::size_t next = 0;
+    Station::Started s;
+    while (next < jobs.size() || !rq.empty()) {
+      const double t_arr = next < jobs.size() ? jobs[next].submit : kInf;
+      const double t_ev = rq.empty() ? kInf : rq.peek().time;
+      if (t_arr <= t_ev) {
+        ++repo_events;
+        if (repo_st.offer(t_arr, jobs[next].service,
+                          static_cast<std::uint64_t>(next),
+                          &s) == Station::Offer::kStarted) {
+          job_done[next] = s.done;
+          rq.push(s.done, static_cast<std::uint32_t>(next));
+        }
+        ++next;
+      } else {
+        rq.pop();
+        ++repo_events;
+        if (repo_st.on_complete(t_ev, &s)) {
+          job_done[s.tag] = s.done;
+          rq.push(s.done, static_cast<std::uint32_t>(s.tag));
+        }
+      }
+    }
+  }
+
+  // Transient, deterministic charge for the repository stream (job count is
+  // a pure function of instance + placement + seed), mirroring
+  // account_sim_samples; the gauge carries the whole DES footprint.
+  const std::uint64_t repo_bytes =
+      total_jobs * (sizeof(RepoJob) + sizeof(double));
+  if (repo_bytes > 0) {
+    memacct::charge(memacct::Category::kSimDes, repo_bytes);
+    memacct::release(memacct::Category::kSimDes, repo_bytes);
+  }
+  MMR_GAUGE("memory.sim.des",
+            static_cast<double>(outcome_bytes + repo_bytes));
+
+  // ---- Phase C: canonical scoring (main thread, server order) -------------
+  {
+    TraceSpan phase_c("des.score");
+    FlightLog* flog = flight_enabled() ? &global_flight_log() : nullptr;
+    const std::uint32_t sample_every = flight_sample_every();
+    const std::uint64_t run = provenance_run_or_zero();
+    const std::string policy = current_metric_label();
+    std::vector<FlightRecord> flight_batch;
+
+    std::optional<ObsShard> obs_shard;
+    if (obs_enabled()) {
+      obs_shard.emplace(obs_config());
+      obs_shard->run = run;
+      obs_shard->policy = policy;
+      obs_shard->mode = FlightMode::kDes;
+    }
+
+    MetricCounter* c_requests =
+        metrics_enabled() ? &current_metrics().counter("sim.requests")
+                          : nullptr;
+
+    // Write back repository completions for page jobs.
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      if (jobs[k].owner != kOptionalOwner) {
+        outcomes[jobs[k].owner].repo_done = job_done[k];
+      }
+    }
+
+    double horizon = 0;
+    for (ServerId i = 0; i < n; ++i) {
+      if (partials[i].horizon > horizon) horizon = partials[i].horizon;
+    }
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      if (job_done[k] > horizon) horizon = job_done[k];
+    }
+    m.horizon_s = horizon;
+
+    for (ServerId i = 0; i < n; ++i) {
+      const Outcome* out = outcomes.data() + static_cast<std::uint64_t>(i) *
+                                                 per_server;
+      for (std::uint32_t r = 0; r < per_server; ++r) {
+        const Outcome& o = out[r];
+        ++m.arrivals;
+        if ((o.flags & kRejected) != 0) {
+          ++m.rejects;
+          continue;
+        }
+        if ((o.flags & kRedirected) != 0) ++m.redirects;
+        ++m.completions;
+        const double done = std::max(o.local_done, o.repo_done);
+        const double sojourn = done - o.arrival;
+        const PageService& svc = services[o.page];
+        const double stretch = svc.ideal > 0 ? sojourn / svc.ideal : 1.0;
+        m.sojourn.add(sojourn);
+        m.wait.add(o.wait);
+        m.stretch.add(stretch);
+        m.per_server_sojourn[i].add(sojourn);
+        if (params_.capture_samples) {
+          m.sojourn_samples.add(sojourn);
+          m.stretch_samples.add(stretch);
+        }
+        if (c_requests != nullptr) c_requests->add(1);
+        if (obs_shard) {
+          obs_shard->observe(o.page, i, o.arrival, sojourn, stretch,
+                             o.repo_done > 0 ? o.repo_done - o.arrival : 0.0);
+        }
+        if (flog != nullptr && r % sample_every == 0) {
+          FlightRecord rec;
+          rec.run = run;
+          rec.policy = policy;
+          rec.mode = FlightMode::kDes;
+          rec.server = i;
+          rec.page = o.page;
+          rec.index = r;
+          rec.t_local = o.local_done > 0 ? o.local_done - o.arrival : 0.0;
+          rec.t_remote = o.repo_done > 0 ? o.repo_done - o.arrival : 0.0;
+          rec.response = sojourn;
+          rec.remote_bound = rec.t_remote > rec.t_local;
+          rec.local_stretch = stretch;
+          rec.throttled = (o.flags & kRedirected) != 0 ? 1 : 0;
+          flight_batch.push_back(std::move(rec));
+        }
+      }
+      if (flog != nullptr && !flight_batch.empty()) {
+        flog->add(std::move(flight_batch));
+        flight_batch.clear();
+      }
+    }
+
+    // Optional-fetch stats: local sojourns first (server order), then
+    // repository sojourns (merged order) — both orders canonical.
+    for (ServerId i = 0; i < n; ++i) {
+      m.optional_time.merge(partials[i].optional_local_time);
+      m.optional_fetches += partials[i].optional_fetches;
+      m.optional_rejects += partials[i].optional_rejects;
+      m.events += partials[i].events;
+      if (partials[i].queue_peak > m.queue_peak) {
+        m.queue_peak = partials[i].queue_peak;
+      }
+      m.server_busy_s += partials[i].busy_s;
+    }
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      if (jobs[k].owner == kOptionalOwner) {
+        m.optional_time.add(job_done[k] - jobs[k].submit);
+      }
+    }
+    m.events += repo_events;
+    m.repo_jobs = repo_st.jobs_started();
+    m.repo_queue_peak = repo_st.queue_peak();
+    m.repo_busy_s = repo_st.busy_seconds();
+    if (m.horizon_s > 0) {
+      m.server_utilization =
+          m.server_busy_s /
+          (m.horizon_s * static_cast<double>(n) * params_.server_concurrency);
+      m.repo_utilization =
+          m.repo_busy_s / (m.horizon_s * params_.repo_concurrency);
+    }
+
+    if (obs_shard && obs_shard->requests > 0) {
+      global_obs_log().add(std::move(*obs_shard));
+    }
+  }
+
+  MMR_COUNT("des.arrivals", m.arrivals);
+  MMR_COUNT("des.completions", m.completions);
+  MMR_COUNT("des.rejects", m.rejects);
+  MMR_COUNT("des.redirects", m.redirects);
+  MMR_COUNT("des.optional_fetches", m.optional_fetches);
+  MMR_COUNT("des.repo_jobs", m.repo_jobs);
+  MMR_COUNT("des.events", m.events);
+  MMR_GAUGE("des.utilization.server", m.server_utilization);
+  MMR_GAUGE("des.utilization.repo", m.repo_utilization);
+  MMR_GAUGE("des.queue_peak.server", static_cast<double>(m.queue_peak));
+  MMR_GAUGE("des.queue_peak.repo", static_cast<double>(m.repo_queue_peak));
+  MMR_GAUGE("des.horizon_s", m.horizon_s);
+  return m;
+}
+
+}  // namespace mmr

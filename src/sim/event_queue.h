@@ -4,8 +4,9 @@
 // cache, admission bucket) is touched in true chronological order.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "util/check.h"
@@ -22,7 +23,14 @@ class EventQueue {
   };
 
   void push(double time, Event event) {
-    MMR_DCHECK(time >= last_popped_);
+    if (time < last_popped_) {
+      // Same-time reschedules computed as now + dt - dt can land a few ulps
+      // before now(); clamp those to now so they keep FIFO order behind the
+      // event being handled. A genuinely past time is still a caller bug.
+      MMR_DCHECK(last_popped_ - time <=
+                 1e-9 * std::max(1.0, std::abs(last_popped_)));
+      time = last_popped_;
+    }
     heap_.push_back({time, next_seq_++, std::move(event)});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
@@ -46,6 +54,14 @@ class EventQueue {
 
   /// Time of the most recently popped event (0 before any pop).
   double now() const { return last_popped_; }
+
+  /// Drops all events and rewinds the clock; heap storage is kept, so a
+  /// reused queue allocates nothing in steady state (sim/des.cpp).
+  void clear() {
+    heap_.clear();
+    next_seq_ = 0;
+    last_popped_ = 0;
+  }
 
  private:
   struct Later {

@@ -1,0 +1,37 @@
+#include "sim/queueing.h"
+
+namespace mmr {
+
+const char* queue_discipline_name(QueueDiscipline d) {
+  switch (d) {
+    case QueueDiscipline::kFifo: return "fifo";
+    case QueueDiscipline::kPs: return "ps";
+  }
+  return "?";
+}
+
+QueueDiscipline parse_queue_discipline(const std::string& name) {
+  if (name == "fifo") return QueueDiscipline::kFifo;
+  if (name == "ps") return QueueDiscipline::kPs;
+  MMR_CHECK_MSG(false, "unknown queue discipline '" << name
+                                                    << "' (fifo|ps)");
+  return QueueDiscipline::kFifo;
+}
+
+const char* overflow_policy_name(OverflowPolicy p) {
+  switch (p) {
+    case OverflowPolicy::kRedirect: return "redirect";
+    case OverflowPolicy::kReject: return "reject";
+  }
+  return "?";
+}
+
+OverflowPolicy parse_overflow_policy(const std::string& name) {
+  if (name == "redirect") return OverflowPolicy::kRedirect;
+  if (name == "reject") return OverflowPolicy::kReject;
+  MMR_CHECK_MSG(false, "unknown overflow policy '" << name
+                                                   << "' (redirect|reject)");
+  return OverflowPolicy::kRedirect;
+}
+
+}  // namespace mmr

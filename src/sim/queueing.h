@@ -1,0 +1,189 @@
+// Deterministic queueing stations for the discrete-event simulator
+// (sim/des.h).
+//
+// A Station models one service point — a site server or the repository —
+// with finite concurrency: up to `concurrency` jobs are in service at once,
+// later arrivals wait in a bounded FIFO queue (Eq. 8's admission throttle
+// realized as an actual queue instead of a token bucket). Two disciplines:
+//
+//   kFifo  — jobs are served in arrival order by `concurrency` parallel
+//            connection slots; service time is the job's intrinsic demand.
+//   kPs    — quasi processor sharing: every admitted job enters service
+//            immediately and its demand is stretched by the instantaneous
+//            occupancy (n/concurrency at admission). This approximates PS
+//            with O(1) events per job instead of rescheduling every
+//            in-flight completion on each occupancy change; see DESIGN.md
+//            ("Where the DES departs from Eq. 5").
+//
+// The station itself never owns an event queue: offer()/on_complete()
+// return the completion times for the caller to schedule on its
+// EventQueue, which keeps one station usable from any event loop and makes
+// the whole state machine a pure function of the (time-ordered) call
+// sequence — the determinism contract the DES shard merge relies on.
+//
+// The pending queue is a ring over a std::vector that recycles its storage
+// when fully drained, so steady-state operation allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mmr {
+
+enum class QueueDiscipline : std::uint8_t { kFifo = 0, kPs = 1 };
+
+/// What to do with a page request that finds the station's queue full.
+enum class OverflowPolicy : std::uint8_t {
+  kRedirect = 0,  ///< serve the whole request from the repository
+  kReject = 1,    ///< drop it (counted; arrivals == completions + rejects)
+};
+
+inline constexpr std::uint32_t kUnboundedQueue = 0xFFFFFFFFu;
+
+/// "fifo" / "ps" — artifact and flag spellings (queueing.cpp).
+const char* queue_discipline_name(QueueDiscipline d);
+QueueDiscipline parse_queue_discipline(const std::string& name);
+/// "redirect" / "reject".
+const char* overflow_policy_name(OverflowPolicy p);
+OverflowPolicy parse_overflow_policy(const std::string& name);
+
+struct StationConfig {
+  std::uint32_t concurrency = 1;          ///< parallel connection slots
+  std::uint32_t queue_cap = kUnboundedQueue;  ///< pending-job bound
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+};
+
+class Station {
+ public:
+  /// A job that just entered service.
+  struct Started {
+    std::uint64_t tag = 0;  ///< caller-defined job identity
+    double done = 0;        ///< completion time to schedule
+    double wait = 0;        ///< time the job spent queued before service
+  };
+
+  enum class Offer : std::uint8_t { kStarted, kQueued, kOverflow };
+
+  explicit Station(const StationConfig& cfg) { reset(cfg); }
+
+  /// Submits a job with intrinsic service demand `service` at time `now`.
+  /// kStarted fills *started (schedule started->done); kQueued parks the
+  /// job until an on_complete() frees a slot; kOverflow leaves the station
+  /// untouched (the caller applies its OverflowPolicy).
+  Offer offer(double now, double service, std::uint64_t tag,
+              Started* started) {
+    MMR_DCHECK(service >= 0);
+    if (cfg_.discipline == QueueDiscipline::kPs) {
+      // Quasi-PS: the queue bound caps total occupancy beyond the slots.
+      if (in_service_ >= cfg_.concurrency &&
+          in_service_ - cfg_.concurrency >= cfg_.queue_cap) {
+        return Offer::kOverflow;
+      }
+      ++in_service_;
+      note_ps_peak();
+      start(now, now, ps_stretch(service), tag, started);
+      return Offer::kStarted;
+    }
+    if (in_service_ < cfg_.concurrency) {
+      ++in_service_;
+      start(now, now, service, tag, started);
+      return Offer::kStarted;
+    }
+    if (queue_len() >= cfg_.queue_cap) return Offer::kOverflow;
+    pending_.push_back({service, tag, now});
+    if (queue_len() > queue_peak_) queue_peak_ = queue_len();
+    return Offer::kQueued;
+  }
+
+  /// Marks one in-service job complete at time `now`. Returns true when a
+  /// queued job enters service (fills *started for the caller to schedule).
+  bool on_complete(double now, Started* started) {
+    MMR_DCHECK(in_service_ > 0);
+    if (cfg_.discipline == QueueDiscipline::kPs || head_ == pending_.size()) {
+      --in_service_;
+      recycle();
+      return false;
+    }
+    const Pending next = pending_[head_++];
+    recycle();
+    start(now, next.enqueued, next.service, next.tag, started);
+    return true;
+  }
+
+  std::uint32_t in_service() const { return in_service_; }
+  std::uint32_t queue_len() const {
+    if (cfg_.discipline == QueueDiscipline::kPs) {
+      return in_service_ > cfg_.concurrency ? in_service_ - cfg_.concurrency
+                                            : 0;
+    }
+    return static_cast<std::uint32_t>(pending_.size() - head_);
+  }
+  /// High-water mark of queue_len() (for kPs: occupancy beyond the slots).
+  std::uint32_t queue_peak() const { return queue_peak_; }
+  /// Total intrinsic service demand started (utilization numerator).
+  double busy_seconds() const { return busy_seconds_; }
+  std::uint64_t jobs_started() const { return jobs_started_; }
+
+  /// Reconfigures and clears all state; pending storage is kept.
+  void reset(const StationConfig& cfg) {
+    MMR_CHECK_MSG(cfg.concurrency > 0, "station concurrency must be > 0");
+    cfg_ = cfg;
+    pending_.clear();
+    head_ = 0;
+    in_service_ = 0;
+    queue_peak_ = 0;
+    busy_seconds_ = 0;
+    jobs_started_ = 0;
+  }
+
+ private:
+  struct Pending {
+    double service;
+    std::uint64_t tag;
+    double enqueued;
+  };
+
+  void start(double now, double enqueued, double effective_service,
+             std::uint64_t tag, Started* started) {
+    busy_seconds_ += effective_service;
+    ++jobs_started_;
+    started->tag = tag;
+    started->done = now + effective_service;
+    started->wait = now - enqueued;
+  }
+
+  /// Occupancy stretch at admission; below full concurrency PS behaves
+  /// like dedicated slots.
+  double ps_stretch(double service) const {
+    return in_service_ <= cfg_.concurrency
+               ? service
+               : service * (static_cast<double>(in_service_) /
+                            static_cast<double>(cfg_.concurrency));
+  }
+
+  void note_ps_peak() {
+    const std::uint32_t q = queue_len();
+    if (q > queue_peak_) queue_peak_ = q;
+  }
+
+  /// Reclaims ring storage once the queue fully drains (amortized O(1)).
+  void recycle() {
+    if (head_ == pending_.size() && head_ != 0) {
+      pending_.clear();
+      head_ = 0;
+    }
+  }
+
+  StationConfig cfg_;
+  std::vector<Pending> pending_;
+  std::size_t head_ = 0;
+  std::uint32_t in_service_ = 0;
+  std::uint32_t queue_peak_ = 0;
+  double busy_seconds_ = 0;
+  std::uint64_t jobs_started_ = 0;
+};
+
+}  // namespace mmr

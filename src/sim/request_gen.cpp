@@ -41,4 +41,20 @@ std::vector<PageRequest> RequestGenerator::generate(ServerId i,
   return requests;
 }
 
+double RequestGenerator::generate_into(ServerId i, std::uint32_t count,
+                                       double t0, Rng& rng,
+                                       std::vector<PageRequest>* out) const {
+  MMR_CHECK(i < tables_.size());
+  MMR_CHECK_MSG(!ids_[i].empty(),
+                "server " << i << " has no pages with positive frequency");
+  out->clear();
+  if (out->capacity() < count) out->reserve(count);
+  double t = t0;
+  for (std::uint32_t r = 0; r < count; ++r) {
+    t += rng.exponential(rates_[i]);
+    out->push_back({t, ids_[i][tables_[i].sample(rng)]});
+  }
+  return t;
+}
+
 }  // namespace mmr

@@ -28,6 +28,15 @@ class RequestGenerator {
   std::vector<PageRequest> generate(ServerId i, std::uint32_t count,
                                     Rng& rng) const;
 
+  /// Batched variant for hot loops: overwrites *out with the next `count`
+  /// arrivals continuing from time `t0` (the previous batch's last arrival),
+  /// reusing its capacity so steady-state generation allocates nothing.
+  /// Returns the last arrival time (pass it back as the next t0). The
+  /// concatenation of batches is draw-for-draw identical to one generate()
+  /// call of the combined count on the same rng.
+  double generate_into(ServerId i, std::uint32_t count, double t0, Rng& rng,
+                       std::vector<PageRequest>* out) const;
+
   /// Total page-request rate of server i (Poisson intensity).
   double arrival_rate(ServerId i) const { return rates_[i]; }
 

@@ -62,6 +62,8 @@ const char* category_name(Category cat) {
       return "sim.events";
     case Category::kObsSketches:
       return "obs.sketches";
+    case Category::kSimDes:
+      return "sim.des";
   }
   return "?";
 }

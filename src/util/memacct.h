@@ -41,8 +41,9 @@ enum class Category : std::uint8_t {
   kProvenanceBuffers,   ///< audit + flight recorder event storage
   kSimEvents,           ///< simulator per-request sample capture
   kObsSketches,         ///< streaming-telemetry shards (sketch/hot/window)
+  kSimDes,              ///< DES per-request outcomes + repository job stream
 };
-inline constexpr std::size_t kCategoryCount = 8;
+inline constexpr std::size_t kCategoryCount = 9;
 
 /// "model.csr", "assignment.bits", ... — stable artifact names.
 const char* category_name(Category cat);

@@ -1,0 +1,318 @@
+#include "sim/des.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/static_policies.h"
+#include "io/provenance.h"
+#include "obs/obs.h"
+#include "obs/sketch_artifact.h"
+#include "sim/simulator.h"
+#include "test_helpers.h"
+#include "util/thread_pool.h"
+#include "workload/generator.h"
+
+namespace mmr {
+namespace {
+
+DesParams fast_params() {
+  DesParams p;
+  p.requests_per_server = 400;
+  return p;
+}
+
+/// A workload wide enough that 8 shards are non-trivial.
+SystemModel wide_workload(std::uint64_t seed) {
+  WorkloadParams wp = testing::small_params();
+  wp.num_servers = 10;
+  return generate_workload(wp, seed);
+}
+
+void expect_identical(const DesMetrics& a, const DesMetrics& b) {
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_EQ(a.rejects, b.rejects);
+  EXPECT_EQ(a.redirects, b.redirects);
+  EXPECT_EQ(a.optional_fetches, b.optional_fetches);
+  EXPECT_EQ(a.optional_rejects, b.optional_rejects);
+  EXPECT_EQ(a.repo_jobs, b.repo_jobs);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.queue_peak, b.queue_peak);
+  EXPECT_EQ(a.repo_queue_peak, b.repo_queue_peak);
+  EXPECT_EQ(a.sojourn.count(), b.sojourn.count());
+  // Bit-equality, not near-equality: the merge order is canonical.
+  EXPECT_DOUBLE_EQ(a.sojourn.mean(), b.sojourn.mean());
+  EXPECT_DOUBLE_EQ(a.sojourn.max(), b.sojourn.max());
+  EXPECT_DOUBLE_EQ(a.wait.mean(), b.wait.mean());
+  EXPECT_DOUBLE_EQ(a.stretch.mean(), b.stretch.mean());
+  EXPECT_DOUBLE_EQ(a.optional_time.mean(), b.optional_time.mean());
+  EXPECT_DOUBLE_EQ(a.server_busy_s, b.server_busy_s);
+  EXPECT_DOUBLE_EQ(a.repo_busy_s, b.repo_busy_s);
+  EXPECT_DOUBLE_EQ(a.horizon_s, b.horizon_s);
+  ASSERT_EQ(a.per_server_sojourn.size(), b.per_server_sojourn.size());
+  for (std::size_t i = 0; i < a.per_server_sojourn.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.per_server_sojourn[i].mean(),
+                     b.per_server_sojourn[i].mean());
+  }
+}
+
+TEST(Des, DeterministicInSeed) {
+  const SystemModel sys = generate_workload(testing::small_params(), 301);
+  const DesSimulator sim(sys, fast_params());
+  const Assignment asg = make_local_assignment(sys);
+  const DesMetrics a = sim.simulate(asg, 5);
+  const DesMetrics b = sim.simulate(asg, 5);
+  expect_identical(a, b);
+  const DesMetrics c = sim.simulate(asg, 6);
+  EXPECT_NE(a.sojourn.mean(), c.sojourn.mean());
+}
+
+TEST(Des, ConservationUnderRedirect) {
+  const SystemModel sys = generate_workload(testing::small_params(), 302);
+  DesParams p = fast_params();
+  p.server_concurrency = 2;
+  p.queue_cap = 4;  // force overflow at nominal load
+  p.overflow = OverflowPolicy::kRedirect;
+  const DesSimulator sim(sys, p);
+  const DesMetrics m = sim.simulate(make_local_assignment(sys), 7);
+  EXPECT_EQ(m.arrivals,
+            static_cast<std::uint64_t>(p.requests_per_server) *
+                sys.num_servers());
+  // Redirected requests still complete (via R); nothing is lost.
+  EXPECT_EQ(m.completions, m.arrivals);
+  EXPECT_EQ(m.rejects, 0u);
+  EXPECT_GT(m.redirects, 0u);
+  EXPECT_EQ(m.sojourn.count(), m.completions);
+}
+
+TEST(Des, ConservationUnderReject) {
+  const SystemModel sys = generate_workload(testing::small_params(), 303);
+  DesParams p = fast_params();
+  p.server_concurrency = 1;
+  p.queue_cap = 0;  // no waiting room at all
+  p.overflow = OverflowPolicy::kReject;
+  const DesSimulator sim(sys, p);
+  const DesMetrics m = sim.simulate(make_local_assignment(sys), 7);
+  EXPECT_GT(m.rejects, 0u);
+  EXPECT_EQ(m.arrivals, m.completions + m.rejects);
+  EXPECT_EQ(m.sojourn.count(), m.completions);
+  EXPECT_EQ(m.redirects, 0u);
+}
+
+TEST(Des, ByteIdenticalAcrossShardsAndThreads) {
+  const SystemModel sys = wide_workload(304);
+  const Assignment asg = make_local_assignment(sys);
+
+  global_flight_log().clear();
+  global_obs_log().clear();
+  set_flight_enabled(true);
+  set_flight_sample_every(7);
+  set_obs_enabled(true);
+
+  struct Run {
+    DesMetrics metrics;
+    std::string flight;
+    std::string sketch;
+  };
+  auto run_config = [&](std::uint32_t shards, std::size_t threads) {
+    global_flight_log().clear();
+    global_obs_log().clear();
+    DesParams p = fast_params();
+    p.shards = shards;
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      p.pool = pool.get();
+    }
+    const DesSimulator sim(sys, p);
+    Run r;
+    r.metrics = sim.simulate(asg, 11);
+    const RunMeta meta;  // no wall-clock fields: byte-comparable
+    std::ostringstream flight;
+    write_flight_jsonl(flight, global_flight_log().snapshot(),
+                       global_flight_log().dropped(), meta);
+    r.flight = flight.str();
+    std::ostringstream sketch;
+    write_sketch_jsonl(sketch, global_obs_log().snapshot(), obs_config(),
+                       global_obs_log().dropped(), meta);
+    r.sketch = sketch.str();
+    return r;
+  };
+
+  const Run ref = run_config(1, 1);
+  EXPECT_GT(ref.metrics.arrivals, 0u);
+  EXPECT_FALSE(ref.flight.empty());
+  EXPECT_FALSE(ref.sketch.empty());
+  for (std::uint32_t shards : {1u, 2u, 8u}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+      const Run r = run_config(shards, threads);
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      expect_identical(ref.metrics, r.metrics);
+      EXPECT_EQ(ref.flight, r.flight);
+      EXPECT_EQ(ref.sketch, r.sketch);
+    }
+  }
+
+  set_flight_enabled(false);
+  set_obs_enabled(false);
+  global_flight_log().clear();
+  global_obs_log().clear();
+}
+
+TEST(Des, PairedArrivalStreamsAcrossPlacements) {
+  // The page-request stream is a pure function of the seed: two different
+  // placements must see the same (server, index) -> page arrivals, so
+  // policy comparisons are paired.
+  const SystemModel sys = wide_workload(305);
+  global_flight_log().clear();
+  set_flight_enabled(true);
+  set_flight_sample_every(1);
+
+  auto arrival_pages = [&](const Assignment& asg) {
+    global_flight_log().clear();
+    const DesSimulator sim(sys, fast_params());
+    (void)sim.simulate(asg, 13);
+    std::vector<std::uint64_t> keyed;
+    for (const FlightRecord& r : global_flight_log().snapshot()) {
+      keyed.push_back((static_cast<std::uint64_t>(r.server) << 48) |
+                      (static_cast<std::uint64_t>(r.index) << 24) | r.page);
+    }
+    return keyed;
+  };
+
+  const auto local = arrival_pages(make_local_assignment(sys));
+  const auto remote = arrival_pages(make_remote_assignment(sys));
+  EXPECT_EQ(local.size(),
+            static_cast<std::size_t>(sys.num_servers()) * 400);
+  EXPECT_EQ(local, remote);
+
+  set_flight_enabled(false);
+  global_flight_log().clear();
+}
+
+TEST(Des, NearZeroLoadMatchesClosedFormEq5) {
+  // With arrivals spread so far apart that no two requests ever share a
+  // station, every sojourn must equal the closed-form simulator's Eq. 5
+  // response at nominal rates, request for request (same seed pairing).
+  const SystemModel sys = generate_workload(testing::small_params(), 306);
+  const Assignment asg = make_local_assignment(sys);
+
+  SimParams sp;
+  sp.requests_per_server = 500;
+  sp.perturb.severity = 0.0;
+  sp.p_interested = 0.0;
+  sp.capture_samples = true;
+  const Simulator closed(sys, sp);
+  const SimMetrics cf = closed.simulate(asg, 17);
+
+  DesParams dp;
+  dp.requests_per_server = 500;
+  dp.arrival_rate_scale = 1e-9;  // inter-arrival gaps ~1e9x the demands
+  dp.p_interested = 0.0;
+  dp.capture_samples = true;
+  const DesSimulator des(sys, dp);
+  const DesMetrics dm = des.simulate(asg, 17);
+
+  EXPECT_EQ(dm.redirects, 0u);
+  EXPECT_EQ(dm.rejects, 0u);
+  EXPECT_DOUBLE_EQ(dm.wait.max(), 0.0);
+  // Uncontended: stretch is 1 for every request, up to the cancellation
+  // noise of `done - arrival` at virtual times near 1e12 (ulp ~1e-4 s).
+  EXPECT_NEAR(dm.stretch.min(), 1.0, 1e-6);
+  EXPECT_NEAR(dm.stretch.max(), 1.0, 1e-6);
+
+  const auto& a = cf.page_samples.samples();
+  const auto& b = dm.sojourn_samples.samples();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // 1e-6 relative: the dominant error is not the per-object-vs-summed
+    // transfer pricing (1e-15ish) but subtracting ~1e12-second arrival
+    // clocks, which quantizes each sojourn at ulp(arrival) ~1e-4 s.
+    ASSERT_NEAR(a[i], b[i], 1e-6 * std::max(1.0, a[i])) << "request " << i;
+  }
+}
+
+TEST(Des, MD1WaitMatchesTheory) {
+  // One server, one page, HTML only: a textbook M/D/1 queue. Service
+  // D = ovhd_local + html/local_rate = 0.1 + 100/1000 = 0.2 s; arrivals
+  // Poisson at f = 2.5/s, so rho = 0.5 and the Pollaczek-Khinchine mean
+  // wait is lambda D^2 / (2 (1 - rho)) = 2.5 * 0.04 / 1 = 0.1 s.
+  SystemModel sys;
+  Server s;
+  s.ovhd_local = 0.1;
+  s.ovhd_repo = 0.2;
+  s.local_rate = 1000.0;
+  s.repo_rate = 100.0;
+  s.storage_capacity = testing::kMB;
+  s.proc_capacity = kUnlimited;
+  sys.add_server(s);
+  sys.set_repository({kUnlimited});
+  Page p;
+  p.host = 0;
+  p.html_bytes = 100;
+  p.frequency = 2.5;
+  sys.add_page(std::move(p));
+  sys.finalize();
+
+  DesParams dp;
+  dp.requests_per_server = 200000;
+  dp.server_concurrency = 1;
+  dp.queue_cap = kUnboundedQueue;
+  dp.discipline = QueueDiscipline::kFifo;
+  const DesSimulator sim(sys, dp);
+  const DesMetrics m = sim.simulate(make_local_assignment(sys), 19);
+
+  EXPECT_EQ(m.completions, 200000u);
+  EXPECT_EQ(m.repo_jobs, 0u);  // HTML only: nothing comes from R
+  EXPECT_NEAR(m.wait.mean(), 0.1, 0.01);
+  // Sojourn = wait + deterministic service.
+  EXPECT_NEAR(m.sojourn.mean(), 0.3, 0.01);
+  // Utilization ~ rho (horizon is the last completion, slightly past the
+  // last arrival, so the estimate sits just under 0.5).
+  EXPECT_NEAR(m.server_utilization, 0.5, 0.02);
+}
+
+TEST(Des, OptionalFetchesFollowInterest) {
+  const SystemModel sys = generate_workload(testing::small_params(), 307);
+  DesParams off = fast_params();
+  off.p_interested = 0.0;
+  const DesSimulator sim_off(sys, off);
+  EXPECT_EQ(sim_off.simulate(make_local_assignment(sys), 23).optional_fetches,
+            0u);
+
+  DesParams on = fast_params();
+  on.p_interested = 0.5;
+  const DesSimulator sim_on(sys, on);
+  const DesMetrics m = sim_on.simulate(make_local_assignment(sys), 23);
+  EXPECT_GT(m.optional_fetches, 0u);
+  EXPECT_GT(m.optional_time.count(), 0u);
+}
+
+TEST(Des, PsDisciplineStretchesUnderLoad) {
+  const SystemModel sys = generate_workload(testing::small_params(), 308);
+  DesParams fifo = fast_params();
+  fifo.discipline = QueueDiscipline::kFifo;
+  DesParams ps = fast_params();
+  ps.discipline = QueueDiscipline::kPs;
+  const Assignment asg = make_local_assignment(sys);
+  const DesMetrics mf =
+      DesSimulator(sys, fifo).simulate(asg, 29);
+  const DesMetrics mp = DesSimulator(sys, ps).simulate(asg, 29);
+  // PS admits everyone immediately: no admission queue, so no waits and no
+  // overflow redirects, at the price of stretched in-service times.
+  EXPECT_DOUBLE_EQ(mp.wait.max(), 0.0);
+  EXPECT_EQ(mp.redirects, 0u);
+  EXPECT_EQ(mf.arrivals, mp.arrivals);
+  EXPECT_EQ(mp.completions, mp.arrivals);
+}
+
+}  // namespace
+}  // namespace mmr

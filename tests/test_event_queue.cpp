@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 
 namespace mmr {
@@ -58,6 +59,59 @@ TEST(EventQueue, SizeAndPeek) {
   EXPECT_EQ(q.size(), 2u);
   EXPECT_EQ(q.peek().event, 1);
   EXPECT_EQ(q.size(), 2u);  // peek does not consume
+}
+
+TEST(EventQueue, ClampsFloatNoiseReschedules) {
+  // now + dt - dt can land a few ulps before now(); push must clamp such a
+  // time to now() and keep FIFO order behind events already scheduled there.
+  EventQueue<int> q;
+  const double now = 1000.0;
+  q.push(now, 1);
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.now(), now);
+  q.push(now, 2);
+  const double slightly_early =
+      now - 4 * (now - std::nextafter(now, 0.0));  // few ulps before now
+  ASSERT_LT(slightly_early, now);
+  q.push(slightly_early, 3);
+  const auto a = q.pop();
+  EXPECT_EQ(a.event, 2);
+  EXPECT_DOUBLE_EQ(a.time, now);  // not rewound
+  const auto b = q.pop();
+  EXPECT_EQ(b.event, 3);
+  EXPECT_DOUBLE_EQ(b.time, now);  // clamped forward to now()
+}
+
+TEST(EventQueue, ClearRewindsClockAndSequence) {
+  EventQueue<int> q;
+  q.push(5.0, 1);
+  q.pop();
+  q.push(9.0, 2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  // Sequence restarts too: ties after clear() still pop in push order.
+  q.push(1.0, 10);
+  q.push(1.0, 20);
+  EXPECT_EQ(q.pop().event, 10);
+  EXPECT_EQ(q.pop().event, 20);
+}
+
+TEST(EventQueue, TieBreakStableUnderHeapGrowthAndPops) {
+  // Many same-time events interleaved with pops and other times: the heap
+  // reshuffles internally, but equal times must still pop in push order.
+  EventQueue<int> q;
+  int next_id = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 50; ++i) q.push(42.0, next_id++);
+    q.push(1.0 + round, -1);  // earlier event forces heap churn
+    EXPECT_EQ(q.pop().event, -1);
+  }
+  int expect = 0;
+  while (!q.empty()) {
+    ASSERT_EQ(q.pop().event, expect++);
+  }
+  EXPECT_EQ(expect, 500);
 }
 
 TEST(EventQueue, ManyEventsStaySorted) {

@@ -262,6 +262,55 @@ void render_memory_gauges(const JsonValue& metrics, ReportWriter& out) {
   out.table({"category", "observations", "mean", "max"}, rows);
 }
 
+/// Discrete-event queueing summary (sim/des.h). Rendered only when the run
+/// recorded des.* counters, so reports for the closed-form modes are
+/// unchanged.
+void render_queueing(const JsonValue& metrics, ReportWriter& out) {
+  if (!metrics.has("counters") || !metrics.at("counters").has("des.arrivals")) {
+    return;
+  }
+  out.section("Queueing");
+  const JsonValue& counters = metrics.at("counters");
+  auto counter = [&](const std::string& name) {
+    return counters.has(name) ? counters.at(name).num_v : 0.0;
+  };
+  const double arrivals = counter("des.arrivals");
+  const double rejects = counter("des.rejects");
+  const double redirects = counter("des.redirects");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"arrivals", format_double(arrivals, 0)});
+  rows.push_back({"completions", format_double(counter("des.completions"), 0)});
+  rows.push_back(
+      {"reject rate",
+       arrivals > 0 ? format_percent(rejects / arrivals) : "-"});
+  rows.push_back(
+      {"redirect rate",
+       arrivals > 0 ? format_percent(redirects / arrivals) : "-"});
+  rows.push_back(
+      {"repository jobs", format_double(counter("des.repo_jobs"), 0)});
+  rows.push_back(
+      {"optional fetches", format_double(counter("des.optional_fetches"), 0)});
+  rows.push_back(
+      {"kernel events", format_double(counter("des.events"), 0)});
+  if (metrics.has("gauges")) {
+    const JsonValue& gauges = metrics.at("gauges");
+    auto gauge_max = [&](const std::string& name) {
+      return gauges.has(name) ? num_or(gauges.at(name), "max", 0) : 0.0;
+    };
+    rows.push_back(
+        {"server utilization", format_percent(gauge_max("des.utilization.server"))});
+    rows.push_back(
+        {"repository utilization", format_percent(gauge_max("des.utilization.repo"))});
+    rows.push_back({"peak server queue depth",
+                    format_double(gauge_max("des.queue_peak.server"), 0)});
+    rows.push_back({"peak repository queue depth",
+                    format_double(gauge_max("des.queue_peak.repo"), 0)});
+    rows.push_back({"virtual-time horizon [s]",
+                    format_double(gauge_max("des.horizon_s"), 1)});
+  }
+  out.table({"metric", "value"}, rows);
+}
+
 // ---------------------------------------------------------------------------
 // timeline section
 
@@ -921,6 +970,7 @@ int main(int argc, char** argv) {
       render_phase_breakdown(metrics, out);
       render_objective_trajectory(metrics, out);
       render_memory_gauges(metrics, out);
+      render_queueing(metrics, out);
     }
     if (!audit_path.empty()) {
       const ProvenanceDoc doc =
