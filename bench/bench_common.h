@@ -44,8 +44,10 @@
 #include "io/artifacts.h"
 #include "io/benchfmt.h"
 #include "io/provenance.h"
+#include "obs/invariants.h"
 #include "obs/obs.h"
 #include "obs/sketch_artifact.h"
+#include "obs/timeseries.h"
 #include "sim/runner.h"
 #include "util/check.h"
 #include "util/flags.h"
@@ -72,6 +74,8 @@ struct ArtifactState {
   std::string flight_path;
   std::string timeline_path;
   std::string sketch_path;
+  std::string timeseries_path;
+  std::string invariants_path;
   std::uint32_t reps = 1;
   std::uint32_t warmup = 0;
   RunMeta meta;
@@ -124,6 +128,14 @@ inline void write_artifacts_at_exit() {
     if (!state.sketch_path.empty()) {
       write_sketch_file(state.sketch_path, global_obs_log(), state.meta);
     }
+    if (!state.timeseries_path.empty()) {
+      write_timeseries_file(state.timeseries_path, global_timeseries_log(),
+                            state.meta);
+    }
+    if (!state.invariants_path.empty()) {
+      write_invariants_file(state.invariants_path, global_timeseries_log(),
+                            state.meta);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: failed to write run artifacts: " << e.what() << "\n";
   }
@@ -170,6 +182,8 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
   state.flight_path = flags.get_string("flight-out", "");
   state.timeline_path = flags.get_string("timeline-out", "");
   state.sketch_path = flags.get_string("sketch-out", "");
+  state.timeseries_path = flags.get_string("timeseries-out", "");
+  state.invariants_path = flags.get_string("invariants-out", "");
   state.reps =
       static_cast<std::uint32_t>(std::max<std::int64_t>(1, flags.get_int("reps", 1)));
   state.warmup =
@@ -190,10 +204,22 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
     set_obs_config(ocfg);
     set_obs_enabled(true);
   }
+  // Queue-dynamics collection: like --sketch-out, the window config must be
+  // in place before the first DES simulate creates a shard. The invariant
+  // auditor consumes the same collector, so either output enables it.
+  if (!state.timeseries_path.empty() || !state.invariants_path.empty()) {
+    TimeseriesConfig tscfg = timeseries_config();
+    tscfg.window_s = flags.get_double("ts-window", tscfg.window_s);
+    tscfg.max_windows = static_cast<std::uint64_t>(flags.get_int(
+        "ts-max-windows", static_cast<std::int64_t>(tscfg.max_windows)));
+    set_timeseries_config(tscfg);
+    set_timeseries_enabled(true);
+  }
   if (state.metrics_path.empty() && state.trace_path.empty() &&
       state.bench_path.empty() && state.audit_path.empty() &&
       state.flight_path.empty() && state.timeline_path.empty() &&
-      state.sketch_path.empty()) {
+      state.sketch_path.empty() && state.timeseries_path.empty() &&
+      state.invariants_path.empty()) {
     return;
   }
   if (!state.trace_path.empty()) set_trace_enabled(true);
@@ -229,6 +255,9 @@ inline void init_artifacts(const Flags& flags, const ExperimentConfig& cfg) {
     const ObsConfig ocfg = obs_config();
     state.meta.add("sketch_alpha", ocfg.alpha)
         .add("sketch_window_s", ocfg.window_s);
+  }
+  if (!state.timeseries_path.empty() || !state.invariants_path.empty()) {
+    state.meta.add("ts_window_s", timeseries_config().window_s);
   }
   if (budget > 0) {
     state.meta.add("mem_budget", static_cast<std::uint64_t>(budget));
@@ -293,7 +322,19 @@ inline Flags standard_flags(int argc, const char* const* argv) {
                 "enable streaming telemetry without writing the artifact")
       .describe("window", "SLO window width in virtual seconds (default 60)")
       .describe("slo",
-                "SLO spec RESP_S,STRETCH_X,TARGET (default 2.0,1.5,0.99)");
+                "SLO spec RESP_S,STRETCH_X,TARGET (default 2.0,1.5,0.99)")
+      .describe("timeseries-out",
+                "enable DES queue-dynamics collection; write mmr-timeseries "
+                "JSONL on exit")
+      .describe("ts-window",
+                "queue-dynamics base window width in virtual seconds "
+                "(default 60)")
+      .describe("ts-max-windows",
+                "cells per station before windows coarsen (default 512, "
+                "0 = never)")
+      .describe("invariants-out",
+                "audit DES conservation laws; write mmr-invariants JSONL on "
+                "exit");
   return flags;
 }
 

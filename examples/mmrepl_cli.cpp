@@ -38,6 +38,12 @@
 //   --progress         single-line stderr progress/ETA per solver phase
 //   --mem-budget=<bytes>
 //       fail fast (exit 3) before tracked allocations exceed the budget
+//
+// Queue dynamics (docs/OBSERVABILITY.md "Watching the queues"; DES mode):
+//   --timeseries-out=<path> [--ts-window=SECONDS] [--ts-max-windows=N]
+//       per-station queue-depth/utilization windows, mmr-timeseries JSONL
+//   --invariants-out=<path>
+//       conservation-law audit verdicts, mmr-invariants JSONL
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -47,8 +53,10 @@
 #include "io/artifacts.h"
 #include "io/provenance.h"
 #include "io/serialize.h"
+#include "obs/invariants.h"
 #include "obs/obs.h"
 #include "obs/sketch_artifact.h"
+#include "obs/timeseries.h"
 #include "sim/des.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
@@ -270,6 +278,8 @@ int main(int argc, char** argv) {
   const std::string flight_out = flags.get_string("flight-out", "");
   const std::string timeline_out = flags.get_string("timeline-out", "");
   const std::string sketch_out = flags.get_string("sketch-out", "");
+  const std::string timeseries_out = flags.get_string("timeseries-out", "");
+  const std::string invariants_out = flags.get_string("invariants-out", "");
   {
     // SLO/window config must be set before any simulate creates a shard.
     ObsConfig ocfg = obs_config();
@@ -279,6 +289,15 @@ int main(int argc, char** argv) {
     set_obs_config(ocfg);
   }
   if (!sketch_out.empty()) set_obs_enabled(true);
+  if (!timeseries_out.empty() || !invariants_out.empty()) {
+    // Window config before the first DES simulate creates a shard.
+    TimeseriesConfig tscfg = timeseries_config();
+    tscfg.window_s = flags.get_double("ts-window", tscfg.window_s);
+    tscfg.max_windows = static_cast<std::uint64_t>(flags.get_int(
+        "ts-max-windows", static_cast<std::int64_t>(tscfg.max_windows)));
+    set_timeseries_config(tscfg);
+    set_timeseries_enabled(true);
+  }
   if (!trace_out.empty()) set_trace_enabled(true);
   if (!audit_out.empty()) set_audit_enabled(true);
   if (!flight_out.empty()) {
@@ -315,7 +334,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!metrics_out.empty() || !trace_out.empty() || !audit_out.empty() ||
-        !flight_out.empty() || !timeline_out.empty() || !sketch_out.empty()) {
+        !flight_out.empty() || !timeline_out.empty() || !sketch_out.empty() ||
+        !timeseries_out.empty() || !invariants_out.empty()) {
       RunMeta meta;
       meta.tool = "mmrepl_cli";
       meta.add("command", cmd);
@@ -343,6 +363,12 @@ int main(int argc, char** argv) {
       }
       if (!sketch_out.empty()) {
         write_sketch_file(sketch_out, global_obs_log(), meta);
+      }
+      if (!timeseries_out.empty()) {
+        write_timeseries_file(timeseries_out, global_timeseries_log(), meta);
+      }
+      if (!invariants_out.empty()) {
+        write_invariants_file(invariants_out, global_timeseries_log(), meta);
       }
     }
     return rc;

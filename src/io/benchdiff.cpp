@@ -71,6 +71,14 @@ BenchDiffReport diff_bench_artifacts(const BenchArtifact& baseline,
                name.find("p99") != std::string::npos) {
       rel = options.tail_rel_threshold;
     }
+    // Direction-aware tightening: a delta that moves the series the wrong
+    // way is held to --regress-rel when that is stricter than the bound
+    // chosen above. Never loosens — a tail/mem bound tighter than the
+    // regression bound keeps gating regressions at its own level.
+    if (options.regress_rel_threshold >= 0 && d.direction != "none" &&
+        (d.direction == "higher" ? d.delta < 0 : d.delta > 0)) {
+      rel = std::min(rel, options.regress_rel_threshold);
+    }
     // Prefix overrides beat the unit/tail specializations; among several
     // matches the most specific (longest) prefix decides.
     std::size_t best_len = 0;
@@ -152,6 +160,7 @@ void write_benchdiff_json(std::ostream& os, const BenchDiffReport& report,
   w.kv("rel_threshold", options.rel_threshold);
   w.kv("mem_rel_threshold", options.mem_rel_threshold);
   w.kv("tail_rel_threshold", options.tail_rel_threshold);
+  w.kv("regress_rel_threshold", options.regress_rel_threshold);
   w.kv("stddev_k", options.stddev_k);
   w.kv("min_abs", options.min_abs);
   w.key("filters").begin_array();

@@ -40,6 +40,15 @@ struct BenchDiffOptions {
   /// means when the workload shifts, so the tail gate usually wants its
   /// own bound. Negative (default) means "use rel_threshold".
   double tail_rel_threshold = -1.0;
+  /// Relative threshold applied only to deltas in a series' bad direction
+  /// (--regress-rel). Makes a gate direction-aware: a throughput series can
+  /// improve arbitrarily far past the symmetric bound (still reported as an
+  /// improvement), while a slowdown is judged against this tighter bound.
+  /// Only ever tightens — series whose rel/mem/tail bound is already
+  /// stricter keep it (per-prefix --rel-for overrides still beat every
+  /// other bound). Series with direction "none" are unaffected.
+  /// Negative (default) means "symmetric: use the same bound both ways".
+  double regress_rel_threshold = -1.0;
   /// Per-prefix relative-threshold overrides (--rel-for=PREFIX:REL). A
   /// series whose name starts with PREFIX uses REL instead of every other
   /// relative bound (rel/mem/tail); the longest matching prefix wins, so a

@@ -536,6 +536,13 @@ void write_flight_jsonl(std::ostream& os,
     w.kv("cache_hits", static_cast<std::uint64_t>(r.cache_hits));
     w.kv("cache_misses", static_cast<std::uint64_t>(r.cache_misses));
     w.kv("throttled", static_cast<std::uint64_t>(r.throttled));
+    if (r.mode == FlightMode::kDes) {
+      w.kv("local_wait", r.local_wait);
+      w.kv("local_service", r.local_service);
+      w.kv("repo_wait", r.repo_wait);
+      w.kv("repo_service", r.repo_service);
+      w.kv("queue_depth", static_cast<std::uint64_t>(r.queue_depth));
+    }
     w.end_object();
     os << '\n';
   }

@@ -287,6 +287,15 @@ struct FlightRecord {
   std::uint32_t cache_hits = 0;
   std::uint32_t cache_misses = 0;
   std::uint32_t throttled = 0;
+  // Per-stage wait/service split, filled by the DES (zero elsewhere):
+  // t_local = local_wait + local_service and t_remote = repo_wait +
+  // repo_service. queue_depth is the local admission queue length this
+  // request observed on arrival.
+  double local_wait = 0;
+  double local_service = 0;
+  double repo_wait = 0;
+  double repo_service = 0;
+  std::uint32_t queue_depth = 0;
 };
 
 /// Thread-safe flight-record sink; same batching/sorting/cap contract as

@@ -8,6 +8,7 @@
 #include "io/provenance.h"
 #include "model/shard.h"
 #include "obs/obs.h"
+#include "obs/timeseries.h"
 #include "sim/event_queue.h"
 #include "util/memacct.h"
 #include "util/metrics.h"
@@ -47,7 +48,9 @@ struct Outcome {
   double local_done = 0;  ///< local-pipeline completion (0 when no local job)
   double repo_done = 0;   ///< repository completion (0 when no repo job)
   float wait = 0;         ///< local admission-queue wait
+  float repo_wait = 0;    ///< repository-queue wait (0 when no repo job)
   PageId page = kInvalidId;
+  std::uint32_t depth = 0;  ///< local queue depth observed at arrival
   std::uint8_t flags = 0;
 };
 
@@ -197,6 +200,34 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
   const StationConfig server_cfg{params_.server_concurrency,
                                  params_.queue_cap, params_.discipline};
 
+  // Queue-dynamics collection (obs/timeseries.h). One shard per simulate
+  // call; every station row is written by exactly one event loop (phase A
+  // owns each server, phase B the repository), so workers never share a row.
+  std::optional<TimeseriesShard> ts;
+  if (timeseries_enabled()) {
+    ts.emplace(timeseries_config(), n);
+    ts->run = provenance_run_or_zero();
+    ts->policy = current_metric_label();
+    ts->mode = FlightMode::kDes;
+    ts->server_concurrency = params_.server_concurrency;
+    ts->repo_concurrency = params_.repo_concurrency;
+  }
+
+  // --progress ETA for the DES: virtual time is the natural progress clock
+  // (events per request vary), so each server reports permille of its
+  // expected horizon, estimated from its Poisson arrival intensity.
+  std::optional<ProgressReporter> progress;
+  std::vector<double> est_horizon;
+  if (progress_enabled()) {
+    progress.emplace("simulate_des", static_cast<std::uint64_t>(n) * 1000);
+    est_horizon.resize(n);
+    for (ServerId i = 0; i < n; ++i) {
+      const double rate = gen_.arrival_rate(i) * params_.arrival_rate_scale;
+      est_horizon[i] =
+          rate > 0 ? static_cast<double>(per_server) / rate : 0.0;
+    }
+  }
+
   // ---- Phase A: per-server event loops (shard-parallel) -------------------
   auto run_server = [&](ServerId i, ShardScratch& scratch) {
     Rng arrival_rng = arrival_rngs[i];
@@ -211,9 +242,31 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
     ServerPartial& part = partials[i];
     const std::uint32_t global_base = static_cast<std::uint32_t>(
         static_cast<std::uint64_t>(i) * per_server);
+    StationSeries* ser = ts ? &ts->server(i) : nullptr;
+    const double est = progress ? est_horizon[i] : 0.0;
+    std::uint32_t permille_done = 0;
+
+    // Queue depth at an event boundary. queue_len/in_service must
+    // partition occupancy: under quasi-PS in_service() is total occupancy
+    // and queue_len() the excess beyond the slots, so the slots' share is
+    // the difference (obs/timeseries.h sample()).
+    auto qdepth = [&]() {
+      const std::uint32_t qlen = st.queue_len();
+      const std::uint32_t infl =
+          params_.discipline == QueueDiscipline::kPs
+              ? st.in_service() - qlen
+              : st.in_service();
+      return std::pair<std::uint32_t, std::uint32_t>(qlen, infl);
+    };
+    auto ts_sample = [&](double t) {
+      if (ser == nullptr) return;
+      const auto [qlen, infl] = qdepth();
+      ser->sample(t, qlen, infl);
+    };
 
     // Starts a queued job that on_complete() just popped.
     auto queued_started = [&](const Station::Started& s, double now) {
+      if (ser != nullptr) ser->on_started(now, s.wait, s.done);
       if (s.tag < kOptionalTag) {
         Outcome& o = out[s.tag];
         o.local_done = s.done;
@@ -254,22 +307,43 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
         Outcome& o = out[idx];
         o.arrival = t_arr;
         o.page = j;
+        o.depth = st.queue_len();
         const PageService& svc = services[j];
+        // Each offer outcome gets one fused collection call (arrival +
+        // outcome + depth sample in a single window lookup); the depth is
+        // read after the offer, as the granular sequence did.
         Station::Started s;
         switch (st.offer(t_arr, svc.local, idx, &s)) {
           case Station::Offer::kStarted:
             o.local_done = s.done;
             o.wait = static_cast<float>(s.wait);
             q.push(s.done, {idx, true});
+            if (ser != nullptr) {
+              const auto [qlen, infl] = qdepth();
+              ser->on_arrival_started_sampled(t_arr, s.done, qlen, infl);
+            }
             break;
           case Station::Offer::kQueued:
-            break;  // local_done/wait filled when a slot frees up
+            // local_done/wait filled when a slot frees up
+            if (ser != nullptr) {
+              const auto [qlen, infl] = qdepth();
+              ser->on_arrival_sampled(t_arr, qlen, infl);
+            }
+            break;
           case Station::Offer::kOverflow:
             if (params_.overflow == OverflowPolicy::kRedirect) {
               o.flags |= kRedirected | kHasRepo;
               repo.push_back({t_arr, svc.all_remote, global_base + idx});
+              if (ser != nullptr) {
+                const auto [qlen, infl] = qdepth();
+                ser->on_arrival_redirected_sampled(t_arr, qlen, infl);
+              }
             } else {
               o.flags |= kRejected;
+              if (ser != nullptr) {
+                const auto [qlen, infl] = qdepth();
+                ser->on_arrival_rejected_sampled(t_arr, qlen, infl);
+              }
             }
             continue;  // no local pipeline → no optional links
         }
@@ -284,9 +358,23 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
       const double now = item.time;
       ++part.events;
       if (now > part.horizon) part.horizon = now;
+      if (progress && est > 0) {
+        const auto p_now = static_cast<std::uint32_t>(
+            std::min(1000.0, now / est * 1000.0));
+        if (p_now > permille_done) {
+          progress->tick(p_now - permille_done);
+          permille_done = p_now;
+        }
+      }
       Station::Started s;
       if (st.on_complete(now, &s)) queued_started(s, now);
-      if (!item.event.page_done) continue;
+      if (!item.event.page_done) {
+        if (ser != nullptr) {
+          const auto [qlen, infl] = qdepth();
+          ser->on_served_sampled(now, qlen, infl);
+        }
+        continue;
+      }
 
       // The page's local pipeline rendered: the viewer follows optional
       // links, each a fresh job at whichever station holds the object.
@@ -294,19 +382,29 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
       const PageId j = o.page;
       const Page& p = sys.page(j);
       if (p.optional.empty() || !opt_rng.bernoulli(params_.p_interested)) {
+        if (ser != nullptr) {
+          const auto [qlen, infl] = qdepth();
+          ser->on_served_sampled(now, qlen, infl);
+        }
         continue;
       }
+      // Optional-link fan-out mutates the station below, so the completion
+      // is counted here and the depth sample waits until the whole event
+      // settles — the occupancy integral must see the post-fan-out depth.
+      if (ser != nullptr) ser->on_served(now);
       const std::uint32_t n_req =
           optional_request_count(p, params_.optional_request_fraction);
       sample_into(opt_rng, static_cast<std::uint32_t>(p.optional.size()),
                   n_req, &scratch.picks);
       for (std::uint32_t oi : scratch.picks) {
         if (asg.opt_local(j, oi)) {
+          if (ser != nullptr) ser->on_arrival(now);
           switch (st.offer(now, sys.opt_local_time(j, oi), kOptionalTag, &s)) {
             case Station::Offer::kStarted:
               part.optional_local_time.add(s.done - now);
               q.push(s.done, {0, false});
               ++part.optional_fetches;
+              if (ser != nullptr) ser->on_started(now, 0.0, s.done);
               break;
             case Station::Offer::kQueued:
               ++part.optional_fetches;
@@ -316,8 +414,10 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
                 repo.push_back(
                     {now, sys.opt_remote_time(j, oi), kOptionalOwner});
                 ++part.optional_fetches;
+                if (ser != nullptr) ser->on_redirected(now);
               } else {
                 ++part.optional_rejects;
+                if (ser != nullptr) ser->on_rejected(now);
               }
               break;
           }
@@ -326,8 +426,12 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
           ++part.optional_fetches;
         }
       }
+      ts_sample(now);
     }
 
+    if (progress && permille_done < 1000) {
+      progress->tick(1000 - permille_done);
+    }
     part.queue_peak = st.queue_peak();
     part.busy_s = st.busy_seconds();
     // Page jobs were pushed at nondecreasing arrival times but optional
@@ -367,6 +471,7 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
   for (const auto& stream : repo_streams) total_jobs += stream.size();
   std::vector<RepoJob> jobs;
   std::vector<double> job_done;
+  std::vector<float> job_wait;
   std::uint64_t repo_events = 0;
   Station repo_st(StationConfig{params_.repo_concurrency, kUnboundedQueue,
                                 params_.discipline});
@@ -383,7 +488,21 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
                        return a.submit < b.submit;
                      });
     job_done.assign(jobs.size(), 0.0);
+    job_wait.assign(jobs.size(), 0.0f);
 
+    StationSeries* repo_ser = ts ? &ts->repository() : nullptr;
+    auto repo_depth = [&]() {
+      const std::uint32_t qlen = repo_st.queue_len();
+      const std::uint32_t infl =
+          params_.discipline == QueueDiscipline::kPs
+              ? repo_st.in_service() - qlen
+              : repo_st.in_service();
+      return std::pair<std::uint32_t, std::uint32_t>(qlen, infl);
+    };
+
+    // Both branches use the fused one-lookup collection calls: the repo
+    // row sees every redirected or remote job, so at high load this loop
+    // touches the series more often than all site servers combined.
     EventQueue<std::uint32_t> rq;
     std::size_t next = 0;
     Station::Started s;
@@ -397,6 +516,13 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
                           &s) == Station::Offer::kStarted) {
           job_done[next] = s.done;
           rq.push(s.done, static_cast<std::uint32_t>(next));
+          if (repo_ser != nullptr) {
+            const auto [qlen, infl] = repo_depth();
+            repo_ser->on_arrival_started_sampled(t_arr, s.done, qlen, infl);
+          }
+        } else if (repo_ser != nullptr) {
+          const auto [qlen, infl] = repo_depth();
+          repo_ser->on_arrival_sampled(t_arr, qlen, infl);
         }
         ++next;
       } else {
@@ -404,7 +530,16 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
         ++repo_events;
         if (repo_st.on_complete(t_ev, &s)) {
           job_done[s.tag] = s.done;
+          job_wait[s.tag] = static_cast<float>(s.wait);
           rq.push(s.done, static_cast<std::uint32_t>(s.tag));
+          if (repo_ser != nullptr) {
+            const auto [qlen, infl] = repo_depth();
+            repo_ser->on_complete_started_sampled(t_ev, s.wait, s.done, qlen,
+                                                  infl);
+          }
+        } else if (repo_ser != nullptr) {
+          const auto [qlen, infl] = repo_depth();
+          repo_ser->on_served_sampled(t_ev, qlen, infl);
         }
       }
     }
@@ -414,7 +549,7 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
   // a pure function of instance + placement + seed), mirroring
   // account_sim_samples; the gauge carries the whole DES footprint.
   const std::uint64_t repo_bytes =
-      total_jobs * (sizeof(RepoJob) + sizeof(double));
+      total_jobs * (sizeof(RepoJob) + sizeof(double) + sizeof(float));
   if (repo_bytes > 0) {
     memacct::charge(memacct::Category::kSimDes, repo_bytes);
     memacct::release(memacct::Category::kSimDes, repo_bytes);
@@ -447,8 +582,31 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
     for (std::size_t k = 0; k < jobs.size(); ++k) {
       if (jobs[k].owner != kOptionalOwner) {
         outcomes[jobs[k].owner].repo_done = job_done[k];
+        outcomes[jobs[k].owner].repo_wait = job_wait[k];
       }
     }
+
+    // Causal async spans for the flight-sampled requests: every lifecycle
+    // stage shares the request's async id, so one request renders as one
+    // nested track in the Chrome trace. Virtual time maps to trace time at
+    // 1 virtual second = 1 µs, based at phase C so the tracks land next to
+    // the solver spans.
+    const bool tracing = trace_enabled();
+    const std::uint64_t trace_base = tracing ? monotonic_now_ns() : 0;
+    auto emit_stage = [&](std::uint64_t id, const char* stage, double start_v,
+                          double dur_v,
+                          std::vector<std::pair<std::string, std::string>>
+                              trace_args) {
+      TraceEvent e;
+      e.name = stage;
+      e.start_ns = trace_base +
+                   static_cast<std::uint64_t>(std::max(0.0, start_v) * 1000.0);
+      e.dur_ns = static_cast<std::uint64_t>(std::max(0.0, dur_v) * 1000.0);
+      e.async_id = id;
+      e.cat = "mmr.des";
+      e.args = std::move(trace_args);
+      Tracer::instance().record(std::move(e));
+    };
 
     double horizon = 0;
     for (ServerId i = 0; i < n; ++i) {
@@ -465,8 +623,18 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
       for (std::uint32_t r = 0; r < per_server; ++r) {
         const Outcome& o = out[r];
         ++m.arrivals;
+        const bool sampled = r % sample_every == 0;
+        const std::uint64_t req_id =
+            static_cast<std::uint64_t>(i) * per_server + r + 1;
         if ((o.flags & kRejected) != 0) {
           ++m.rejects;
+          if (tracing && sampled) {
+            emit_stage(req_id, "request", o.arrival, 0.0,
+                       {{"server", std::to_string(i)},
+                        {"page", std::to_string(o.page)},
+                        {"queue_depth", std::to_string(o.depth)},
+                        {"outcome", "\"rejected\""}});
+          }
           continue;
         }
         if ((o.flags & kRedirected) != 0) ++m.redirects;
@@ -488,7 +656,11 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
           obs_shard->observe(o.page, i, o.arrival, sojourn, stretch,
                              o.repo_done > 0 ? o.repo_done - o.arrival : 0.0);
         }
-        if (flog != nullptr && r % sample_every == 0) {
+        const double local_service =
+            o.local_done > 0 ? o.local_done - o.arrival - o.wait : 0.0;
+        const double repo_service =
+            o.repo_done > 0 ? o.repo_done - o.arrival - o.repo_wait : 0.0;
+        if (flog != nullptr && sampled) {
           FlightRecord rec;
           rec.run = run;
           rec.policy = policy;
@@ -502,7 +674,35 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
           rec.remote_bound = rec.t_remote > rec.t_local;
           rec.local_stretch = stretch;
           rec.throttled = (o.flags & kRedirected) != 0 ? 1 : 0;
+          rec.local_wait = o.wait;
+          rec.local_service = local_service;
+          rec.repo_wait = o.repo_wait;
+          rec.repo_service = repo_service;
+          rec.queue_depth = o.depth;
           flight_batch.push_back(std::move(rec));
+        }
+        if (tracing && sampled) {
+          emit_stage(req_id, "request", o.arrival, sojourn,
+                     {{"server", std::to_string(i)},
+                      {"page", std::to_string(o.page)},
+                      {"queue_depth", std::to_string(o.depth)},
+                      {"outcome", (o.flags & kRedirected) != 0
+                                      ? "\"redirected\""
+                                      : "\"ok\""}});
+          if (o.wait > 0) {
+            emit_stage(req_id, "local.wait", o.arrival, o.wait, {});
+          }
+          if (o.local_done > 0) {
+            emit_stage(req_id, "local.service", o.arrival + o.wait,
+                       local_service, {});
+          }
+          if (o.repo_done > 0) {
+            if (o.repo_wait > 0) {
+              emit_stage(req_id, "repo.wait", o.arrival, o.repo_wait, {});
+            }
+            emit_stage(req_id, "repo.service", o.arrival + o.repo_wait,
+                       repo_service, {});
+          }
         }
       }
       if (flog != nullptr && !flight_batch.empty()) {
@@ -542,6 +742,17 @@ DesMetrics DesSimulator::simulate(const Assignment& asg,
 
     if (obs_shard && obs_shard->requests > 0) {
       global_obs_log().add(std::move(*obs_shard));
+    }
+
+    if (ts) {
+      ts->horizon_s = m.horizon_s;
+      ts->des_arrivals = m.arrivals;
+      ts->des_completions = m.completions;
+      ts->des_rejects = m.rejects;
+      ts->des_redirects = m.redirects;
+      ts->des_server_busy_s = m.server_busy_s;
+      ts->des_repo_busy_s = m.repo_busy_s;
+      global_timeseries_log().add(std::move(*ts));
     }
   }
 

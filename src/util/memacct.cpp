@@ -64,6 +64,8 @@ const char* category_name(Category cat) {
       return "obs.sketches";
     case Category::kSimDes:
       return "sim.des";
+    case Category::kObsTimeseries:
+      return "obs.timeseries";
   }
   return "?";
 }

@@ -42,8 +42,9 @@ enum class Category : std::uint8_t {
   kSimEvents,           ///< simulator per-request sample capture
   kObsSketches,         ///< streaming-telemetry shards (sketch/hot/window)
   kSimDes,              ///< DES per-request outcomes + repository job stream
+  kObsTimeseries,       ///< per-station queue-dynamics window cells
 };
-inline constexpr std::size_t kCategoryCount = 9;
+inline constexpr std::size_t kCategoryCount = 10;
 
 /// "model.csr", "assignment.bits", ... — stable artifact names.
 const char* category_name(Category cat);

@@ -161,22 +161,42 @@ void Tracer::write_events_member(JsonWriter& w,
                                  const std::vector<TraceEvent>& events) {
   // Rebase to the earliest span so the viewer timeline starts near zero.
   const std::uint64_t base = events.empty() ? 0 : events.front().start_ns;
-  w.key("traceEvents").begin_array();
-  for (const TraceEvent& e : events) {
-    w.begin_object();
+  const auto common = [&](const TraceEvent& e, const char* ph, double ts) {
     w.kv("name", e.name);
-    w.kv("cat", "mmr");
-    w.kv("ph", "X");
+    w.kv("cat", e.cat != nullptr ? e.cat : "mmr");
+    w.kv("ph", ph);
     // trace_event timestamps are microseconds (fractions allowed).
-    w.kv("ts", static_cast<double>(e.start_ns - base) / 1000.0);
-    w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+    w.kv("ts", ts);
     w.kv("pid", std::int64_t{1});
     w.kv("tid", static_cast<std::int64_t>(e.tid));
-    if (!e.args.empty()) {
-      w.key("args").begin_object();
-      for (const auto& [key, raw] : e.args) w.key(key).raw(raw);
+  };
+  const auto args = [&](const TraceEvent& e) {
+    if (e.args.empty()) return;
+    w.key("args").begin_object();
+    for (const auto& [key, raw] : e.args) w.key(key).raw(raw);
+    w.end_object();
+  };
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events) {
+    const double ts = static_cast<double>(e.start_ns - base) / 1000.0;
+    if (e.async_id != 0) {
+      // Nestable async pair: one track per (cat, id); stages sharing the id
+      // nest by their begin/end order.
+      w.begin_object();
+      common(e, "b", ts);
+      w.kv("id", e.async_id);
+      args(e);
       w.end_object();
+      w.begin_object();
+      common(e, "e", ts + static_cast<double>(e.dur_ns) / 1000.0);
+      w.kv("id", e.async_id);
+      w.end_object();
+      continue;
     }
+    w.begin_object();
+    common(e, "X", ts);
+    w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+    args(e);
     w.end_object();
   }
   w.end_array();

@@ -36,11 +36,20 @@ void set_trace_enabled(bool on);
 
 /// One completed span. Timestamps are nanoseconds on the shared monotonic
 /// clock (util/metrics monotonic_now_ns); arg values are pre-encoded JSON.
+///
+/// A span with `async_id != 0` is an *async* span: the writer emits it as a
+/// nestable async begin/end pair ("ph":"b"/"e") instead of a complete event,
+/// grouped into one viewer track per (cat, id). The DES uses these for
+/// causal request traces — every lifecycle stage of one sampled request
+/// shares the request's id, so its journey renders as a nested timeline
+/// alongside the ordinary solver spans (docs/OBSERVABILITY.md).
 struct TraceEvent {
   std::string name;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
   std::uint32_t tid = 0;
+  std::uint64_t async_id = 0;     ///< 0 = ordinary complete event
+  const char* cat = nullptr;      ///< static category; null = "mmr"
   std::vector<std::pair<std::string, std::string>> args;
 };
 

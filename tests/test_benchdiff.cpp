@@ -89,6 +89,65 @@ TEST(BenchDiff, HigherIsBetterFlipsTheSign) {
             SeriesVerdict::kImprovement);
 }
 
+TEST(BenchDiff, RegressRelTightensOnlyTheBadDirection) {
+  // Symmetric bound 50%, bad-direction bound 20%: a 30% slowdown on a
+  // higher-is-better series now fails, while the same-size speedup stays
+  // judged against the loose symmetric bound (a mere improvement).
+  BenchDiffOptions opt;
+  opt.rel_threshold = 0.5;
+  opt.regress_rel_threshold = 0.2;
+  const BenchArtifact base = artifact({{"events_per_sec", 100.0, 0.5}},
+                                      "higher");
+  const BenchArtifact down = artifact({{"events_per_sec", 70.0, 0.5}},
+                                      "higher");
+  const BenchArtifact up = artifact({{"events_per_sec", 130.0, 0.5}},
+                                    "higher");
+  EXPECT_EQ(diff_bench_artifacts(base, down, opt).series[0].verdict,
+            SeriesVerdict::kRegression);
+  EXPECT_EQ(diff_bench_artifacts(base, up, opt).series[0].verdict,
+            SeriesVerdict::kPass);
+  // A speedup beyond even the symmetric bound is an improvement, not a
+  // failure.
+  const BenchArtifact way_up = artifact({{"events_per_sec", 170.0, 0.5}},
+                                        "higher");
+  const BenchDiffReport r = diff_bench_artifacts(base, way_up, opt);
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kImprovement);
+  EXPECT_TRUE(r.ok());
+
+  // Lower-is-better series tighten on increases instead.
+  const BenchArtifact wall_base = artifact({{"wall_s", 10.0, 0.05}});
+  const BenchArtifact wall_up = artifact({{"wall_s", 13.0, 0.05}});
+  const BenchArtifact wall_down = artifact({{"wall_s", 7.0, 0.05}});
+  EXPECT_EQ(diff_bench_artifacts(wall_base, wall_up, opt).series[0].verdict,
+            SeriesVerdict::kRegression);
+  EXPECT_EQ(
+      diff_bench_artifacts(wall_base, wall_down, opt).series[0].verdict,
+      SeriesVerdict::kPass);
+}
+
+TEST(BenchDiff, RegressRelIgnoresUndirectedSeries) {
+  BenchDiffOptions opt;
+  opt.rel_threshold = 0.5;
+  opt.regress_rel_threshold = 0.05;
+  const BenchArtifact base = artifact({{"info.count", 10.0, 0.0}}, "none");
+  const BenchArtifact cand = artifact({{"info.count", 13.0, 0.0}}, "none");
+  const BenchDiffReport r = diff_bench_artifacts(base, cand, opt);
+  EXPECT_EQ(r.series[0].verdict, SeriesVerdict::kPass);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BenchDiff, RegressRelInVerdictJson) {
+  BenchDiffOptions opt;
+  opt.regress_rel_threshold = 0.3;
+  const BenchArtifact base = artifact({{"wall_s", 10.0, 0.1}});
+  const BenchDiffReport r = diff_bench_artifacts(base, base, opt);
+  std::ostringstream os;
+  write_benchdiff_json(os, r, opt);
+  const JsonValue v = json_parse(os.str());
+  EXPECT_DOUBLE_EQ(v.at("thresholds").at("regress_rel_threshold").num_v,
+                   0.3);
+}
+
 TEST(BenchDiff, DirectionNoneNeverFlags) {
   const BenchArtifact base = artifact({{"info.count", 10.0, 0.0}}, "none");
   const BenchArtifact cand = artifact({{"info.count", 99.0, 0.0}}, "none");

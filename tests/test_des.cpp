@@ -11,11 +11,15 @@
 
 #include "baselines/static_policies.h"
 #include "io/provenance.h"
+#include "obs/invariants.h"
 #include "obs/obs.h"
 #include "obs/sketch_artifact.h"
+#include "obs/timeseries.h"
+#include "sim/queueing.h"
 #include "sim/simulator.h"
 #include "test_helpers.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 #include "workload/generator.h"
 
 namespace mmr {
@@ -111,18 +115,23 @@ TEST(Des, ByteIdenticalAcrossShardsAndThreads) {
 
   global_flight_log().clear();
   global_obs_log().clear();
+  global_timeseries_log().clear();
   set_flight_enabled(true);
   set_flight_sample_every(7);
   set_obs_enabled(true);
+  set_timeseries_enabled(true);
 
   struct Run {
     DesMetrics metrics;
     std::string flight;
     std::string sketch;
+    std::string timeseries;
+    std::string invariants;
   };
   auto run_config = [&](std::uint32_t shards, std::size_t threads) {
     global_flight_log().clear();
     global_obs_log().clear();
+    global_timeseries_log().clear();
     DesParams p = fast_params();
     p.shards = shards;
     std::unique_ptr<ThreadPool> pool;
@@ -142,6 +151,16 @@ TEST(Des, ByteIdenticalAcrossShardsAndThreads) {
     write_sketch_jsonl(sketch, global_obs_log().snapshot(), obs_config(),
                        global_obs_log().dropped(), meta);
     r.sketch = sketch.str();
+    const std::vector<TimeseriesShard> groups =
+        global_timeseries_log().snapshot();
+    std::ostringstream ts;
+    write_timeseries_jsonl(ts, groups, timeseries_config(),
+                           global_timeseries_log().dropped(), meta);
+    r.timeseries = ts.str();
+    std::ostringstream inv;
+    write_invariants_jsonl(inv, audit_timeseries(groups),
+                           InvariantTolerances{}, meta);
+    r.invariants = inv.str();
     return r;
   };
 
@@ -149,6 +168,9 @@ TEST(Des, ByteIdenticalAcrossShardsAndThreads) {
   EXPECT_GT(ref.metrics.arrivals, 0u);
   EXPECT_FALSE(ref.flight.empty());
   EXPECT_FALSE(ref.sketch.empty());
+  // The reference run's audit must already be clean.
+  EXPECT_NE(ref.invariants.find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(ref.invariants.find("\"ok\":false"), std::string::npos);
   for (std::uint32_t shards : {1u, 2u, 8u}) {
     for (std::size_t threads : {std::size_t{1}, std::size_t{2},
                                 std::size_t{8}}) {
@@ -158,13 +180,17 @@ TEST(Des, ByteIdenticalAcrossShardsAndThreads) {
       expect_identical(ref.metrics, r.metrics);
       EXPECT_EQ(ref.flight, r.flight);
       EXPECT_EQ(ref.sketch, r.sketch);
+      EXPECT_EQ(ref.timeseries, r.timeseries);
+      EXPECT_EQ(ref.invariants, r.invariants);
     }
   }
 
   set_flight_enabled(false);
   set_obs_enabled(false);
+  set_timeseries_enabled(false);
   global_flight_log().clear();
   global_obs_log().clear();
+  global_timeseries_log().clear();
 }
 
 TEST(Des, PairedArrivalStreamsAcrossPlacements) {
@@ -312,6 +338,190 @@ TEST(Des, PsDisciplineStretchesUnderLoad) {
   EXPECT_EQ(mp.redirects, 0u);
   EXPECT_EQ(mf.arrivals, mp.arrivals);
   EXPECT_EQ(mp.completions, mp.arrivals);
+}
+
+TEST(Des, TimeseriesMirrorsDesMetrics) {
+  const SystemModel sys = generate_workload(testing::small_params(), 310);
+  set_timeseries_enabled(true);
+  global_timeseries_log().clear();
+  DesParams p = fast_params();
+  p.server_concurrency = 2;
+  p.queue_cap = 4;
+  p.overflow = OverflowPolicy::kRedirect;
+  const DesSimulator sim(sys, p);
+  const DesMetrics m = sim.simulate(make_local_assignment(sys), 31);
+
+  const std::vector<TimeseriesShard> groups =
+      global_timeseries_log().snapshot();
+  ASSERT_EQ(groups.size(), 1u);
+  const TimeseriesShard& g = groups[0];
+  EXPECT_EQ(g.num_servers(), sys.num_servers());
+  EXPECT_EQ(g.des_arrivals, m.arrivals);
+  EXPECT_EQ(g.des_completions, m.completions);
+  EXPECT_EQ(g.des_redirects, m.redirects);
+  EXPECT_EQ(g.des_rejects, m.rejects);
+  EXPECT_DOUBLE_EQ(g.des_server_busy_s, m.server_busy_s);
+  EXPECT_DOUBLE_EQ(g.des_repo_busy_s, m.repo_busy_s);
+  EXPECT_DOUBLE_EQ(g.horizon_s, m.horizon_s);
+  // Redirected requests land at the repository, so it saw traffic too.
+  EXPECT_GT(g.repository().arrivals, 0u);
+  // The collected series must satisfy every conservation law.
+  EXPECT_TRUE(audit_timeseries(groups).all_ok());
+
+  set_timeseries_enabled(false);
+  global_timeseries_log().clear();
+}
+
+TEST(Des, CausalSpansEmittedForSampledRequests) {
+  const SystemModel sys = generate_workload(testing::small_params(), 311);
+  Tracer::instance().clear();
+  set_trace_enabled(true);
+  set_flight_sample_every(5);
+  DesParams p = fast_params();
+  p.server_concurrency = 2;
+  p.queue_cap = 4;
+  p.overflow = OverflowPolicy::kRedirect;
+  const DesSimulator sim(sys, p);
+  (void)sim.simulate(make_local_assignment(sys), 37);
+  set_trace_enabled(false);
+
+  std::uint64_t requests = 0, stages = 0;
+  bool saw_local_service = false;
+  for (const TraceEvent& e : Tracer::instance().snapshot()) {
+    if (e.async_id == 0) continue;
+    ASSERT_NE(e.cat, nullptr);
+    EXPECT_STREQ(e.cat, "mmr.des");
+    ++stages;
+    if (e.name == "request") ++requests;
+    if (e.name == "local.service") saw_local_service = true;
+  }
+  // Every 5th request per server gets a causal span family.
+  EXPECT_EQ(requests,
+            static_cast<std::uint64_t>(sys.num_servers()) * 400 / 5);
+  EXPECT_GT(stages, requests);  // lifecycle stages accompany the root span
+  EXPECT_TRUE(saw_local_service);
+
+  // The Chrome writer renders async spans as "b"/"e" pairs.
+  std::ostringstream chrome;
+  Tracer::instance().write_chrome_json(chrome);
+  EXPECT_NE(chrome.str().find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(chrome.str().find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(chrome.str().find("\"cat\":\"mmr.des\""), std::string::npos);
+
+  Tracer::instance().clear();
+  set_flight_sample_every(1);
+}
+
+TEST(Des, FlightRecordsCarryStageSplit) {
+  const SystemModel sys = generate_workload(testing::small_params(), 312);
+  global_flight_log().clear();
+  set_flight_enabled(true);
+  set_flight_sample_every(1);
+  DesParams p = fast_params();
+  p.server_concurrency = 2;
+  p.queue_cap = 4;
+  p.overflow = OverflowPolicy::kRedirect;
+  const DesSimulator sim(sys, p);
+  (void)sim.simulate(make_local_assignment(sys), 41);
+  set_flight_enabled(false);
+
+  std::uint64_t waited = 0, queued_depth = 0;
+  const std::vector<FlightRecord> records = global_flight_log().snapshot();
+  ASSERT_FALSE(records.empty());
+  for (const FlightRecord& r : records) {
+    ASSERT_EQ(r.mode, FlightMode::kDes);
+    // The stage split must reassemble the per-leg totals exactly.
+    EXPECT_NEAR(r.local_wait + r.local_service, r.t_local,
+                1e-9 * std::max(1.0, r.t_local));
+    EXPECT_NEAR(r.repo_wait + r.repo_service, r.t_remote,
+                1e-9 * std::max(1.0, r.t_remote));
+    EXPECT_GE(r.local_wait, 0.0);
+    EXPECT_GE(r.repo_wait, 0.0);
+    if (r.local_wait > 0) ++waited;
+    if (r.queue_depth > 0) ++queued_depth;
+  }
+  // The workload is contended: some requests queued, and the admission
+  // queue depth they observed was recorded.
+  EXPECT_GT(waited, 0u);
+  EXPECT_GT(queued_depth, 0u);
+
+  global_flight_log().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Station edge cases (sim/queueing.h)
+
+TEST(Station, ZeroQueueCapOverflowsImmediately) {
+  StationConfig cfg;
+  cfg.concurrency = 1;
+  cfg.queue_cap = 0;
+  Station st(cfg);
+  Station::Started s;
+  EXPECT_EQ(st.offer(0.0, 2.0, 1, &s), Station::Offer::kStarted);
+  EXPECT_DOUBLE_EQ(s.done, 2.0);
+  // No waiting room: the next job can neither start nor queue.
+  EXPECT_EQ(st.offer(1.0, 2.0, 2, &s), Station::Offer::kOverflow);
+  EXPECT_EQ(st.queue_len(), 0u);
+  EXPECT_EQ(st.queue_peak(), 0u);
+  // After the slot frees, admission resumes with zero wait.
+  EXPECT_FALSE(st.on_complete(2.0, &s));
+  EXPECT_EQ(st.offer(2.0, 1.0, 3, &s), Station::Offer::kStarted);
+  EXPECT_DOUBLE_EQ(s.wait, 0.0);
+  EXPECT_EQ(st.jobs_started(), 2u);
+}
+
+TEST(Station, PsSimultaneousDepartures) {
+  StationConfig cfg;
+  cfg.concurrency = 2;
+  cfg.discipline = QueueDiscipline::kPs;
+  Station st(cfg);
+  Station::Started a, b, c;
+  // Two jobs fill the slots: no stretch at or below full concurrency.
+  EXPECT_EQ(st.offer(0.0, 4.0, 1, &a), Station::Offer::kStarted);
+  EXPECT_EQ(st.offer(0.0, 4.0, 2, &b), Station::Offer::kStarted);
+  EXPECT_DOUBLE_EQ(a.done, 4.0);
+  EXPECT_DOUBLE_EQ(b.done, 4.0);
+  // A third stretches by the occupancy it finds (3 jobs on 2 slots).
+  EXPECT_EQ(st.offer(0.0, 4.0, 3, &c), Station::Offer::kStarted);
+  EXPECT_DOUBLE_EQ(c.done, 6.0);
+  EXPECT_EQ(st.in_service(), 3u);
+  EXPECT_EQ(st.queue_len(), 1u);  // occupancy beyond the slots
+  EXPECT_EQ(st.queue_peak(), 1u);
+  // Both jobs depart at the same instant; PS never promotes from a queue.
+  EXPECT_FALSE(st.on_complete(4.0, &a));
+  EXPECT_FALSE(st.on_complete(4.0, &a));
+  EXPECT_EQ(st.in_service(), 1u);
+  EXPECT_EQ(st.queue_len(), 0u);
+  EXPECT_FALSE(st.on_complete(6.0, &a));
+  EXPECT_EQ(st.in_service(), 0u);
+  // Intrinsic demand was 4+4+4, but the third was stretched to 6.
+  EXPECT_DOUBLE_EQ(st.busy_seconds(), 14.0);
+}
+
+TEST(Station, SameTimeOverflowBatchLeavesStateUntouched) {
+  StationConfig cfg;
+  cfg.concurrency = 1;
+  cfg.queue_cap = 1;
+  Station st(cfg);
+  Station::Started s;
+  EXPECT_EQ(st.offer(0.0, 5.0, 1, &s), Station::Offer::kStarted);
+  EXPECT_EQ(st.offer(0.0, 5.0, 2, &s), Station::Offer::kQueued);
+  const double busy_before = st.busy_seconds();
+  // A same-time arrival batch finds the queue full: whether the caller then
+  // redirects or rejects, every overflow verdict must be identical and the
+  // station must be left exactly as it was.
+  for (std::uint64_t tag = 3; tag < 6; ++tag) {
+    EXPECT_EQ(st.offer(0.0, 5.0, tag, &s), Station::Offer::kOverflow);
+    EXPECT_EQ(st.in_service(), 1u);
+    EXPECT_EQ(st.queue_len(), 1u);
+    EXPECT_DOUBLE_EQ(st.busy_seconds(), busy_before);
+    EXPECT_EQ(st.jobs_started(), 1u);
+  }
+  // The queued job is untouched by the overflow storm and starts in order.
+  ASSERT_TRUE(st.on_complete(5.0, &s));
+  EXPECT_EQ(s.tag, 2u);
+  EXPECT_DOUBLE_EQ(s.wait, 5.0);
+  EXPECT_EQ(st.queue_peak(), 1u);
 }
 
 }  // namespace

@@ -7,6 +7,9 @@
 //                         negative = use --rel
 //       [--tail-rel=-1]   relative threshold for tail series (name contains
 //                         "p99"); negative = use --rel
+//       [--regress-rel=-1] relative threshold applied only to deltas in a
+//                         series' bad direction; improvements keep the
+//                         symmetric bound. negative = symmetric
 //       [--k=3]           stddev multiplier (noisier of the two runs)
 //       [--min-abs=0]     absolute delta floor in the series' unit
 //       [--filter=STR]    only compare series whose name contains STR;
@@ -37,6 +40,9 @@ int main(int argc, char** argv) {
                 "relative threshold for byte-unit series (negative = --rel)")
       .describe("tail-rel",
                 "relative threshold for p99/p999 series (negative = --rel)")
+      .describe("regress-rel",
+                "bad-direction-only relative threshold (negative = "
+                "symmetric)")
       .describe("k", "stddev multiplier for the noise bound (default 3)")
       .describe("min-abs", "absolute delta floor (default 0)")
       .describe("filter", "substring filter on series names (repeatable)")
@@ -66,6 +72,8 @@ int main(int argc, char** argv) {
         flags.get_double("mem-rel", options.mem_rel_threshold);
     options.tail_rel_threshold =
         flags.get_double("tail-rel", options.tail_rel_threshold);
+    options.regress_rel_threshold =
+        flags.get_double("regress-rel", options.regress_rel_threshold);
     options.filters = flags.get_string_list("filter");
     for (const std::string& spec : flags.get_string_list("rel-for")) {
       const std::size_t colon = spec.find_last_of(':');

@@ -40,7 +40,9 @@
 #include "io/artifacts.h"
 #include "io/benchfmt.h"
 #include "io/provenance.h"
+#include "obs/invariants.h"
 #include "obs/sketch_artifact.h"
+#include "obs/timeseries.h"
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -825,6 +827,202 @@ void render_slo(const SketchDoc& doc, ReportWriter& out) {
 }
 
 // ---------------------------------------------------------------------------
+// queue-dynamics sections (mmr-timeseries + mmr-invariants)
+
+/// Per-station queue dynamics from the DES: utilization occupancy, peak
+/// depth and saturation onset per station, and the overflow timeline.
+void render_queue_dynamics(const TimeseriesDoc& doc, std::size_t top,
+                           ReportWriter& out) {
+  out.section("Queue dynamics (per-station time series)");
+  const auto series = doc.of_type("series");
+  if (series.empty()) {
+    out.para("(no series lines in the artifact)");
+    return;
+  }
+  out.para("Virtual-time windows, base width " +
+           format_double(doc.window_s, 0) +
+           " s (long-horizon stations coarsen in power-of-two steps); "
+           "stations are the site servers plus the repository (R).");
+
+  // Group overview from the series lines.
+  std::vector<std::vector<std::string>> grows;
+  for (const JsonValue* s : series) {
+    grows.push_back(
+        {group_label(*s),
+         std::to_string(static_cast<std::uint64_t>(num_or(*s, "runs", 1))),
+         std::to_string(
+             static_cast<std::uint64_t>(num_or(*s, "stations", 0))),
+         std::to_string(
+             static_cast<std::uint64_t>(num_or(*s, "arrivals", 0))),
+         std::to_string(
+             static_cast<std::uint64_t>(num_or(*s, "completions", 0))),
+         std::to_string(
+             static_cast<std::uint64_t>(num_or(*s, "rejects", 0))),
+         std::to_string(
+             static_cast<std::uint64_t>(num_or(*s, "redirects", 0))),
+         format_double(num_or(*s, "horizon_s", 0), 1)});
+  }
+  out.table({"policy/mode", "runs", "stations", "arrivals", "completions",
+             "rejects", "redirects", "horizon [s]"},
+            grows);
+
+  // Per-station aggregation over the window lines: peak depth, when the
+  // station first queued (saturation onset) and its busy-time occupancy.
+  struct StationAgg {
+    double peak_depth = 0;
+    double peak_t = 0;
+    double first_queue_t = -1;
+    double busy = 0;
+    double redirected = 0;
+    double rejected = 0;
+    std::uint64_t windows = 0;
+  };
+  std::map<std::pair<std::string, double>, StationAgg> by_station;
+  for (const JsonValue* w : doc.of_type("window")) {
+    StationAgg& a =
+        by_station[{group_label(*w), num_or(*w, "station", 0)}];
+    ++a.windows;
+    const double depth = num_or(*w, "depth_max", 0);
+    const double t = num_or(*w, "t_start_s", 0);
+    if (depth > a.peak_depth) {
+      a.peak_depth = depth;
+      a.peak_t = t;
+    }
+    if (depth > 0 && (a.first_queue_t < 0 || t < a.first_queue_t)) {
+      a.first_queue_t = t;
+    }
+    a.busy += num_or(*w, "busy_s", 0);
+    a.redirected += num_or(*w, "redirected", 0);
+    a.rejected += num_or(*w, "rejected", 0);
+  }
+  // slots × horizon × runs per group, for the occupancy denominator.
+  std::map<std::string, const JsonValue*> group_hdr;
+  for (const JsonValue* s : series) group_hdr[group_label(*s)] = s;
+  const auto utilization = [&](const std::string& label, double station,
+                               double busy) {
+    const JsonValue* s = group_hdr[label];
+    if (s == nullptr) return 0.0;
+    const double slots = station < 0 ? num_or(*s, "repo_concurrency", 1)
+                                     : num_or(*s, "server_concurrency", 1);
+    const double cap = num_or(*s, "horizon_s", 0) * slots *
+                       std::max(1.0, num_or(*s, "runs", 1));
+    return cap > 0 ? busy / cap : 0.0;
+  };
+
+  std::vector<std::pair<std::pair<std::string, double>, StationAgg>> ranked(
+      by_station.begin(), by_station.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.peak_depth != b.second.peak_depth) {
+      return a.second.peak_depth > b.second.peak_depth;
+    }
+    if (a.second.busy != b.second.busy) return a.second.busy > b.second.busy;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (ranked.size() > top) ranked.resize(top);
+  std::vector<std::vector<std::string>> srows;
+  for (const auto& [key, a] : ranked) {
+    srows.push_back(
+        {key.first, server_name(key.second),
+         format_percent(utilization(key.first, key.second, a.busy)),
+         format_double(a.peak_depth, 0), format_double(a.peak_t, 1),
+         a.first_queue_t < 0 ? "-" : format_double(a.first_queue_t, 1),
+         format_double(a.redirected, 0), format_double(a.rejected, 0)});
+  }
+  out.para("Busiest " + std::to_string(srows.size()) + " of " +
+           std::to_string(by_station.size()) +
+           " stations by peak queue depth; 'first queue [s]' is the window "
+           "where queueing began (saturation onset).");
+  out.table({"policy/mode", "station", "utilization", "peak depth",
+             "at t [s]", "first queue [s]", "redirected", "rejected"},
+            srows);
+
+  // Overflow timeline: every window that redirected or rejected work.
+  std::vector<std::vector<std::string>> orows;
+  std::size_t overflow_windows = 0;
+  for (const JsonValue* w : doc.of_type("window")) {
+    const double red = num_or(*w, "redirected", 0);
+    const double rej = num_or(*w, "rejected", 0);
+    if (red <= 0 && rej <= 0) continue;
+    ++overflow_windows;
+    if (orows.size() >= top) continue;
+    orows.push_back(
+        {group_label(*w), server_name(num_or(*w, "station", 0)),
+         format_double(num_or(*w, "t_start_s", 0), 1),
+         format_double(num_or(*w, "depth_max", 0), 0),
+         format_percent(num_or(*w, "util", 0)), format_double(red, 0),
+         format_double(rej, 0)});
+  }
+  if (orows.empty()) {
+    out.para("No window overflowed: every request was admitted locally.");
+  } else {
+    out.para(std::to_string(overflow_windows) +
+             " window(s) overflowed; first " +
+             std::to_string(orows.size()) + " shown in virtual-time order.");
+    out.table({"policy/mode", "station", "t [s]", "depth max", "util",
+               "redirected", "rejected"},
+              orows);
+  }
+}
+
+/// Conservation-law verdicts from the mmr-invariants artifact.
+void render_invariants(const InvariantsDoc& doc, std::size_t top,
+                       ReportWriter& out) {
+  out.section("Conservation-law audit");
+  if (doc.checks.empty()) {
+    out.para("(no check lines in the artifact)");
+    return;
+  }
+  struct LawAgg {
+    std::uint64_t checks = 0;
+    std::uint64_t violations = 0;
+    double max_error = 0;
+    double tolerance = 0;
+  };
+  std::map<std::pair<std::string, std::string>, LawAgg> by_law;
+  for (const JsonValue& c : doc.checks) {
+    LawAgg& a = by_law[{group_label(c), str_or(c, "law", "?")}];
+    ++a.checks;
+    if (!c.at("ok").bool_v) ++a.violations;
+    a.max_error = std::max(a.max_error, num_or(c, "error", 0));
+    a.tolerance = num_or(c, "tolerance", 0);
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [key, a] : by_law) {
+    rows.push_back({key.first, key.second, std::to_string(a.checks),
+                    std::to_string(a.violations),
+                    format_double(a.max_error, 9),
+                    format_double(a.tolerance, 9)});
+  }
+  out.table({"policy/mode", "law", "checks", "violations", "max error",
+             "tolerance"},
+            rows);
+  if (doc.declared_violations == 0) {
+    out.para("All " + std::to_string(doc.checks.size()) +
+             " conservation-law checks hold: Little's law, flow "
+             "conservation, queue drain, busy/utilization consistency and "
+             "monotone virtual time.");
+    return;
+  }
+  out.para("VIOLATIONS: " + std::to_string(doc.declared_violations) + " of " +
+           std::to_string(doc.checks.size()) +
+           " checks failed; first offenders below.");
+  std::vector<std::vector<std::string>> vrows;
+  for (const JsonValue& c : doc.checks) {
+    if (c.at("ok").bool_v || vrows.size() >= top) continue;
+    vrows.push_back(
+        {group_label(c), str_or(c, "law", "?"),
+         is_null_field(c, "station") ? std::string("run")
+                                     : server_name(num_or(c, "station", 0)),
+         format_double(num_or(c, "expected", 0), 6),
+         format_double(num_or(c, "observed", 0), 6),
+         format_double(num_or(c, "error", 0), 9)});
+  }
+  out.table({"policy/mode", "law", "station", "expected", "observed",
+             "error"},
+            vrows);
+}
+
+// ---------------------------------------------------------------------------
 // scale section (bench/scale_suite BENCH artifact)
 
 /// Solve time and memory footprint vs instance size, one row per scale
@@ -921,6 +1119,8 @@ int main(int argc, char** argv) {
       .describe("flight", "flight recorder JSONL path")
       .describe("timeline", "mmr-timeline resource sampler JSONL path")
       .describe("sketch", "mmr-sketch streaming telemetry JSONL path")
+      .describe("timeseries", "mmr-timeseries queue-dynamics JSONL path")
+      .describe("invariants", "mmr-invariants conservation-audit JSONL path")
       .describe("scale", "bench/scale_suite BENCH_scale.json path")
       .describe("policy", "policy label for audit/flight sections "
                           "(default 'ours')")
@@ -930,8 +1130,8 @@ int main(int argc, char** argv) {
       .describe("out", "write the report to this path instead of stdout");
   const std::string usage =
       "usage: mmr_report [--metrics=F] [--trace=F] [--audit=F] [--flight=F] "
-      "[--timeline=F] [--sketch=F] [--scale=F] [--policy=ours] [--top=10] "
-      "[--format=text|md] [--out=F]\n";
+      "[--timeline=F] [--sketch=F] [--timeseries=F] [--invariants=F] "
+      "[--scale=F] [--policy=ours] [--top=10] [--format=text|md] [--out=F]\n";
   if (flags.help_requested()) {
     std::cout << usage << flags.help();
     return 0;
@@ -943,9 +1143,12 @@ int main(int argc, char** argv) {
   const std::string flight_path = flags.get_string("flight", "");
   const std::string timeline_path = flags.get_string("timeline", "");
   const std::string sketch_path = flags.get_string("sketch", "");
+  const std::string timeseries_path = flags.get_string("timeseries", "");
+  const std::string invariants_path = flags.get_string("invariants", "");
   const std::string scale_path = flags.get_string("scale", "");
   if (metrics_path.empty() && trace_path.empty() && audit_path.empty() &&
       flight_path.empty() && timeline_path.empty() && sketch_path.empty() &&
+      timeseries_path.empty() && invariants_path.empty() &&
       scale_path.empty()) {
     std::cerr << "error: no artifacts given\n" << usage;
     return 2;
@@ -1021,6 +1224,21 @@ int main(int argc, char** argv) {
       render_tail_trajectory(doc, top, out);
       render_hot_objects(doc, top, out);
       render_slo(doc, out);
+    }
+    if (!timeseries_path.empty()) {
+      const TimeseriesDoc doc =
+          parse_timeseries_jsonl(read_artifact_text(timeseries_path));
+      if (doc.declared_dropped > 0) {
+        out.para("NOTE: the timeseries log dropped " +
+                 std::to_string(doc.declared_dropped) +
+                 " shards at its cap; sections below undercount.");
+      }
+      render_queue_dynamics(doc, top, out);
+    }
+    if (!invariants_path.empty()) {
+      render_invariants(
+          parse_invariants_jsonl(read_artifact_text(invariants_path)), top,
+          out);
     }
     if (!scale_path.empty()) {
       render_scale_trajectory(parse_bench_json(read_artifact_text(scale_path)),
